@@ -1,0 +1,154 @@
+// Micro-benchmarks (google-benchmark) for the substrate layers: tree
+// operations, update application, B+tree and table throughput, datalog
+// evaluation, and provenance tracking throughput per strategy.
+
+#include <benchmark/benchmark.h>
+
+#include "cpdb/cpdb.h"
+#include "datalog/parser.h"
+
+namespace {
+
+using namespace cpdb;
+
+void BM_TreeFind(benchmark::State& state) {
+  tree::Tree t = workload::GenMimiLike(static_cast<size_t>(state.range(0)),
+                                       1);
+  tree::Path p = tree::Path::MustParse("prot1/interactions/i1/partner");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.Find(p));
+  }
+}
+BENCHMARK(BM_TreeFind)->Arg(100)->Arg(1000);
+
+void BM_TreeClone(benchmark::State& state) {
+  tree::Tree t = workload::GenMimiLike(static_cast<size_t>(state.range(0)),
+                                       1);
+  for (auto _ : state) {
+    tree::Tree c = t.Clone();
+    benchmark::DoNotOptimize(&c);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(t.NodeCount()));
+}
+BENCHMARK(BM_TreeClone)->Arg(100)->Arg(1000);
+
+void BM_ApplyCopy(benchmark::State& state) {
+  tree::Tree universe;
+  (void)universe.AddChild("T", workload::GenMimiLike(100, 1));
+  (void)universe.AddChild("S1", workload::GenOrganelleLike(100, 2));
+  size_t i = 0;
+  for (auto _ : state) {
+    update::Update u = update::Update::Copy(
+        tree::Path::MustParse("S1/o" + std::to_string(1 + i % 100)),
+        tree::Path::MustParse("T/c" + std::to_string(i)));
+    ++i;
+    update::ApplyEffect effect;
+    benchmark::DoNotOptimize(update::Apply(&universe, u, &effect));
+  }
+}
+BENCHMARK(BM_ApplyCopy);
+
+void BM_BTreeInsert(benchmark::State& state) {
+  size_t i = 0;
+  relstore::BTree bt;
+  for (auto _ : state) {
+    bt.Insert({relstore::Datum(static_cast<int64_t>(i++))},
+              relstore::Rid{0, 0});
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BTreeInsert);
+
+void BM_TableInsertIndexed(benchmark::State& state) {
+  relstore::Schema schema({{"Tid", relstore::ColumnType::kInt64, false},
+                           {"Op", relstore::ColumnType::kString, false},
+                           {"Loc", relstore::ColumnType::kString, false},
+                           {"Src", relstore::ColumnType::kString, true}});
+  relstore::Table table("Prov", schema);
+  (void)table.CreateIndex("pk", {0, 2}, relstore::IndexKind::kBTree, true);
+  (void)table.CreateIndex("loc", {2}, relstore::IndexKind::kBTree);
+  (void)table.CreateIndex("tid", {0}, relstore::IndexKind::kHash);
+  int64_t i = 0;
+  for (auto _ : state) {
+    (void)table.Insert({relstore::Datum(i), relstore::Datum("C"),
+                        relstore::Datum("T/n" + std::to_string(i)),
+                        relstore::Datum("S/x")});
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TableInsertIndexed);
+
+void BM_DatalogTransitiveClosure(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    datalog::Evaluator eval;
+    for (int i = 0; i < n; ++i) {
+      eval.AddFact("Edge", {"v" + std::to_string(i),
+                            "v" + std::to_string(i + 1)});
+    }
+    auto rules = datalog::ParseProgram(
+        "Path(X, Y) :- Edge(X, Y)."
+        "Path(X, Z) :- Path(X, Y), Edge(Y, Z).");
+    for (auto& r : rules.value()) (void)eval.AddRule(std::move(r));
+    (void)eval.Evaluate();
+    benchmark::DoNotOptimize(eval.Get("Path").size());
+  }
+}
+BENCHMARK(BM_DatalogTransitiveClosure)->Arg(20)->Arg(60);
+
+void TrackingThroughput(benchmark::State& state,
+                        provenance::Strategy strategy) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    relstore::Database prov_db("provdb");
+    provenance::ProvBackend backend(&prov_db);
+    wrap::TreeTargetDb target("T", workload::GenMimiLike(200, 1));
+    wrap::TreeSourceDb source("S1", workload::GenOrganelleLike(400, 2));
+    EditorOptions opts;
+    opts.strategy = strategy;
+    auto editor = Editor::Create(&target, &backend, opts);
+    (void)(*editor)->MountSource(&source);
+    workload::GenOptions gen_opts;
+    gen_opts.pattern = workload::Pattern::kMix;
+    workload::UpdateGenerator gen(&(*editor)->universe(), gen_opts);
+    state.ResumeTiming();
+
+    for (int i = 0; i < 500; ++i) {
+      auto u = gen.Next();
+      if (!u.has_value()) break;
+      if (!(*editor)->ApplyUpdate(*u).ok()) continue;
+      update::ApplyEffect effect;
+      if (u->kind == update::OpKind::kInsert) {
+        effect.inserted.push_back(u->AffectedPath());
+      } else if (u->kind == update::OpKind::kCopy) {
+        const tree::Tree* pasted = (*editor)->universe().Find(u->target);
+        if (pasted != nullptr) {
+          pasted->Visit([&](const tree::Path& rel, const tree::Tree&) {
+            effect.copied.emplace_back(u->target.Concat(rel),
+                                       u->source.Concat(rel));
+          });
+        }
+      }
+      gen.OnApplied(*u, effect);
+      if (i % 5 == 4) (void)(*editor)->Commit();
+    }
+    (void)(*editor)->Commit();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 500);
+}
+
+void BM_TrackNaive(benchmark::State& state) {
+  TrackingThroughput(state, provenance::Strategy::kNaive);
+}
+void BM_TrackHT(benchmark::State& state) {
+  TrackingThroughput(state,
+                     provenance::Strategy::kHierarchicalTransactional);
+}
+BENCHMARK(BM_TrackNaive)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TrackHT)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

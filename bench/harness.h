@@ -1,0 +1,180 @@
+#pragma once
+
+// Shared driver for the figure benchmarks: runs a random curation
+// workload (Table 1's configurations) against one provenance strategy and
+// reports storage and simulated-time statistics.
+//
+// Times are *simulated* client/server interaction costs (see
+// relstore::CostParams): the paper's CPDB measured wall-clock time
+// dominated by JDBC/SOAP round trips, which an in-process reproduction
+// cannot exhibit. The cost model charges each modelled round trip and
+// each transferred row; magnitudes are scaled down ~1000x (450 ms per
+// Timber update -> 450 us), so *ratios* — the content of Figures 9-13 —
+// are comparable while absolute numbers are not.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cpdb/cpdb.h"
+#include "util/flags.h"
+#include "util/sim_clock.h"
+
+namespace cpdb::bench {
+
+struct RunConfig {
+  provenance::Strategy strategy = provenance::Strategy::kNaive;
+  workload::Pattern pattern = workload::Pattern::kMix;
+  workload::DeletePolicy delete_policy = workload::DeletePolicy::kRandom;
+  bool include_deletes = true;
+  size_t steps = 3500;
+  size_t txn_len = 5;  ///< commit every N ops (paper default)
+  uint64_t seed = 42;
+  size_t target_entries = 1500;  ///< MiMI-like entries in T
+  size_t source_entries = 3000;  ///< OrganelleDB-like entries in S1
+  bool use_indexes = true;       ///< provenance-store indexing
+};
+
+struct OpTiming {
+  double total_us = 0;
+  size_t count = 0;
+  double Avg() const { return count == 0 ? 0.0 : total_us / count; }
+};
+
+struct RunStats {
+  size_t applied = 0;
+  size_t adds = 0, deletes = 0, copies = 0, commits = 0;
+  size_t prov_rows = 0;
+  size_t prov_bytes = 0;
+  double target_us = 0;   ///< simulated target-database interaction
+  double prov_us = 0;     ///< simulated provenance-store interaction
+  OpTiming add_prov, del_prov, copy_prov, commit_prov;
+  double dataset_avg_us = 0;  ///< avg target time per operation
+  double real_ms = 0;         ///< actual CPU time of the run
+
+  /// Session kept alive so callers can run queries afterwards.
+  std::unique_ptr<relstore::Database> prov_db;
+  std::unique_ptr<provenance::ProvBackend> backend;
+  std::unique_ptr<wrap::TreeTargetDb> target;
+  std::unique_ptr<wrap::TreeSourceDb> source;
+  std::unique_ptr<Editor> editor;
+};
+
+inline RunStats RunWorkload(const RunConfig& cfg) {
+  RunStats st;
+  Stopwatch wall;
+  st.prov_db = std::make_unique<relstore::Database>("provdb");
+  st.backend = std::make_unique<provenance::ProvBackend>(st.prov_db.get(),
+                                                         cfg.use_indexes);
+  st.target = std::make_unique<wrap::TreeTargetDb>(
+      "T", workload::GenMimiLike(cfg.target_entries, cfg.seed * 31 + 1));
+  st.source = std::make_unique<wrap::TreeSourceDb>(
+      "S1", workload::GenOrganelleLike(cfg.source_entries,
+                                       cfg.seed * 31 + 2));
+  EditorOptions opts;
+  opts.strategy = cfg.strategy;
+  opts.enable_archive = false;  // the paper's runs do not archive
+  auto editor = Editor::Create(st.target.get(), st.backend.get(), opts);
+  if (!editor.ok()) {
+    std::fprintf(stderr, "editor: %s\n",
+                 editor.status().ToString().c_str());
+    return st;
+  }
+  st.editor = std::move(editor).value();
+  if (!st.editor->MountSource(st.source.get()).ok()) return st;
+
+  workload::GenOptions gen_opts;
+  gen_opts.pattern = cfg.pattern;
+  gen_opts.delete_policy = cfg.delete_policy;
+  gen_opts.include_deletes = cfg.include_deletes;
+  gen_opts.seed = cfg.seed;
+  workload::UpdateGenerator gen(&st.editor->universe(), gen_opts);
+
+  auto prov_cost = [&] { return st.prov_db->cost().ElapsedMicros(); };
+  auto tgt_cost = [&] { return st.target->cost().ElapsedMicros(); };
+
+  for (size_t i = 0; i < cfg.steps; ++i) {
+    bool skipped = false;
+    auto u = gen.Next(&skipped);
+    if (!u.has_value()) {
+      if (skipped) continue;
+      break;
+    }
+    double p0 = prov_cost();
+    Status applied = st.editor->ApplyUpdate(*u);
+    if (!applied.ok()) continue;
+    double dp = prov_cost() - p0;
+
+    update::ApplyEffect effect;
+    OpTiming* slot = nullptr;
+    switch (u->kind) {
+      case update::OpKind::kInsert:
+        effect.inserted.push_back(u->AffectedPath());
+        slot = &st.add_prov;
+        break;
+      case update::OpKind::kDelete:
+        slot = &st.del_prov;
+        break;
+      case update::OpKind::kCopy: {
+        const tree::Tree* pasted = st.editor->universe().Find(u->target);
+        if (pasted != nullptr) {
+          pasted->Visit([&](const tree::Path& rel, const tree::Tree&) {
+            effect.copied.emplace_back(u->target.Concat(rel),
+                                       u->source.Concat(rel));
+          });
+        }
+        slot = &st.copy_prov;
+        break;
+      }
+    }
+    slot->total_us += dp;
+    slot->count += 1;
+    gen.OnApplied(*u, effect);
+    ++st.applied;
+
+    if (cfg.txn_len > 0 && st.applied % cfg.txn_len == 0) {
+      double c0 = prov_cost();
+      if (st.editor->Commit().ok()) {
+        st.commit_prov.total_us += prov_cost() - c0;
+        st.commit_prov.count += 1;
+        ++st.commits;
+      }
+    }
+  }
+  double c0 = prov_cost();
+  if (st.editor->Commit().ok() && st.editor->store()->RecordCount() > 0) {
+    double dc = prov_cost() - c0;
+    if (dc > 0) {
+      st.commit_prov.total_us += dc;
+      st.commit_prov.count += 1;
+      ++st.commits;
+    }
+  }
+
+  st.adds = gen.adds();
+  st.deletes = gen.deletes();
+  st.copies = gen.copies();
+  st.prov_rows = st.editor->store()->RecordCount();
+  st.prov_bytes = st.editor->store()->PhysicalBytes();
+  st.prov_us = prov_cost();
+  st.target_us = tgt_cost();
+  st.dataset_avg_us = st.applied == 0 ? 0 : st.target_us / st.applied;
+  st.real_ms = wall.ElapsedMillis();
+  return st;
+}
+
+constexpr provenance::Strategy kAllStrategies[] = {
+    provenance::Strategy::kNaive, provenance::Strategy::kHierarchical,
+    provenance::Strategy::kTransactional,
+    provenance::Strategy::kHierarchicalTransactional};
+
+inline void PrintHeader(const char* figure, const char* what) {
+  std::printf("=============================================================\n");
+  std::printf("%s — %s\n", figure, what);
+  std::printf("Reproduction of Buneman/Chapman/Cheney, SIGMOD 2006.\n");
+  std::printf("Times are simulated round-trip costs (see bench/harness.h);\n");
+  std::printf("compare ratios with the paper, not absolute values.\n");
+  std::printf("=============================================================\n");
+}
+
+}  // namespace cpdb::bench

@@ -1,0 +1,131 @@
+// The paper's Figure 1 walkthrough: a molecular biologist curates her
+// protein database MyDB by copying from SwissProt, OMIM, and NCBI, then
+// fixing a PubMed id — and one year later uses provenance to resolve a
+// discrepancy she could not otherwise trace.
+//
+//   $ ./examples/example_curation_session
+
+#include <cstdio>
+
+#include "cpdb/cpdb.h"
+
+using namespace cpdb;
+
+namespace {
+
+tree::Tree T(const char* literal) {
+  auto r = tree::ParseTree(literal);
+  if (!r.ok()) std::abort();
+  return std::move(r).value();
+}
+
+tree::Path P(const char* s) { return tree::Path::MustParse(s); }
+
+#define CHECK_OK(expr)                                      \
+  do {                                                      \
+    ::cpdb::Status _st = (expr);                            \
+    if (!_st.ok()) {                                        \
+      std::fprintf(stderr, "FAILED: %s\n  at %s\n",         \
+                   _st.ToString().c_str(), #expr);          \
+      return 1;                                             \
+    }                                                       \
+  } while (0)
+
+}  // namespace
+
+int main() {
+  // ----- The databases involved (Figure 1) -------------------------------
+  wrap::TreeSourceDb swissprot("SwissProt", T(R"({
+    O95477: {name: ABC1, organism: "H.sapiens",
+             PTM: {kind: phospho, site: 24}},
+    P02741: {name: CRP, organism: "H.sapiens",
+             PTM: {kind: glyco, site: 7}}})"));
+  wrap::TreeSourceDb omim("OMIM", T(R"({
+    600046: {title: "ABC1 cholesterol efflux",
+             publication: {pmid: 1236512, year: 1999}}})"));
+  wrap::TreeSourceDb ncbi("NCBI", T(R"({
+    NP_005493: {gi: 4557321, len: 2261}})"));
+
+  wrap::TreeTargetDb mydb("MyDB", T("{}"));
+  relstore::Database prov_db("provdb");
+  provenance::ProvBackend backend(&prov_db);
+
+  EditorOptions opts;
+  opts.strategy = provenance::Strategy::kHierarchicalTransactional;
+  opts.enable_archive = true;  // she also archives her versions
+  opts.user = "biologist";
+  auto editor = Editor::Create(&mydb, &backend, opts);
+  if (!editor.ok()) return 1;
+  Editor& ed = **editor;
+  CHECK_OK(ed.MountSource(&swissprot));
+  CHECK_OK(ed.MountSource(&omim));
+  CHECK_OK(ed.MountSource(&ncbi));
+
+  std::printf("== (a) copy interesting proteins from SwissProt ==\n");
+  CHECK_OK(ed.CopyPaste(P("SwissProt/O95477"), P("MyDB/ABC1")));
+  CHECK_OK(ed.CopyPaste(P("SwissProt/P02741"), P("MyDB/CRP")));
+  CHECK_OK(ed.Commit());
+
+  std::printf("== (b) rename the PTM so it isn't confused with PTMs "
+              "from other sites ==\n");
+  // "fixes the new entries so that the PTM found in SwissProt is not
+  // confused with PTMs in her database found from other sites": move the
+  // subtree to a new edge (copy within T + delete the old edge).
+  CHECK_OK(ed.CopyPaste(P("MyDB/ABC1/PTM"), P("MyDB/ABC1/SwissProt-PTM")));
+  CHECK_OK(ed.Delete(P("MyDB/ABC1"), "PTM"));
+  CHECK_OK(ed.Commit());
+
+  std::printf("== (c) copy publication details from OMIM and related "
+              "data from NCBI ==\n");
+  CHECK_OK(ed.Insert(P("MyDB/ABC1"), "Publications"));
+  CHECK_OK(ed.CopyPaste(P("OMIM/600046/publication"),
+                        P("MyDB/ABC1/Publications/p1")));
+  CHECK_OK(ed.CopyPaste(P("NCBI/NP_005493"), P("MyDB/ABC1/NP_005493")));
+  CHECK_OK(ed.Commit());
+
+  std::printf("== (d) fix a mistaken PubMed publication number ==\n");
+  CHECK_OK(ed.Delete(P("MyDB/ABC1/Publications/p1"), "pmid"));
+  CHECK_OK(ed.Insert(P("MyDB/ABC1/Publications/p1"), "pmid",
+                     tree::Value(int64_t{12504680})));
+  CHECK_OK(ed.Commit());
+
+  std::printf("\nMyDB after the curation session:\n%s\n",
+              tree::ToPretty(*ed.TargetView()).c_str());
+
+  // ----- One year later ----------------------------------------------------
+  std::printf("== one year later: where did this PTM come from? ==\n");
+  auto trace = ed.query()->TraceBack(P("MyDB/ABC1/SwissProt-PTM/kind"));
+  if (!trace.ok()) return 1;
+  for (const auto& step : trace->steps) {
+    std::printf("  txn %lld: %c  %s  <-  %s\n",
+                static_cast<long long>(step.tid),
+                provenance::ProvOpChar(step.op),
+                step.loc.ToString().c_str(), step.src.ToString().c_str());
+  }
+  if (trace->external_src.has_value()) {
+    std::printf("  => originally copied from %s (transaction %lld)\n",
+                trace->external_src->ToString().c_str(),
+                static_cast<long long>(trace->external_tid));
+  }
+
+  std::printf("\n== which transactions touched the ABC1 entry? ==\n");
+  auto versions = ed.archive()->MakeVersionFn();
+  auto mod = ed.query()->GetMod(P("MyDB/ABC1"), versions);
+  if (mod.ok()) {
+    std::printf("  Mod(MyDB/ABC1) = {");
+    for (size_t i = 0; i < mod->size(); ++i) {
+      std::printf("%s%lld", i ? ", " : "",
+                  static_cast<long long>((*mod)[i]));
+    }
+    std::printf("}\n");
+  }
+
+  std::printf("\n== and the corrected pmid? ==\n");
+  auto src = ed.query()->GetSrc(P("MyDB/ABC1/Publications/p1/pmid"));
+  if (src.ok() && src->has_value()) {
+    std::printf("  entered locally in transaction %lld (the fix), not "
+                "copied from OMIM\n",
+                static_cast<long long>(**src));
+  }
+  return 0;
+}

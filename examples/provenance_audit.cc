@@ -1,0 +1,128 @@
+// Provenance audit over a simulated six months of curation: runs a
+// realistic random workload (the paper estimates 14,000 steps ~ six
+// months of work by four curators), then audits the database: storage
+// per strategy, modification history, and trace validation against the
+// version archive.
+//
+//   $ ./examples/example_provenance_audit [--steps N]
+
+#include <cstdio>
+
+#include "cpdb/cpdb.h"
+#include "util/flags.h"
+
+using namespace cpdb;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  size_t steps = static_cast<size_t>(flags.GetInt("steps", 2000));
+
+  std::printf("Simulating %zu curation steps (mix workload, commit every "
+              "5 ops) under all four strategies...\n\n",
+              steps);
+
+  std::printf("%-28s %10s %12s\n", "strategy", "records", "physical KB");
+  for (auto strat :
+       {provenance::Strategy::kNaive, provenance::Strategy::kTransactional,
+        provenance::Strategy::kHierarchical,
+        provenance::Strategy::kHierarchicalTransactional}) {
+    relstore::Database prov_db("provdb");
+    provenance::ProvBackend backend(&prov_db);
+    wrap::TreeTargetDb target("T", workload::GenMimiLike(400, 11));
+    wrap::TreeSourceDb source("S1", workload::GenOrganelleLike(800, 12));
+
+    EditorOptions opts;
+    opts.strategy = strat;
+    opts.enable_archive = (strat == provenance::Strategy::kNaive);
+    auto editor = Editor::Create(&target, &backend, opts);
+    if (!editor.ok()) return 1;
+    Editor& ed = **editor;
+    if (!ed.MountSource(&source).ok()) return 1;
+
+    workload::GenOptions gen_opts;
+    gen_opts.pattern = workload::Pattern::kMix;
+    gen_opts.seed = 77;
+    workload::UpdateGenerator gen(&ed.universe(), gen_opts);
+    size_t applied = 0;
+    for (size_t i = 0; i < steps; ++i) {
+      auto u = gen.Next();
+      if (!u.has_value()) break;
+      if (!ed.ApplyUpdate(*u).ok()) continue;
+      update::ApplyEffect effect;
+      if (u->kind == update::OpKind::kInsert) {
+        effect.inserted.push_back(u->AffectedPath());
+      } else if (u->kind == update::OpKind::kCopy) {
+        const tree::Tree* pasted = ed.universe().Find(u->target);
+        if (pasted != nullptr) {
+          pasted->Visit([&](const tree::Path& rel, const tree::Tree&) {
+            effect.copied.emplace_back(u->target.Concat(rel),
+                                       u->source.Concat(rel));
+          });
+        }
+      }
+      gen.OnApplied(*u, effect);
+      if (++applied % 5 == 0) (void)ed.Commit();
+    }
+    (void)ed.Commit();
+
+    std::printf("%-28s %10zu %12.1f\n", provenance::StrategyName(strat),
+                ed.store()->RecordCount(),
+                ed.store()->PhysicalBytes() / 1024.0);
+
+    if (strat != provenance::Strategy::kNaive) continue;
+
+    // ----- Deep audit on the naive run (full information retained) -----
+    std::printf("\n-- audit of the naive run --\n");
+    std::printf("curation performed: %zu adds, %zu deletes, %zu copies\n",
+                gen.adds(), gen.deletes(), gen.copies());
+
+    // How many surviving nodes are copies of external data?
+    const tree::Tree* t = ed.TargetView();
+    size_t external = 0, local = 0, original = 0, checked = 0;
+    std::vector<tree::Path> probe;
+    t->Visit([&](const tree::Path& rel, const tree::Tree&) {
+      if (!rel.IsRoot() && probe.size() < 300) {
+        probe.push_back(tree::Path({std::string("T")}).Concat(rel));
+      }
+    });
+    for (const auto& p : probe) {
+      auto trace = ed.query()->TraceBack(p);
+      if (!trace.ok()) continue;
+      ++checked;
+      if (trace->external_src.has_value()) {
+        ++external;
+      } else if (trace->origin_tid.has_value()) {
+        ++local;
+      } else {
+        ++original;  // untouched since the initial version
+      }
+    }
+    std::printf("of %zu sampled nodes: %zu copied from sources, %zu "
+                "entered locally, %zu from the initial import\n",
+                checked, external, local, original);
+
+    // Cross-check one trace against the archive: the value at the traced
+    // location in version t must equal the value at its source in t-1.
+    auto* arch = ed.archive();
+    size_t validated = 0, attempted = 0;
+    for (const auto& p : probe) {
+      if (attempted >= 25) break;
+      auto trace = ed.query()->TraceBack(p);
+      if (!trace.ok() || trace->steps.empty()) continue;
+      const auto& hop = trace->steps.front();
+      if (hop.op != provenance::ProvOp::kCopy) continue;
+      ++attempted;
+      auto post = arch->GetVersion(hop.tid);
+      auto pre = arch->GetVersion(hop.tid - 1);
+      if (!post.ok() || !pre.ok()) continue;
+      const tree::Tree* dst = post->Find(hop.loc);
+      const tree::Tree* src = pre->Find(hop.src);
+      if (dst != nullptr && src != nullptr && dst->Equals(*src)) {
+        ++validated;
+      }
+    }
+    std::printf("validated %zu/%zu copy hops against archived versions\n\n",
+                validated, attempted);
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+#pragma once
+
+/// Umbrella header: the CPDB public API.
+///
+/// CPDB is a from-scratch C++20 reproduction of
+///   Buneman, Chapman, Cheney. "Provenance Management in Curated
+///   Databases". SIGMOD 2006.
+///
+/// Typical usage (see examples/quickstart.cc):
+///
+///   relstore::Database prov_db("provdb");
+///   provenance::ProvBackend backend(&prov_db);
+///   wrap::TreeTargetDb target("T", std::move(initial_tree));
+///   auto editor = cpdb::Editor::Create(&target, &backend).value();
+///   wrap::TreeSourceDb s1("S1", std::move(source_tree));
+///   editor->MountSource(&s1);
+///   editor->CopyPaste(Path::MustParse("S1/a1/y"),
+///                     Path::MustParse("T/c1/y"));
+///   editor->Commit();
+///   auto hist = editor->query()->GetHist(Path::MustParse("T/c1/y"));
+
+#include "archive/archive.h"          // IWYU pragma: export
+#include "cpdb/editor.h"              // IWYU pragma: export
+#include "provenance/backend.h"       // IWYU pragma: export
+#include "provenance/inference.h"     // IWYU pragma: export
+#include "provenance/store.h"         // IWYU pragma: export
+#include "query/approx.h"             // IWYU pragma: export
+#include "query/own.h"                // IWYU pragma: export
+#include "query/spec.h"               // IWYU pragma: export
+#include "query/trace.h"              // IWYU pragma: export
+#include "tree/serialize.h"           // IWYU pragma: export
+#include "tree/tree.h"                // IWYU pragma: export
+#include "tree/xml.h"                 // IWYU pragma: export
+#include "update/bulk.h"              // IWYU pragma: export
+#include "update/parser.h"            // IWYU pragma: export
+#include "update/semantics.h"         // IWYU pragma: export
+#include "workload/data_gen.h"        // IWYU pragma: export
+#include "workload/update_gen.h"      // IWYU pragma: export
+#include "wrap/relational_source.h"   // IWYU pragma: export
+#include "wrap/relational_target.h"   // IWYU pragma: export
+#include "wrap/source_db.h"           // IWYU pragma: export
+#include "wrap/target_db.h"           // IWYU pragma: export

@@ -1,0 +1,237 @@
+#include "cpdb/editor.h"
+
+#include "update/parser.h"
+
+namespace cpdb {
+
+using provenance::Strategy;
+using update::OpKind;
+using update::Update;
+
+Result<std::unique_ptr<Editor>> Editor::Create(
+    wrap::TargetDb* target, provenance::ProvBackend* backend,
+    EditorOptions options) {
+  std::unique_ptr<Editor> ed(new Editor(target, std::move(options)));
+  ed->target_root_ = tree::Path({target->name()});
+  CPDB_ASSIGN_OR_RETURN(tree::Tree initial, target->TreeFromDb());
+  CPDB_RETURN_IF_ERROR(
+      ed->universe_.AddChild(target->name(), std::move(initial)));
+  ed->store_ = provenance::MakeStore(ed->options_.strategy, backend,
+                                     ed->options_.first_tid);
+  ed->query_ = std::make_unique<query::QueryEngine>(
+      ed->store_.get(), ed->target_root_, &ed->universe_);
+  if (ed->options_.enable_approx) {
+    ed->approx_ = std::make_unique<query::ApproxProvStore>();
+  }
+  return ed;
+}
+
+Status Editor::MountSource(wrap::SourceDb* source) {
+  if (started_) {
+    return Status::FailedPrecondition(
+        "sources must be mounted before the first update");
+  }
+  if (source->name() == target_->name()) {
+    return Status::InvalidArgument("source label '" + source->name() +
+                                   "' collides with the target");
+  }
+  if (sources_.count(source->name()) > 0) {
+    return Status::AlreadyExists("source '" + source->name() +
+                                 "' already mounted");
+  }
+  CPDB_ASSIGN_OR_RETURN(tree::Tree view, source->TreeFromDb());
+  CPDB_RETURN_IF_ERROR(universe_.AddChild(source->name(), std::move(view)));
+  sources_[source->name()] = source;
+  return Status::OK();
+}
+
+Status Editor::ValidateUpdate(const Update& u) const {
+  // "Insertions, copies, and deletes can only be performed in a subtree
+  // of the target database T" (Section 2). Note this also rejects
+  // deleting or overwriting the target root itself: a delete's target is
+  // the *parent* of the removed edge, which for the root lies outside T.
+  if (!target_root_.IsPrefixOf(u.target)) {
+    return Status::InvalidArgument("updates must target '" +
+                                   target_root_.ToString() + "', got '" +
+                                   u.target.ToString() + "'");
+  }
+  if (u.kind == OpKind::kCopy && target_root_ == u.target) {
+    return Status::InvalidArgument("cannot overwrite the target root");
+  }
+  return Status::OK();
+}
+
+Status Editor::PushNative(const Update& u, const tree::Tree* pasted) {
+  // Rebase universe-absolute paths to target-relative ones.
+  Update native = u;
+  CPDB_ASSIGN_OR_RETURN(native.target, u.target.RelativeTo(target_root_));
+  if (u.kind == OpKind::kCopy) {
+    if (pasted == nullptr) {
+      return Status::Internal("pasted subtree missing for native push");
+    }
+    native.source = tree::Path();  // native stores only receive the data
+  }
+  return target_->ApplyNative(native, pasted);
+}
+
+Status Editor::RecordMetaIfEnabled(int64_t tid, const std::string& note) {
+  if (!options_.record_txn_meta) return Status::OK();
+  provenance::TxnMeta meta;
+  meta.tid = tid;
+  meta.user = options_.user;
+  meta.commit_seq = tid;
+  meta.note = note;
+  return store_->backend()->WriteTxnMeta(meta);
+}
+
+Status Editor::ApplyUpdate(const Update& u) {
+  CPDB_RETURN_IF_ERROR(ValidateUpdate(u));
+  if (!started_) {
+    started_ = true;
+    if (options_.enable_archive) {
+      archive::VersionArchive::Options aopt;
+      aopt.checkpoint_every = options_.archive_checkpoint_every;
+      archive_ = std::make_unique<archive::VersionArchive>(
+          options_.first_tid - 1, universe_.Clone(), aopt);
+    }
+  }
+
+  update::ApplyEffect effect;
+  CPDB_RETURN_IF_ERROR(undo_.ApplyTracked(&universe_, u, &effect));
+  Status tracked;
+  switch (u.kind) {
+    case OpKind::kInsert:
+      tracked = store_->TrackInsert(effect);
+      break;
+    case OpKind::kDelete:
+      tracked = store_->TrackDelete(effect);
+      break;
+    case OpKind::kCopy:
+      tracked = store_->TrackCopy(effect);
+      break;
+  }
+  if (!tracked.ok()) {
+    // Keep target and provenance consistent: roll the update back.
+    Status revert = undo_.RevertAll(&universe_);
+    return revert.ok() ? tracked : revert;
+  }
+  txn_script_.push_back(u);
+  ++total_ops_;
+
+  if (PerOpStrategy()) {
+    // Per-operation transaction: push native and seal the version now.
+    // The subtree at the paste destination is still exactly what the op
+    // produced, so the universe can serve as the paste payload.
+    const tree::Tree* pasted =
+        u.kind == OpKind::kCopy ? universe_.Find(u.target) : nullptr;
+    CPDB_RETURN_IF_ERROR(PushNative(u, pasted));
+    int64_t tid = store_->LastCommittedTid();
+    if (archive_ != nullptr) {
+      CPDB_RETURN_IF_ERROR(
+          archive_->Record(tid, std::move(txn_script_), universe_));
+    }
+    CPDB_RETURN_IF_ERROR(RecordMetaIfEnabled(tid, u.ToString()));
+    txn_script_.clear();
+    undo_.Clear();
+  } else {
+    // Deferred native push at Commit() needs the op-time paste payload.
+    if (u.kind == OpKind::kCopy) {
+      const tree::Tree* pasted = universe_.Find(u.target);
+      txn_pasted_.emplace_back(pasted == nullptr
+                                   ? std::optional<tree::Tree>()
+                                   : std::optional<tree::Tree>(
+                                         pasted->Clone()));
+    } else {
+      txn_pasted_.emplace_back(std::nullopt);
+    }
+  }
+  return Status::OK();
+}
+
+Status Editor::Insert(const tree::Path& at, const std::string& label,
+                      std::optional<tree::Value> value) {
+  return ApplyUpdate(Update::Insert(at, label, std::move(value)));
+}
+
+Status Editor::Delete(const tree::Path& at, const std::string& label) {
+  return ApplyUpdate(Update::Delete(at, label));
+}
+
+Status Editor::CopyPaste(const tree::Path& src, const tree::Path& dst) {
+  return ApplyUpdate(Update::Copy(src, dst));
+}
+
+Status Editor::ApplyScript(const update::Script& script, size_t* applied) {
+  size_t n = 0;
+  for (const Update& u : script) {
+    Status st = ApplyUpdate(u);
+    if (!st.ok()) {
+      if (applied != nullptr) *applied = n;
+      return st;
+    }
+    ++n;
+  }
+  if (applied != nullptr) *applied = n;
+  return Status::OK();
+}
+
+Status Editor::ApplyScriptText(const std::string& text) {
+  CPDB_ASSIGN_OR_RETURN(update::Script script, update::ParseScript(text));
+  return ApplyScript(script);
+}
+
+Result<size_t> Editor::BulkCopy(const update::BulkCopySpec& spec) {
+  CPDB_ASSIGN_OR_RETURN(update::Script script,
+                        update::ExpandBulkCopy(universe_, spec));
+  // Validate the destination restriction before touching anything.
+  for (const Update& u : script) {
+    CPDB_RETURN_IF_ERROR(ValidateUpdate(u));
+  }
+  CPDB_RETURN_IF_ERROR(ApplyScript(script));
+  if (approx_ != nullptr) {
+    query::ApproxRecord rec;
+    rec.tid = store_->CurrentTid();
+    rec.op = provenance::ProvOp::kCopy;
+    rec.loc = spec.dst;
+    rec.src = spec.src;
+    approx_->Track(std::move(rec));
+  }
+  return script.size();
+}
+
+Status Editor::Commit() {
+  update::Script script = std::move(txn_script_);
+  txn_script_.clear();
+  std::vector<std::optional<tree::Tree>> pasted = std::move(txn_pasted_);
+  txn_pasted_.clear();
+  CPDB_RETURN_IF_ERROR(store_->Commit());
+  if (!PerOpStrategy()) {
+    for (size_t i = 0; i < script.size(); ++i) {
+      const tree::Tree* payload =
+          i < pasted.size() && pasted[i].has_value() ? &*pasted[i] : nullptr;
+      CPDB_RETURN_IF_ERROR(PushNative(script[i], payload));
+    }
+    int64_t tid = store_->LastCommittedTid();
+    if (archive_ != nullptr && started_) {
+      CPDB_RETURN_IF_ERROR(archive_->Record(tid, std::move(script),
+                                            universe_));
+    }
+    CPDB_RETURN_IF_ERROR(RecordMetaIfEnabled(
+        tid, std::to_string(script.size()) + " ops"));
+    undo_.Clear();
+  }
+  return Status::OK();
+}
+
+Status Editor::Abort() {
+  if (PerOpStrategy()) {
+    return Status::FailedPrecondition(
+        "per-operation strategies auto-commit; nothing to abort");
+  }
+  store_->AbortPending();
+  txn_script_.clear();
+  txn_pasted_.clear();
+  return undo_.RevertAll(&universe_);
+}
+
+}  // namespace cpdb

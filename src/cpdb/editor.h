@@ -1,0 +1,161 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "archive/archive.h"
+#include "provenance/store.h"
+#include "query/approx.h"
+#include "query/trace.h"
+#include "tree/tree.h"
+#include "update/bulk.h"
+#include "update/semantics.h"
+#include "update/update.h"
+#include "util/result.h"
+#include "wrap/source_db.h"
+#include "wrap/target_db.h"
+
+namespace cpdb {
+
+/// Configuration of a curation session.
+struct EditorOptions {
+  provenance::Strategy strategy =
+      provenance::Strategy::kHierarchicalTransactional;
+  /// First transaction number (the paper's Figure 5 starts at 121).
+  int64_t first_tid = 1;
+  /// Record every committed version in a VersionArchive (Section 5's
+  /// "both provenance recording and archiving are necessary").
+  bool enable_archive = false;
+  size_t archive_checkpoint_every = 64;
+  /// Store TxnMeta rows (user, commit seq) per committed transaction.
+  /// Off by default: the evaluation's round-trip accounting excludes it.
+  bool record_txn_meta = false;
+  /// Attach an approximate store that receives one glob record per bulk
+  /// update (Section 6 extension).
+  bool enable_approx = false;
+  std::string user = "curator";
+};
+
+/// The provenance-aware editor/browser at the centre of the paper's
+/// architecture (Figure 2): the ONLY write path to the curated target
+/// database, guaranteeing that the target and its provenance record stay
+/// consistent ("it is essential that the target database and provenance
+/// record are writable only via high-level interfaces that track
+/// provenance", Section 1.3).
+///
+/// The editor maintains the authoritative *universe* tree whose top-level
+/// edges are the mounted databases ({S1: ..., S2: ..., T: ...}); updates
+/// may only touch the target subtree, copies may read any mounted source.
+/// Depending on the strategy, operations auto-commit (N, H) or accumulate
+/// until Commit() (T, HT); native target writes follow the same boundary,
+/// matching the paper's observation that transactional operations need
+/// "no interaction with the target database or provenance store".
+class Editor {
+ public:
+  /// Builds a session around a target database and a provenance backend.
+  static Result<std::unique_ptr<Editor>> Create(
+      wrap::TargetDb* target, provenance::ProvBackend* backend,
+      EditorOptions options = {});
+
+  /// Mounts a read-only source database; must precede the first update.
+  Status MountSource(wrap::SourceDb* source);
+
+  // ----- User actions ------------------------------------------------------
+
+  /// ins {label : value} into at (empty payload when value is nullopt).
+  Status Insert(const tree::Path& at, const std::string& label,
+                std::optional<tree::Value> value = std::nullopt);
+
+  /// del label from at.
+  Status Delete(const tree::Path& at, const std::string& label);
+
+  /// copy src into dst (src anywhere in the universe, dst under T).
+  Status CopyPaste(const tree::Path& src, const tree::Path& dst);
+
+  /// Applies any atomic update (validated like the specific verbs).
+  Status ApplyUpdate(const update::Update& u);
+
+  /// Applies a whole script; stops at the first failure and returns the
+  /// number of operations applied via `applied`.
+  Status ApplyScript(const update::Script& script, size_t* applied = nullptr);
+
+  /// Parses and applies a script in the paper's concrete syntax.
+  Status ApplyScriptText(const std::string& text);
+
+  /// Expands and applies a bulk copy; records one approximate glob record
+  /// if the approximate store is enabled. Returns the number of atomic
+  /// copies performed.
+  Result<size_t> BulkCopy(const update::BulkCopySpec& spec);
+
+  /// Ends the current transaction (meaningful for T/HT; harmless no-op
+  /// transaction boundary for N/H).
+  Status Commit();
+
+  /// Reverts all uncommitted operations (universe + provlist). Fails for
+  /// per-operation strategies, which have nothing pending.
+  Status Abort();
+
+  // ----- Introspection ------------------------------------------------------
+
+  const tree::Tree& universe() const { return universe_; }
+  /// The target database's subtree, or nullptr before Create finishes.
+  const tree::Tree* TargetView() const {
+    return universe_.Find(target_root_);
+  }
+  const tree::Path& target_root() const { return target_root_; }
+
+  provenance::ProvStore* store() { return store_.get(); }
+  query::QueryEngine* query() { return query_.get(); }
+  archive::VersionArchive* archive() { return archive_.get(); }
+  query::ApproxProvStore* approx() { return approx_.get(); }
+  wrap::TargetDb* target() { return target_; }
+
+  /// Number of operations applied in the current (uncommitted) txn.
+  size_t PendingOps() const { return txn_script_.size(); }
+
+  /// Totals across the session.
+  size_t TotalOps() const { return total_ops_; }
+
+ private:
+  Editor(wrap::TargetDb* target, EditorOptions options)
+      : options_(std::move(options)), target_(target) {}
+
+  bool PerOpStrategy() const {
+    return options_.strategy == provenance::Strategy::kNaive ||
+           options_.strategy == provenance::Strategy::kHierarchical;
+  }
+
+  /// Checks the target-only write restriction.
+  Status ValidateUpdate(const update::Update& u) const;
+
+  /// Pushes one update into the native target store (paths rebased).
+  /// `pasted` must be the subtree as of the op's application for copies.
+  Status PushNative(const update::Update& u, const tree::Tree* pasted);
+
+  Status RecordMetaIfEnabled(int64_t tid, const std::string& note);
+
+  EditorOptions options_;
+  wrap::TargetDb* target_;
+  tree::Path target_root_;
+  tree::Tree universe_;
+  std::map<std::string, wrap::SourceDb*> sources_;
+
+  std::unique_ptr<provenance::ProvStore> store_;
+  std::unique_ptr<query::QueryEngine> query_;
+  std::unique_ptr<archive::VersionArchive> archive_;
+  std::unique_ptr<query::ApproxProvStore> approx_;
+
+  update::UndoLog undo_;
+  update::Script txn_script_;
+  /// Op-time snapshots of pasted subtrees, parallel to txn_script_
+  /// (nullopt for non-copies). Needed because commit-time native replay
+  /// must paste what the op pasted, not the end-of-transaction state.
+  std::vector<std::optional<tree::Tree>> txn_pasted_;
+  size_t total_ops_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace cpdb

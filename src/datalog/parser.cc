@@ -1,0 +1,155 @@
+#include "datalog/parser.h"
+
+#include <cctype>
+
+namespace cpdb::datalog {
+
+namespace {
+
+class Cursor {
+ public:
+  explicit Cursor(const std::string& text) : s_(text) {}
+
+  void SkipSpace() {
+    for (;;) {
+      while (pos_ < s_.size() &&
+             std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ < s_.size() && s_[pos_] == '%') {
+        while (pos_ < s_.size() && s_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      break;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= s_.size();
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeStr(const std::string& kw) {
+    SkipSpace();
+    if (s_.compare(pos_, kw.size(), kw) == 0) {
+      pos_ += kw.size();
+      return true;
+    }
+    return false;
+  }
+
+  Status Err(const std::string& msg) const {
+    return Status::InvalidArgument("datalog parse error at offset " +
+                                   std::to_string(pos_) + ": " + msg);
+  }
+
+  Result<Term> ParseTerm() {
+    SkipSpace();
+    if (pos_ < s_.size() && s_[pos_] == '"') {
+      ++pos_;
+      std::string out;
+      while (pos_ < s_.size() && s_[pos_] != '"') {
+        if (s_[pos_] == '\\' && pos_ + 1 < s_.size()) ++pos_;
+        out.push_back(s_[pos_++]);
+      }
+      if (pos_ >= s_.size()) return Err("unterminated string constant");
+      ++pos_;
+      return Term::Const(out);
+    }
+    std::string word = Word();
+    if (word.empty()) return Err("expected term");
+    bool is_var = std::isupper(static_cast<unsigned char>(word[0])) ||
+                  word[0] == '_';
+    return is_var ? Term::Var(word) : Term::Const(word);
+  }
+
+  Result<Atom> ParseAtom() {
+    Atom atom;
+    SkipSpace();
+    if (Consume('!')) atom.negated = true;
+    atom.pred = Word();
+    if (atom.pred.empty()) return Err("expected predicate name");
+    if (!Consume('(')) return Err("expected '(' after predicate");
+    if (!Consume(')')) {
+      for (;;) {
+        auto t = ParseTerm();
+        if (!t.ok()) return t.status();
+        atom.args.push_back(std::move(t).value());
+        if (Consume(')')) break;
+        if (!Consume(',')) return Err("expected ',' or ')'");
+      }
+    }
+    return atom;
+  }
+
+  Result<Rule> ParseRuleBody() {
+    Rule rule;
+    auto head = ParseAtom();
+    if (!head.ok()) return head.status();
+    if (head->negated) return Err("negated head");
+    rule.head = std::move(head).value();
+    if (ConsumeStr(":-")) {
+      for (;;) {
+        auto atom = ParseAtom();
+        if (!atom.ok()) return atom.status();
+        rule.body.push_back(std::move(atom).value());
+        if (!Consume(',')) break;
+      }
+    }
+    if (!Consume('.')) return Err("expected '.' ending rule");
+    return rule;
+  }
+
+ private:
+  std::string Word() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '\'') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return s_.substr(start, pos_ - start);
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::vector<Rule>> ParseProgram(const std::string& text) {
+  Cursor cur(text);
+  std::vector<Rule> rules;
+  while (!cur.AtEnd()) {
+    auto rule = cur.ParseRuleBody();
+    if (!rule.ok()) return rule.status();
+    rules.push_back(std::move(rule).value());
+  }
+  return rules;
+}
+
+Result<Rule> ParseRule(const std::string& text) {
+  Cursor cur(text);
+  auto rule = cur.ParseRuleBody();
+  if (!rule.ok()) return rule.status();
+  if (!cur.AtEnd()) {
+    return Status::InvalidArgument("trailing text after rule");
+  }
+  return rule;
+}
+
+}  // namespace cpdb::datalog

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "util/result.h"
+
+namespace cpdb::datalog {
+
+/// Parses datalog program text:
+///
+///   Prov(T, Op, P, Q) :- HProv(T, Op, P, Q).
+///   Infer(T, P) :- Node(T, P), !HProvAny(T, P).
+///   Edge("a", "b").
+///
+/// Identifiers beginning with an uppercase letter are variables; quoted
+/// strings and other identifiers (including numbers) are constants.
+/// '!' marks negation. '%' starts a line comment.
+Result<std::vector<Rule>> ParseProgram(const std::string& text);
+
+/// Parses a single rule or fact (without trailing text).
+Result<Rule> ParseRule(const std::string& text);
+
+}  // namespace cpdb::datalog

@@ -1,0 +1,225 @@
+#include "provenance/backend.h"
+
+#include <cassert>
+
+namespace cpdb::provenance {
+
+const char* ProvBackend::kProvTable = "Prov";
+const char* ProvBackend::kMetaTable = "TxnMeta";
+
+using relstore::ColumnType;
+using relstore::Datum;
+using relstore::Row;
+using relstore::Schema;
+
+ProvBackend::ProvBackend(relstore::Database* db, bool use_indexes)
+    : db_(db), use_indexes_(use_indexes) {
+  Schema prov_schema({{"Tid", ColumnType::kInt64, false},
+                      {"Op", ColumnType::kString, false},
+                      {"Loc", ColumnType::kString, false},
+                      {"Src", ColumnType::kString, true}});
+  auto prov = db_->CreateTable(kProvTable, prov_schema);
+  assert(prov.ok());
+  prov_ = prov.value();
+  // {Tid, Loc} is the table key (paper Section 2.1); Loc and Tid are the
+  // "natural candidates for indexing" the paper names.
+  Status st =
+      prov_->CreateIndex("pk_tid_loc", {0, 2}, relstore::IndexKind::kBTree,
+                         /*unique=*/true);
+  assert(st.ok());
+  st = prov_->CreateIndex("idx_loc", {2}, relstore::IndexKind::kBTree);
+  assert(st.ok());
+  st = prov_->CreateIndex("idx_tid", {0}, relstore::IndexKind::kHash);
+  assert(st.ok());
+
+  Schema meta_schema({{"Tid", ColumnType::kInt64, false},
+                      {"User", ColumnType::kString, true},
+                      {"CommitSeq", ColumnType::kInt64, false},
+                      {"Note", ColumnType::kString, true}});
+  auto meta = db_->CreateTable(kMetaTable, meta_schema);
+  assert(meta.ok());
+  meta_ = meta.value();
+  st = meta_->CreateIndex("pk_tid", {0}, relstore::IndexKind::kBTree,
+                          /*unique=*/true);
+  assert(st.ok());
+  (void)st;
+}
+
+Row ProvBackend::ToRow(const ProvRecord& rec) {
+  return Row{Datum(rec.tid), Datum(std::string(1, ProvOpChar(rec.op))),
+             Datum(rec.loc.ToString()),
+             rec.op == ProvOp::kCopy ? Datum(rec.src.ToString()) : Datum()};
+}
+
+Result<ProvRecord> ProvBackend::FromRow(const Row& row) {
+  ProvRecord rec;
+  rec.tid = row[0].AsInt();
+  auto op = ProvOpFromChar(row[1].AsString().empty() ? '?'
+                                                     : row[1].AsString()[0]);
+  if (!op.has_value()) {
+    return Status::Internal("corrupt Op column: " + row[1].ToString());
+  }
+  rec.op = *op;
+  CPDB_ASSIGN_OR_RETURN(rec.loc, tree::Path::Parse(row[2].AsString()));
+  if (!row[3].is_null()) {
+    CPDB_ASSIGN_OR_RETURN(rec.src, tree::Path::Parse(row[3].AsString()));
+  }
+  return rec;
+}
+
+void ProvBackend::ChargeQuery(size_t rows_returned) {
+  // Indexed: pay for the round trip and the rows actually returned.
+  // Unindexed: the server scans the whole table per query.
+  size_t rows = use_indexes_ ? rows_returned : prov_->RowCount();
+  db_->cost().ChargeCall(rows);
+}
+
+Status ProvBackend::WriteRecords(const std::vector<ProvRecord>& records) {
+  size_t bytes = 0;
+  for (const ProvRecord& rec : records) {
+    CPDB_RETURN_IF_ERROR(prov_->Insert(ToRow(rec)).status());
+    bytes += rec.loc.ToString().size() + rec.src.ToString().size() + 16;
+  }
+  db_->cost().ChargeCall(records.size(), bytes);
+  return Status::OK();
+}
+
+Status ProvBackend::WriteTxnMeta(const TxnMeta& meta) {
+  CPDB_RETURN_IF_ERROR(
+      meta_
+          ->Insert(Row{Datum(meta.tid), Datum(meta.user),
+                       Datum(meta.commit_seq), Datum(meta.note)})
+          .status());
+  db_->cost().ChargeCall(1);
+  return Status::OK();
+}
+
+Result<std::vector<ProvRecord>> ProvBackend::GetExact(int64_t tid,
+                                                      const tree::Path& loc) {
+  std::vector<ProvRecord> out;
+  Status inner = Status::OK();
+  CPDB_RETURN_IF_ERROR(prov_->LookupEq(
+      "pk_tid_loc", Row{Datum(tid), Datum(loc.ToString())},
+      [&](const relstore::Rid&, const Row& row) {
+        auto rec = FromRow(row);
+        if (!rec.ok()) {
+          inner = rec.status();
+          return false;
+        }
+        out.push_back(std::move(rec).value());
+        return true;
+      }));
+  CPDB_RETURN_IF_ERROR(inner);
+  ChargeQuery(out.size());
+  return out;
+}
+
+Result<std::vector<ProvRecord>> ProvBackend::GetAtLoc(const tree::Path& loc) {
+  std::vector<ProvRecord> out;
+  Status inner = Status::OK();
+  CPDB_RETURN_IF_ERROR(prov_->LookupEq(
+      "idx_loc", Row{Datum(loc.ToString())},
+      [&](const relstore::Rid&, const Row& row) {
+        auto rec = FromRow(row);
+        if (!rec.ok()) {
+          inner = rec.status();
+          return false;
+        }
+        out.push_back(std::move(rec).value());
+        return true;
+      }));
+  CPDB_RETURN_IF_ERROR(inner);
+  ChargeQuery(out.size());
+  return out;
+}
+
+Result<std::vector<ProvRecord>> ProvBackend::GetUnder(const tree::Path& loc) {
+  std::vector<ProvRecord> out;
+  Status inner = Status::OK();
+  auto emit = [&](const relstore::Rid&, const Row& row) {
+    auto rec = FromRow(row);
+    if (!rec.ok()) {
+      inner = rec.status();
+      return false;
+    }
+    out.push_back(std::move(rec).value());
+    return true;
+  };
+  // The node itself plus everything strictly below it. Scanning the
+  // string prefix "loc/" is exact (labels cannot contain '/').
+  CPDB_RETURN_IF_ERROR(
+      prov_->LookupEq("idx_loc", Row{Datum(loc.ToString())}, emit));
+  CPDB_RETURN_IF_ERROR(inner);
+  CPDB_RETURN_IF_ERROR(
+      prov_->ScanPrefix("idx_loc", loc.ToString() + "/", emit));
+  CPDB_RETURN_IF_ERROR(inner);
+  ChargeQuery(out.size());
+  return out;
+}
+
+Result<std::vector<ProvRecord>> ProvBackend::GetAtLocOrAncestors(
+    const tree::Path& loc) {
+  std::vector<ProvRecord> out;
+  Status inner = Status::OK();
+  auto emit = [&](const relstore::Rid&, const Row& row) {
+    auto rec = FromRow(row);
+    if (!rec.ok()) {
+      inner = rec.status();
+      return false;
+    }
+    out.push_back(std::move(rec).value());
+    return true;
+  };
+  tree::Path a = loc;
+  for (;;) {
+    CPDB_RETURN_IF_ERROR(
+        prov_->LookupEq("idx_loc", Row{Datum(a.ToString())}, emit));
+    CPDB_RETURN_IF_ERROR(inner);
+    if (a.IsRoot()) break;
+    a = a.Parent();
+  }
+  ChargeQuery(out.size());
+  return out;
+}
+
+Result<std::vector<ProvRecord>> ProvBackend::GetForTid(int64_t tid) {
+  std::vector<ProvRecord> out;
+  Status inner = Status::OK();
+  CPDB_RETURN_IF_ERROR(prov_->LookupEq(
+      "idx_tid", Row{Datum(tid)}, [&](const relstore::Rid&, const Row& row) {
+        auto rec = FromRow(row);
+        if (!rec.ok()) {
+          inner = rec.status();
+          return false;
+        }
+        out.push_back(std::move(rec).value());
+        return true;
+      }));
+  CPDB_RETURN_IF_ERROR(inner);
+  ChargeQuery(out.size());
+  return out;
+}
+
+Result<std::vector<ProvRecord>> ProvBackend::GetAll() {
+  std::vector<ProvRecord> out;
+  Status inner = Status::OK();
+  CPDB_RETURN_IF_ERROR(prov_->ScanIndex(
+      "pk_tid_loc", [&](const relstore::Rid&, const Row& row) {
+        auto rec = FromRow(row);
+        if (!rec.ok()) {
+          inner = rec.status();
+          return false;
+        }
+        out.push_back(std::move(rec).value());
+        return true;
+      }));
+  CPDB_RETURN_IF_ERROR(inner);
+  ChargeQuery(out.size());
+  return out;
+}
+
+size_t ProvBackend::RowCount() const { return prov_->RowCount(); }
+
+size_t ProvBackend::PhysicalBytes() const { return prov_->PhysicalBytes(); }
+
+}  // namespace cpdb::provenance

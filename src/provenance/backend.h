@@ -1,0 +1,83 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "provenance/prov_record.h"
+#include "relstore/database.h"
+#include "util/result.h"
+
+namespace cpdb::provenance {
+
+/// Persistence layer for provenance stores: a Prov(Tid, Op, Loc, Src)
+/// table plus a TxnMeta table inside a relstore Database — the stand-in
+/// for the MySQL provenance store of the paper's CPDB.
+///
+/// Every public method models exactly one client round trip and charges
+/// the database's CostModel accordingly. When `use_indexes` is false,
+/// queries are charged as full table scans, reproducing the paper's
+/// query-time experiment setup ("No indexing was performed on the
+/// provenance relation, so these query times represent worst-case
+/// behavior", Section 4.1); results are identical either way.
+class ProvBackend {
+ public:
+  /// Creates the Prov and TxnMeta tables inside `db`. The Prov table has
+  /// a unique btree index on {Tid, Loc} (the paper's key), a btree on Loc
+  /// for descendant scans, and a hash index on Tid.
+  explicit ProvBackend(relstore::Database* db, bool use_indexes = true);
+
+  // ----- Writes (one round trip each) -------------------------------------
+
+  /// Appends records in one client call. Fails if any {Tid, Loc} repeats.
+  Status WriteRecords(const std::vector<ProvRecord>& records);
+
+  /// Records transaction metadata.
+  Status WriteTxnMeta(const TxnMeta& meta);
+
+  // ----- Queries (one round trip each) ------------------------------------
+
+  /// The record with exactly this (tid, loc), if any.
+  Result<std::vector<ProvRecord>> GetExact(int64_t tid,
+                                           const tree::Path& loc);
+
+  /// All records at this loc across transactions.
+  Result<std::vector<ProvRecord>> GetAtLoc(const tree::Path& loc);
+
+  /// All records whose Loc equals `loc` or lies strictly below it.
+  Result<std::vector<ProvRecord>> GetUnder(const tree::Path& loc);
+
+  /// All records whose Loc is `loc` or any of its ancestors (one client
+  /// call — the SQL "Loc IN (p, parent(p), ...)" statement the trace walk
+  /// issues per hop for hierarchical stores).
+  Result<std::vector<ProvRecord>> GetAtLocOrAncestors(const tree::Path& loc);
+
+  /// All records of one transaction.
+  Result<std::vector<ProvRecord>> GetForTid(int64_t tid);
+
+  /// Everything, ordered by (tid, loc). (Used by tests and expansion.)
+  Result<std::vector<ProvRecord>> GetAll();
+
+  // ----- Stats (no cost charged; out-of-band instrumentation) -------------
+
+  size_t RowCount() const;
+  size_t PhysicalBytes() const;
+
+  relstore::Database* db() { return db_; }
+  bool use_indexes() const { return use_indexes_; }
+  void set_use_indexes(bool v) { use_indexes_ = v; }
+
+  static const char* kProvTable;
+  static const char* kMetaTable;
+
+ private:
+  void ChargeQuery(size_t rows_returned);
+  static Result<ProvRecord> FromRow(const relstore::Row& row);
+  static relstore::Row ToRow(const ProvRecord& rec);
+
+  relstore::Database* db_;
+  relstore::Table* prov_;
+  relstore::Table* meta_;
+  bool use_indexes_;
+};
+
+}  // namespace cpdb::provenance

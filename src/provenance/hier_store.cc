@@ -1,0 +1,44 @@
+#include "provenance/hier_store.h"
+
+namespace cpdb::provenance {
+
+Status HierStore::TrackInsert(const update::ApplyEffect& effect) {
+  if (effect.inserted.empty()) {
+    return Status::InvalidArgument("insert effect with no inserted node");
+  }
+  const tree::Path& p = effect.inserted.front();
+  int64_t tid = BumpTid();
+  // Probe whether an ancestor record in this transaction would make the
+  // new record inferable. With per-operation transactions the probe never
+  // hits, but it is a real provenance-store round trip — the cause of the
+  // hierarchical method's higher insert cost in Figure 10.
+  if (!p.IsRoot()) {
+    CPDB_ASSIGN_OR_RETURN(auto existing, backend_->GetExact(tid, p.Parent()));
+    if (!existing.empty() && existing.front().op == ProvOp::kInsert) {
+      return Status::OK();  // inferable from the parent's insert
+    }
+  }
+  return backend_->WriteRecords({ProvRecord::Insert(tid, p)});
+}
+
+Status HierStore::TrackDelete(const update::ApplyEffect& effect) {
+  if (effect.deleted.empty()) {
+    return Status::InvalidArgument("delete effect with no deleted nodes");
+  }
+  // Only the subtree root is recorded; descendants (in the pre-state)
+  // are inferred as deleted.
+  int64_t tid = BumpTid();
+  return backend_->WriteRecords(
+      {ProvRecord::Delete(tid, effect.deleted.front())});
+}
+
+Status HierStore::TrackCopy(const update::ApplyEffect& effect) {
+  if (effect.copied.empty()) {
+    return Status::InvalidArgument("copy effect with no copied nodes");
+  }
+  int64_t tid = BumpTid();
+  const auto& [loc, src] = effect.copied.front();
+  return backend_->WriteRecords({ProvRecord::Copy(tid, loc, src)});
+}
+
+}  // namespace cpdb::provenance

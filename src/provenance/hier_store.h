@@ -1,0 +1,33 @@
+#pragma once
+
+#include "provenance/store.h"
+
+namespace cpdb::provenance {
+
+/// Hierarchical provenance (Section 2.1.3 / 3.2.3): stores at most one
+/// record per operation — the link for the *root* of the affected subtree.
+/// Children's provenance is inferred from the closest ancestor's record
+/// by the recursive view of Section 2.1.3, implemented on the fly by
+/// Lookup(). Each operation is its own transaction.
+///
+/// Faithful to the paper's observed costs, inserts perform an existence
+/// probe against the provenance store before writing ("we must first
+/// query the provenance database to determine whether to add the
+/// provenance record"), making hierarchical inserts slower than naive
+/// ones while copies are much cheaper (Figure 10).
+class HierStore : public ProvStore {
+ public:
+  using ProvStore::ProvStore;
+
+  Strategy strategy() const override { return Strategy::kHierarchical; }
+
+  Status TrackInsert(const update::ApplyEffect& effect) override;
+  Status TrackDelete(const update::ApplyEffect& effect) override;
+  Status TrackCopy(const update::ApplyEffect& effect) override;
+
+  Status Commit() override { return Status::OK(); }
+
+  bool IsHierarchical() const override { return true; }
+};
+
+}  // namespace cpdb::provenance

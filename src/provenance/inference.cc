@@ -1,0 +1,76 @@
+#include "provenance/inference.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace cpdb::provenance {
+
+namespace {
+
+/// Recursively derives records for descendants of `node` (located at
+/// `loc` in the relevant version), stopping wherever an explicit record
+/// exists (the Infer side condition).
+void ExpandDown(const ProvRecord& base, const tree::Tree* node,
+                const tree::Path& loc,
+                const std::set<tree::Path>& explicit_locs,
+                std::vector<ProvRecord>* out) {
+  if (node == nullptr) return;
+  for (const auto& [label, child] : node->children()) {
+    tree::Path child_loc = loc.Child(label);
+    if (explicit_locs.count(child_loc) > 0) continue;  // shadowed
+    ProvRecord derived = base;
+    derived.loc = child_loc;
+    if (base.op == ProvOp::kCopy) {
+      // Rebase is always relative to the explicit anchor record `base`.
+      derived.src = child_loc.Rebase(base.loc, base.src);
+    }
+    out->push_back(derived);
+    ExpandDown(base, child.get(), child_loc, explicit_locs, out);
+  }
+}
+
+}  // namespace
+
+Result<std::vector<ProvRecord>> ExpandTxn(
+    const std::vector<ProvRecord>& txn_records, const tree::Tree* post,
+    const tree::Tree* pre) {
+  std::set<tree::Path> explicit_locs;
+  for (const ProvRecord& r : txn_records) explicit_locs.insert(r.loc);
+
+  std::vector<ProvRecord> out;
+  for (const ProvRecord& r : txn_records) {
+    out.push_back(r);
+    const tree::Tree* version = r.op == ProvOp::kDelete ? pre : post;
+    if (version == nullptr) {
+      return Status::InvalidArgument(
+          "missing version tree for transaction " + std::to_string(r.tid));
+    }
+    const tree::Tree* node = version->Find(r.loc);
+    // A node can be legitimately absent in `post`: e.g. its subtree was
+    // later overwritten in the same expansion set only for multi-op
+    // transactions, which hierarchical per-op stores never produce. For
+    // robustness we simply skip expansion then.
+    ExpandDown(r, node, r.loc, explicit_locs, &out);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<std::vector<ProvRecord>> ExpandToFull(
+    const std::vector<ProvRecord>& hier, const VersionFn& versions) {
+  std::map<int64_t, std::vector<ProvRecord>> by_tid;
+  for (const ProvRecord& r : hier) by_tid[r.tid].push_back(r);
+
+  std::vector<ProvRecord> out;
+  for (const auto& [tid, records] : by_tid) {
+    CPDB_ASSIGN_OR_RETURN(
+        auto expanded,
+        ExpandTxn(records, versions(tid), versions(tid - 1)));
+    out.insert(out.end(), expanded.begin(), expanded.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace cpdb::provenance

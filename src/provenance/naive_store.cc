@@ -1,0 +1,35 @@
+#include "provenance/naive_store.h"
+
+namespace cpdb::provenance {
+
+Status NaiveStore::TrackInsert(const update::ApplyEffect& effect) {
+  int64_t tid = BumpTid();
+  std::vector<ProvRecord> records;
+  records.reserve(effect.inserted.size());
+  for (const tree::Path& p : effect.inserted) {
+    records.push_back(ProvRecord::Insert(tid, p));
+  }
+  return backend_->WriteRecords(records);
+}
+
+Status NaiveStore::TrackDelete(const update::ApplyEffect& effect) {
+  int64_t tid = BumpTid();
+  std::vector<ProvRecord> records;
+  records.reserve(effect.deleted.size());
+  for (const tree::Path& p : effect.deleted) {
+    records.push_back(ProvRecord::Delete(tid, p));
+  }
+  return backend_->WriteRecords(records);
+}
+
+Status NaiveStore::TrackCopy(const update::ApplyEffect& effect) {
+  int64_t tid = BumpTid();
+  std::vector<ProvRecord> records;
+  records.reserve(effect.copied.size());
+  for (const auto& [loc, src] : effect.copied) {
+    records.push_back(ProvRecord::Copy(tid, loc, src));
+  }
+  return backend_->WriteRecords(records);
+}
+
+}  // namespace cpdb::provenance

@@ -1,0 +1,26 @@
+#pragma once
+
+#include "provenance/store.h"
+
+namespace cpdb::provenance {
+
+/// Naive provenance (Section 2.1.1 / 3.2.1): one provenance record for
+/// every node inserted, deleted, or copied, and each update operation is
+/// its own transaction. Retains the maximum possible information — the
+/// exact update script can be recovered from the store — at the highest
+/// storage cost (proportional to the data touched).
+class NaiveStore : public ProvStore {
+ public:
+  using ProvStore::ProvStore;
+
+  Strategy strategy() const override { return Strategy::kNaive; }
+
+  Status TrackInsert(const update::ApplyEffect& effect) override;
+  Status TrackDelete(const update::ApplyEffect& effect) override;
+  Status TrackCopy(const update::ApplyEffect& effect) override;
+
+  /// Per-operation transactions: nothing is pending, so Commit is a no-op.
+  Status Commit() override { return Status::OK(); }
+};
+
+}  // namespace cpdb::provenance

@@ -1,0 +1,46 @@
+#include "provenance/prov_record.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cpdb::provenance {
+
+char ProvOpChar(ProvOp op) { return static_cast<char>(op); }
+
+std::optional<ProvOp> ProvOpFromChar(char c) {
+  switch (c) {
+    case 'I':
+      return ProvOp::kInsert;
+    case 'C':
+      return ProvOp::kCopy;
+    case 'D':
+      return ProvOp::kDelete;
+    default:
+      return std::nullopt;
+  }
+}
+
+std::string ProvRecord::ToString() const {
+  std::ostringstream os;
+  os << tid << " " << ProvOpChar(op) << " " << loc.ToString() << " ";
+  if (op == ProvOp::kCopy) {
+    os << src.ToString();
+  } else {
+    os << "⊥";
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const ProvRecord& r) {
+  return os << r.ToString();
+}
+
+std::string RecordsToTable(std::vector<ProvRecord> records) {
+  std::sort(records.begin(), records.end());
+  std::ostringstream os;
+  os << "Tid Op Loc Src\n";
+  for (const auto& r : records) os << r.ToString() << "\n";
+  return os.str();
+}
+
+}  // namespace cpdb::provenance

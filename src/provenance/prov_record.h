@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "tree/path.h"
+
+namespace cpdb::provenance {
+
+/// The Op field of the provenance table: I (insert), C (copy), D (delete).
+enum class ProvOp : char {
+  kInsert = 'I',
+  kCopy = 'C',
+  kDelete = 'D',
+};
+
+char ProvOpChar(ProvOp op);
+std::optional<ProvOp> ProvOpFromChar(char c);
+
+/// One row of the paper's provenance table Prov(Tid, Op, Loc, Src)
+/// (Section 2.1). {Tid, Loc} is a key: per transaction each location was
+/// inserted, deleted, or copied from somewhere at most once. Src is only
+/// meaningful for copies; for I and D it is the paper's bottom, rendered
+/// as an empty path here and as "⊥" in ToString().
+struct ProvRecord {
+  int64_t tid = 0;
+  ProvOp op = ProvOp::kInsert;
+  tree::Path loc;
+  tree::Path src;
+
+  static ProvRecord Insert(int64_t tid, tree::Path loc) {
+    return {tid, ProvOp::kInsert, std::move(loc), tree::Path()};
+  }
+  static ProvRecord Delete(int64_t tid, tree::Path loc) {
+    return {tid, ProvOp::kDelete, std::move(loc), tree::Path()};
+  }
+  static ProvRecord Copy(int64_t tid, tree::Path loc, tree::Path src) {
+    return {tid, ProvOp::kCopy, std::move(loc), std::move(src)};
+  }
+
+  /// "121 C T/c2 S1/a2" / "121 D T/c5 ⊥" — matching Figure 5's layout.
+  std::string ToString() const;
+
+  bool operator==(const ProvRecord& o) const {
+    return tid == o.tid && op == o.op && loc == o.loc && src == o.src;
+  }
+  /// Ordered by (tid, loc) — the table key.
+  bool operator<(const ProvRecord& o) const {
+    if (tid != o.tid) return tid < o.tid;
+    return loc < o.loc;
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const ProvRecord& r);
+
+/// Renders records as the paper's Figure 5 tables (sorted by Tid, Loc).
+std::string RecordsToTable(std::vector<ProvRecord> records);
+
+/// Per-transaction bookkeeping stored alongside the provenance table
+/// ("additional information about each transaction, such as commit time
+/// and user identity, can be stored in a separate table with key Tid").
+struct TxnMeta {
+  int64_t tid = 0;
+  std::string user;
+  int64_t commit_seq = 0;  ///< logical commit timestamp
+  std::string note;
+};
+
+}  // namespace cpdb::provenance

@@ -1,0 +1,106 @@
+#include "provenance/store.h"
+
+#include "provenance/hier_store.h"
+#include "provenance/naive_store.h"
+#include "provenance/txn_store.h"
+
+namespace cpdb::provenance {
+
+const char* StrategyName(Strategy s) {
+  switch (s) {
+    case Strategy::kNaive:
+      return "naive";
+    case Strategy::kTransactional:
+      return "transactional";
+    case Strategy::kHierarchical:
+      return "hierarchical";
+    case Strategy::kHierarchicalTransactional:
+      return "hierarchical-transactional";
+  }
+  return "?";
+}
+
+const char* StrategyShortName(Strategy s) {
+  switch (s) {
+    case Strategy::kNaive:
+      return "N";
+    case Strategy::kTransactional:
+      return "T";
+    case Strategy::kHierarchical:
+      return "H";
+    case Strategy::kHierarchicalTransactional:
+      return "HT";
+  }
+  return "?";
+}
+
+Result<std::optional<ProvRecord>> ProvStore::Lookup(int64_t tid,
+                                                    const tree::Path& loc) {
+  CPDB_ASSIGN_OR_RETURN(auto exact, backend_->GetExact(tid, loc));
+  if (!exact.empty()) return std::optional<ProvRecord>(exact.front());
+  if (!IsHierarchical()) return std::optional<ProvRecord>();
+
+  // Closest-ancestor inference (Section 2.1.3): walk up until the first
+  // explicit record in this transaction; nodes in between have none, so
+  // the Infer side-condition holds by construction. Each probe is a
+  // provenance-store round trip, as in the paper's on-the-fly expansion.
+  tree::Path a = loc;
+  while (!a.IsRoot()) {
+    a = a.Parent();
+    CPDB_ASSIGN_OR_RETURN(auto recs, backend_->GetExact(tid, a));
+    if (recs.empty()) continue;
+    const ProvRecord& r = recs.front();
+    switch (r.op) {
+      case ProvOp::kCopy:
+        // If p came from q, then p/x came from q/x.
+        return std::optional<ProvRecord>(
+            ProvRecord::Copy(tid, loc, loc.Rebase(a, r.src)));
+      case ProvOp::kInsert:
+        // Children of inserted nodes are assumed inserted.
+        return std::optional<ProvRecord>(ProvRecord::Insert(tid, loc));
+      case ProvOp::kDelete:
+        // Children of deleted nodes (in the input version) are deleted.
+        return std::optional<ProvRecord>(ProvRecord::Delete(tid, loc));
+    }
+  }
+  return std::optional<ProvRecord>();
+}
+
+Result<std::vector<ProvRecord>> ProvStore::RecordsAtAncestors(
+    const tree::Path& loc) {
+  std::vector<ProvRecord> out;
+  // Ancestors down to depth 2: updates target locations strictly inside a
+  // database, so neither the universe root nor a database root (depth 1)
+  // can ever be a record's Loc — probing them would be wasted round trips.
+  tree::Path a = loc;
+  while (a.Depth() > 2) {
+    a = a.Parent();
+    CPDB_ASSIGN_OR_RETURN(auto recs, backend_->GetAtLoc(a));
+    out.insert(out.end(), recs.begin(), recs.end());
+  }
+  return out;
+}
+
+std::unique_ptr<ProvStore> MakeStore(Strategy strategy, ProvBackend* backend,
+                                     int64_t first_tid) {
+  switch (strategy) {
+    case Strategy::kNaive:
+      return std::make_unique<NaiveStore>(backend, first_tid);
+    case Strategy::kHierarchical:
+      return std::make_unique<HierStore>(backend, first_tid);
+    case Strategy::kTransactional: {
+      TxnStoreOptions opts;
+      opts.hierarchical = false;
+      return std::make_unique<TxnStore>(backend, opts, first_tid);
+    }
+    case Strategy::kHierarchicalTransactional: {
+      TxnStoreOptions opts;
+      opts.hierarchical = true;
+      opts.local_op_us = 10.0;
+      return std::make_unique<TxnStore>(backend, opts, first_tid);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace cpdb::provenance

@@ -1,0 +1,133 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "provenance/backend.h"
+#include "provenance/prov_record.h"
+#include "update/semantics.h"
+#include "util/status.h"
+
+namespace cpdb::provenance {
+
+/// The four provenance storage strategies evaluated by the paper
+/// (Sections 2.1.1-2.1.4 / 3.2.1-3.2.4).
+enum class Strategy {
+  kNaive,                      ///< N: one record per touched node, per-op txns
+  kTransactional,              ///< T: net effect of user-delimited txns
+  kHierarchical,               ///< H: only non-inferable records, per-op txns
+  kHierarchicalTransactional,  ///< HT: both
+};
+
+const char* StrategyName(Strategy s);       // "naive", ...
+const char* StrategyShortName(Strategy s);  // "N", "H", "T", "HT"
+
+/// Abstract provenance store: tracking calls invoked by the
+/// provenance-aware editor, transaction control, and the read interface
+/// used by provenance queries.
+///
+/// Tracking contract: the editor applies an update to the target database,
+/// obtains its ApplyEffect, and calls exactly one Track* method. For the
+/// per-operation strategies (N, H) each operation is its own transaction;
+/// Commit() is a no-op for them. For the transactional strategies (T, HT)
+/// records accumulate in an in-memory provlist until Commit().
+///
+/// Transaction numbering: sequential tids double as version numbers of the
+/// target database, so Trace's "t-1" step (Section 2.2) is tid arithmetic.
+class ProvStore {
+ public:
+  explicit ProvStore(ProvBackend* backend, int64_t first_tid = 1)
+      : backend_(backend), next_tid_(first_tid), last_tid_(first_tid - 1) {}
+  virtual ~ProvStore() = default;
+
+  virtual Strategy strategy() const = 0;
+
+  // ----- Tracking (editor-facing) -----------------------------------------
+
+  /// Called after a successful insert; `effect.inserted` has the new path.
+  virtual Status TrackInsert(const update::ApplyEffect& effect) = 0;
+
+  /// Called after a successful delete; `effect.deleted` lists the removed
+  /// subtree's nodes in preorder (root first).
+  virtual Status TrackDelete(const update::ApplyEffect& effect) = 0;
+
+  /// Called after a successful copy-paste; `effect.copied` lists
+  /// (target, source) pairs in preorder (root first) and
+  /// `effect.overwritten` the displaced nodes.
+  virtual Status TrackCopy(const update::ApplyEffect& effect) = 0;
+
+  /// Ends the current transaction. For N/H this is implicit per op and
+  /// calling it explicitly is a harmless no-op.
+  virtual Status Commit() = 0;
+
+  /// True if uncommitted provlist entries exist (T/HT only).
+  virtual bool HasPending() const { return false; }
+
+  /// Discards uncommitted provlist entries (editor abort).
+  virtual void AbortPending() {}
+
+  // ----- Read interface (query-facing) -------------------------------------
+
+  /// Effective provenance of `loc` in transaction `tid`, applying the
+  /// hierarchical inference rules where the strategy requires it
+  /// (closest-ancestor rule, Section 2.1.3). std::nullopt = unchanged.
+  virtual Result<std::optional<ProvRecord>> Lookup(int64_t tid,
+                                                   const tree::Path& loc);
+
+  /// Explicit records stored at or under `loc`, all transactions.
+  Result<std::vector<ProvRecord>> RecordsUnder(const tree::Path& loc) {
+    return backend_->GetUnder(loc);
+  }
+
+  /// Explicit records stored at proper ancestors of `loc` (one backend
+  /// query per ancestor level — this is what makes getMod slower for the
+  /// hierarchical strategies, Section 4.2).
+  Result<std::vector<ProvRecord>> RecordsAtAncestors(const tree::Path& loc);
+
+  /// Explicit records of one transaction.
+  Result<std::vector<ProvRecord>> RecordsForTid(int64_t tid) {
+    return backend_->GetForTid(tid);
+  }
+
+  /// All explicit records.
+  Result<std::vector<ProvRecord>> AllRecords() { return backend_->GetAll(); }
+
+  /// Whether Lookup must apply hierarchical inference.
+  virtual bool IsHierarchical() const { return false; }
+
+  // ----- Stats / transaction counters --------------------------------------
+
+  /// Tid of the last committed transaction (tnow for queries).
+  int64_t LastCommittedTid() const { return last_tid_; }
+
+  /// Tid that the next (or current open) transaction will commit as.
+  int64_t CurrentTid() const { return next_tid_; }
+
+  /// First tid ever used by this store.
+  int64_t FirstTid() const { return first_tid_committed_; }
+
+  size_t RecordCount() const { return backend_->RowCount(); }
+  size_t PhysicalBytes() const { return backend_->PhysicalBytes(); }
+  ProvBackend* backend() { return backend_; }
+
+ protected:
+  /// Allocates/advances the transaction counter.
+  int64_t BumpTid() {
+    last_tid_ = next_tid_;
+    if (first_tid_committed_ == 0) first_tid_committed_ = next_tid_;
+    return next_tid_++;
+  }
+
+  ProvBackend* backend_;
+  int64_t next_tid_;
+  int64_t last_tid_;
+  int64_t first_tid_committed_ = 0;
+};
+
+/// Factory covering all four strategies.
+std::unique_ptr<ProvStore> MakeStore(Strategy strategy, ProvBackend* backend,
+                                     int64_t first_tid = 1);
+
+}  // namespace cpdb::provenance

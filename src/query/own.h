@@ -1,0 +1,55 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/trace.h"
+
+namespace cpdb::query {
+
+/// One link of an ownership chain: the data lived in `database` at `path`
+/// and was originally inserted there by `origin_tid` (if known) or copied
+/// onward from `from` (if the chain continues).
+struct OwnLink {
+  std::string database;
+  tree::Path path;
+  std::optional<int64_t> origin_tid;
+  std::vector<int64_t> copy_tids;  ///< copy transactions within this db
+};
+
+/// Cross-database ownership queries (the paper's Own, Section 2.2:
+/// "What is the history of 'ownership' of a piece of data? ... only makes
+/// sense if several databases track provenance").
+///
+/// Each participating database registers its QueryEngine under its
+/// universe label (the first segment of its paths). OwnChain follows a
+/// location's provenance within one database and, when the trace exits to
+/// an external source whose root is registered, continues inside that
+/// database — yielding the sequence of databases that contained previous
+/// copies of the node.
+class OwnRegistry {
+ public:
+  /// Registers `engine` as the provenance tracker of the database rooted
+  /// at `root_label` (e.g. "T", "S1").
+  void Register(const std::string& root_label, QueryEngine* engine);
+
+  bool Has(const std::string& root_label) const;
+
+  /// The ownership chain of the data at `p` (whose first segment selects
+  /// the starting database), newest holder first. The chain ends when a
+  /// database reports a local insert, or when it exits to an unregistered
+  /// (untracked) source — in which case the final link carries neither an
+  /// origin nor further hops and `truncated` below tells the caller why.
+  Result<std::vector<OwnLink>> OwnChain(const tree::Path& p);
+
+  /// True if the last computed chain stopped at an untracked database.
+  bool last_chain_truncated() const { return last_truncated_; }
+
+ private:
+  std::map<std::string, QueryEngine*> engines_;
+  bool last_truncated_ = false;
+};
+
+}  // namespace cpdb::query

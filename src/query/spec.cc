@@ -1,0 +1,108 @@
+#include "query/spec.h"
+
+#include "datalog/parser.h"
+
+namespace cpdb::query {
+
+using provenance::ProvOp;
+using provenance::ProvRecord;
+
+const char* SpecRules() {
+  return R"(
+% ----- Full provenance as a view of hierarchical provenance (S2.1.3) ----
+HProvAny(T, P) :- HProv(T, Op, P, Q).
+% The derived child must lack explicit provenance (closest ancestor wins).
+Infer(T, P) :- NodeV(T, P), !HProvAny(T, P).
+Infer(T, P) :- PrevTxn(T, S), NodeV(S, P), !HProvAny(T, P).
+
+Prov(T, Op, P, Q) :- HProv(T, Op, P, Q).
+Prov(T, "C", PA, QA) :- Prov(T, "C", P, Q), ChildEdgeV(T, P, A, PA),
+                        PrevTxn(T, S), ChildEdgeV(S, Q, A, QA),
+                        Infer(T, PA).
+Prov(T, "I", PA, "⊥") :- Prov(T, "I", P, "⊥"), ChildEdgeV(T, P, A, PA),
+                         Infer(T, PA).
+Prov(T, "D", PA, "⊥") :- Prov(T, "D", P, "⊥"), PrevTxn(T, S),
+                         ChildEdgeV(S, P, A, PA), Infer(T, PA).
+
+% ----- Convenience views (S2.2) -----------------------------------------
+ProvAny(T, P) :- Prov(T, Op, P, Q).
+Unch(T, P) :- NodeV(T, P), !ProvAny(T, P).
+Ins(T, P) :- Prov(T, "I", P, Q).
+Del(T, P) :- Prov(T, "D", P, Q).
+Copy(T, P, Q) :- Prov(T, "C", P, Q).
+
+From(T, P, Q) :- Copy(T, P, Q).
+From(T, P, P) :- Unch(T, P).
+
+% ----- Trace: reflexive-transitive closure of From ----------------------
+Trace(P, T, P, T) :- NodeV(T, P).
+Trace(P, T, Q, S) :- From(T, P, Q), PrevTxn(T, S).
+Trace(P, T, Q, U) :- Trace(P, T, R, S), Trace(R, S, Q, U).
+
+% ----- User queries ------------------------------------------------------
+SrcQ(P, U) :- Now(T), Trace(P, T, Q, U), Ins(U, Q).
+HistQ(P, U) :- Now(T), Trace(P, T, Q, U), Copy(U, Q, R).
+ModQ(P, U) :- Now(T), PrefixNow(P, QQ), Trace(QQ, T, R, U), ProvAny(U, R).
+)";
+}
+
+Result<datalog::Evaluator> BuildSpec(const std::vector<ProvRecord>& records,
+                                     int64_t first_tid, int64_t last_tid,
+                                     const provenance::VersionFn& versions) {
+  datalog::Evaluator eval;
+
+  // Provenance record facts.
+  for (const ProvRecord& r : records) {
+    eval.AddFact("HProv",
+                 {std::to_string(r.tid), std::string(1, ProvOpChar(r.op)),
+                  r.loc.ToString(),
+                  r.op == ProvOp::kCopy ? r.src.ToString() : "⊥"});
+  }
+
+  // Version facts. Version first_tid-1 is the initial state.
+  std::vector<tree::Path> now_paths;
+  for (int64_t t = first_tid - 1; t <= last_tid; ++t) {
+    const tree::Tree* v = versions(t);
+    if (v == nullptr) {
+      return Status::InvalidArgument("missing version " + std::to_string(t));
+    }
+    std::string ts = std::to_string(t);
+    v->Visit([&](const tree::Path& p, const tree::Tree& node) {
+      if (!p.IsRoot()) {
+        eval.AddFact("NodeV", {ts, p.ToString()});
+      }
+      for (const auto& [label, child] : node.children()) {
+        (void)child;
+        eval.AddFact("ChildEdgeV",
+                     {ts, p.ToString(), label, p.Child(label).ToString()});
+      }
+    });
+    if (t > first_tid - 1) {
+      eval.AddFact("PrevTxn", {ts, std::to_string(t - 1)});
+    }
+    if (t == last_tid) {
+      v->Visit([&](const tree::Path& p, const tree::Tree&) {
+        if (!p.IsRoot()) now_paths.push_back(p);
+      });
+    }
+  }
+  eval.AddFact("Now", {std::to_string(last_tid)});
+
+  // PrefixNow(p, q): p is a (non-strict) prefix of q, over paths present
+  // in the final version (the domain ModQ ranges over).
+  for (const tree::Path& p : now_paths) {
+    for (const tree::Path& q : now_paths) {
+      if (p.IsPrefixOf(q)) {
+        eval.AddFact("PrefixNow", {p.ToString(), q.ToString()});
+      }
+    }
+  }
+
+  CPDB_ASSIGN_OR_RETURN(auto rules, datalog::ParseProgram(SpecRules()));
+  for (auto& rule : rules) {
+    CPDB_RETURN_IF_ERROR(eval.AddRule(std::move(rule)));
+  }
+  return eval;
+}
+
+}  // namespace cpdb::query

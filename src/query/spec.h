@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "datalog/evaluator.h"
+#include "provenance/inference.h"
+#include "provenance/prov_record.h"
+#include "tree/path.h"
+#include "util/result.h"
+
+namespace cpdb::query {
+
+/// Builds a datalog Evaluator loaded with the paper's provenance views —
+/// the *specification* against which the optimized implementations in
+/// this module are cross-checked.
+///
+/// Base facts installed from the inputs:
+///   HProv(t, op, p, src)       one per stored provenance record
+///   NodeV(t, p)                p exists in the universe after txn t
+///   ChildEdgeV(t, p, a, p/a)   edge a under p in version t
+///   PrevTxn(t, t-1), Now(tnow)
+///
+/// Rules installed (Sections 2.1.3 and 2.2, with the Infer side condition
+/// applied to the derived child — see provenance/inference.h):
+///   Prov      the full provenance view over HProv
+///   Unch/Ins/Del/Copy/From     the convenience views
+///   Trace     reflexive-transitive closure of From
+///   SrcQ/HistQ/ModQ            the user queries
+///
+/// Bottom is the constant "⊥"; tids are decimal string constants. Sizes
+/// are exponential in nothing but the data, yet Trace is quadratic in
+/// (nodes x versions) — intended for specification-sized inputs (tests).
+Result<datalog::Evaluator> BuildSpec(
+    const std::vector<provenance::ProvRecord>& records, int64_t first_tid,
+    int64_t last_tid, const provenance::VersionFn& versions);
+
+/// The rule text used by BuildSpec (exposed for documentation and tests).
+const char* SpecRules();
+
+}  // namespace cpdb::query

@@ -1,0 +1,145 @@
+#include "query/trace.h"
+
+#include <algorithm>
+#include <set>
+
+namespace cpdb::query {
+
+using provenance::ProvOp;
+using provenance::ProvRecord;
+
+Result<std::optional<ProvRecord>> QueryEngine::NewestApplicable(
+    const tree::Path& loc, int64_t t_max) {
+  std::vector<ProvRecord> candidates;
+  if (store_->IsHierarchical()) {
+    // One combined statement: records at loc or any ancestor. An ancestor
+    // record governs loc only through the closest-ancestor inference, so
+    // at equal tids the deepest location wins.
+    CPDB_ASSIGN_OR_RETURN(candidates,
+                          store_->backend()->GetAtLocOrAncestors(loc));
+  } else {
+    CPDB_ASSIGN_OR_RETURN(candidates, store_->backend()->GetAtLoc(loc));
+  }
+  const ProvRecord* best = nullptr;
+  for (const ProvRecord& r : candidates) {
+    if (r.tid > t_max) continue;
+    if (!r.loc.IsPrefixOf(loc)) continue;  // ancestors only (incl. self)
+    if (best == nullptr || r.tid > best->tid ||
+        (r.tid == best->tid && best->loc.Depth() < r.loc.Depth())) {
+      best = &r;
+    }
+  }
+  if (best == nullptr) return std::optional<ProvRecord>();
+  if (best->loc == loc) return std::optional<ProvRecord>(*best);
+  // Closest-ancestor inference, rebased onto loc.
+  switch (best->op) {
+    case ProvOp::kCopy:
+      return std::optional<ProvRecord>(ProvRecord::Copy(
+          best->tid, loc, loc.Rebase(best->loc, best->src)));
+    case ProvOp::kInsert:
+      return std::optional<ProvRecord>(ProvRecord::Insert(best->tid, loc));
+    case ProvOp::kDelete:
+      return std::optional<ProvRecord>(ProvRecord::Delete(best->tid, loc));
+  }
+  return Status::Internal("unknown provenance op");
+}
+
+Result<TraceResult> QueryEngine::TraceBack(const tree::Path& p) {
+  TraceResult out;
+  tree::Path cur = p;
+  int64_t t = store_->LastCommittedTid();
+  while (t >= store_->FirstTid()) {
+    CPDB_ASSIGN_OR_RETURN(auto rec, NewestApplicable(cur, t));
+    if (!rec.has_value()) break;  // unchanged all the way back
+    switch (rec->op) {
+      case ProvOp::kCopy: {
+        out.steps.push_back({rec->tid, ProvOp::kCopy, cur, rec->src});
+        if (!target_root_.IsPrefixOf(rec->src)) {
+          // The chain leaves the tracked database.
+          out.external_src = rec->src;
+          out.external_tid = rec->tid;
+          return out;
+        }
+        cur = rec->src;
+        t = rec->tid - 1;
+        break;
+      }
+      case ProvOp::kInsert: {
+        out.steps.push_back({rec->tid, ProvOp::kInsert, cur, tree::Path()});
+        out.origin_tid = rec->tid;
+        return out;
+      }
+      case ProvOp::kDelete: {
+        // A D record governing the traced location means it was recreated
+        // later without provenance — possible only if tracking was
+        // bypassed. Stop; the data's origin is unknown.
+        out.steps.push_back({rec->tid, ProvOp::kDelete, cur, tree::Path()});
+        return out;
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::optional<int64_t>> QueryEngine::GetSrc(const tree::Path& p) {
+  CPDB_ASSIGN_OR_RETURN(TraceResult trace, TraceBack(p));
+  return trace.origin_tid;
+}
+
+Result<std::vector<int64_t>> QueryEngine::GetHist(const tree::Path& p) {
+  CPDB_ASSIGN_OR_RETURN(TraceResult trace, TraceBack(p));
+  std::vector<int64_t> out;
+  for (const TraceStep& s : trace.steps) {
+    if (s.op == ProvOp::kCopy) out.push_back(s.tid);
+  }
+  return out;
+}
+
+Result<std::vector<int64_t>> QueryEngine::GetMod(
+    const tree::Path& p, const provenance::VersionFn& versions) {
+  std::set<int64_t> tids;
+
+  // Records at or under p: every strategy stores the subtree root of each
+  // touched region explicitly, and the naive strategies store every
+  // touched node, so one descendant scan covers all "modifications whose
+  // root lies in p's subtree".
+  CPDB_ASSIGN_OR_RETURN(auto under, store_->RecordsUnder(p));
+  std::set<tree::Path> locs;
+  for (const ProvRecord& r : under) {
+    tids.insert(r.tid);
+    locs.insert(r.loc);
+  }
+
+  // Per-descendant processing (Section 4.2: getMod "must process all the
+  // descendants of a node"): the engine fetches each descendant
+  // location's record history to assemble per-location modification
+  // lists. Hierarchical stores must also cover current descendants that
+  // carry no records of their own; their modification evidence lives at
+  // ancestors and is collected below, so only the subtree roots present
+  // in the store are re-queried here.
+  for (const tree::Path& loc : locs) {
+    CPDB_ASSIGN_OR_RETURN(auto at, store_->backend()->GetAtLoc(loc));
+    for (const ProvRecord& r : at) tids.insert(r.tid);
+  }
+
+  if (store_->IsHierarchical()) {
+    // Modifications recorded at an ancestor a of p (subtree copy, insert,
+    // or delete at a) touch p's subtree without leaving records under p.
+    // One point query per ancestor level.
+    CPDB_ASSIGN_OR_RETURN(auto above, store_->RecordsAtAncestors(p));
+    for (const ProvRecord& r : above) {
+      if (versions != nullptr) {
+        // Exact check: did the operation's subtree reach p? For I/C the
+        // affected subtree is the post-state at r.loc; for D the
+        // pre-state. p was touched iff it existed in that version.
+        const tree::Tree* v =
+            versions(r.op == ProvOp::kDelete ? r.tid - 1 : r.tid);
+        if (v == nullptr || v->Find(p) == nullptr) continue;
+      }
+      tids.insert(r.tid);
+    }
+  }
+  return std::vector<int64_t>(tids.begin(), tids.end());
+}
+
+}  // namespace cpdb::query

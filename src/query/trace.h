@@ -1,0 +1,100 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "provenance/inference.h"
+#include "provenance/store.h"
+#include "tree/path.h"
+#include "util/result.h"
+
+namespace cpdb::query {
+
+/// One step in a provenance trace: during transaction `tid`, the data now
+/// under scrutiny sat at `loc` and came from `src` (for copies) or was
+/// created/deleted there (for I/D).
+struct TraceStep {
+  int64_t tid = 0;
+  provenance::ProvOp op = provenance::ProvOp::kInsert;
+  tree::Path loc;
+  tree::Path src;
+};
+
+/// Result of tracing a location backwards through all transactions — the
+/// reflexive-transitive closure Trace of the paper's From relation
+/// (Section 2.2), computed by walking tids from tnow down to the first.
+struct TraceResult {
+  /// Copy hops and the final insert (if reached), newest first.
+  std::vector<TraceStep> steps;
+  /// Transaction that inserted the data, if its origin is inside the
+  /// tracked database.
+  std::optional<int64_t> origin_tid;
+  /// Where the chain left the tracked database (data copied from an
+  /// external source such as S1), if it did.
+  std::optional<tree::Path> external_src;
+  /// Transaction in which the external copy happened.
+  int64_t external_tid = 0;
+};
+
+/// Executes the paper's provenance queries against one store.
+///
+/// `target_root` is the top-level label of the curated (target) database
+/// within the universe, e.g. "T": provenance chains are followed while
+/// they stay under it and reported as external when they leave.
+class QueryEngine {
+ public:
+  /// `universe` (optional) lets GetMod enumerate current descendants for
+  /// hierarchical stores ("each query must process all the descendants of
+  /// a node, including ones not listed in the provenance store").
+  QueryEngine(provenance::ProvStore* store, tree::Path target_root,
+              const tree::Tree* universe = nullptr)
+      : store_(store),
+        target_root_(std::move(target_root)),
+        universe_(universe) {}
+
+  /// Full backwards walk from the data currently at `p`.
+  ///
+  /// Implementation follows the paper's stored procedures (Section 3.3):
+  /// per chain location one store query fetches that location's records
+  /// across all transactions (for hierarchical stores, one combined query
+  /// covering the location and its ancestors), and the walk follows the
+  /// newest applicable record backwards. Cost is proportional to the
+  /// number of copy hops, not the number of transactions.
+  Result<TraceResult> TraceBack(const tree::Path& p);
+
+  /// Src(p): the transaction that first created (inserted) the data at p,
+  /// if it originated inside this database (Section 2.2: "the Src query
+  /// cannot tell us anything about data that was copied from elsewhere").
+  Result<std::optional<int64_t>> GetSrc(const tree::Path& p);
+
+  /// Hist(p): all transactions that copied the data now at p, newest
+  /// first.
+  Result<std::vector<int64_t>> GetHist(const tree::Path& p);
+
+  /// Mod(p): all transactions that created or modified data in the
+  /// subtree under p (including p). For hierarchical stores this needs
+  /// one extra store query per ancestor level — the cause of the ~20%
+  /// getMod slowdown in Figure 13. When `versions` is provided, ancestor
+  /// records are checked against the version trees for exact answers;
+  /// without it the result may over-approximate (may-semantics), which is
+  /// also what a store-only implementation can honestly deliver.
+  Result<std::vector<int64_t>> GetMod(
+      const tree::Path& p,
+      const provenance::VersionFn& versions = nullptr);
+
+  provenance::ProvStore* store() { return store_; }
+  const tree::Path& target_root() const { return target_root_; }
+
+ private:
+  /// Effective record governing `loc` at the largest tid <= `t_max`:
+  /// the newest explicit record at loc, or (hierarchical stores) the
+  /// newest closest-ancestor record, rebased onto loc.
+  Result<std::optional<provenance::ProvRecord>> NewestApplicable(
+      const tree::Path& loc, int64_t t_max);
+
+  provenance::ProvStore* store_;
+  tree::Path target_root_;
+  const tree::Tree* universe_;
+};
+
+}  // namespace cpdb::query

@@ -1,0 +1,241 @@
+#include "relstore/btree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+namespace cpdb::relstore {
+
+namespace {
+constexpr size_t kMaxEntries = 64;  // fanout
+constexpr size_t kMinEntries = kMaxEntries / 2;
+}  // namespace
+
+struct BTree::Node {
+  bool leaf = true;
+  // Leaf: `entries` holds the data; `next` chains leaves left-to-right.
+  // Internal: `keys[i]` separates children[i] (< key) from children[i+1]
+  // (>= key); keys are (key,rid) pairs so duplicates split cleanly.
+  std::vector<Entry> entries;                   // leaf payload or seps
+  std::vector<std::unique_ptr<Node>> children;  // internal only
+  Node* next = nullptr;                         // leaf chain
+};
+
+bool BTree::EntryLess(const Entry& a, const Entry& b) {
+  if (RowLess(a.key, b.key)) return true;
+  if (RowLess(b.key, a.key)) return false;
+  return a.rid < b.rid;
+}
+
+BTree::BTree() : root_(std::make_unique<Node>()) {}
+BTree::~BTree() = default;
+
+BTree::Node* BTree::FindLeaf(const Row& key, const Rid& rid,
+                             std::vector<Node*>* path) const {
+  Node* cur = root_.get();
+  Entry probe{key, rid};
+  while (!cur->leaf) {
+    if (path != nullptr) path->push_back(cur);
+    // children[i] holds entries < entries[i]; find first sep > probe.
+    size_t i = 0;
+    while (i < cur->entries.size() && !EntryLess(probe, cur->entries[i])) {
+      ++i;
+    }
+    cur = cur->children[i].get();
+  }
+  if (path != nullptr) path->push_back(cur);
+  return cur;
+}
+
+void BTree::SplitChild(Node* parent, size_t child_idx) {
+  Node* child = parent->children[child_idx].get();
+  auto right = std::make_unique<Node>();
+  right->leaf = child->leaf;
+  size_t mid = child->entries.size() / 2;
+
+  if (child->leaf) {
+    right->entries.assign(child->entries.begin() + mid, child->entries.end());
+    child->entries.resize(mid);
+    right->next = child->next;
+    child->next = right.get();
+    // Separator is a copy of the right half's first entry.
+    parent->entries.insert(parent->entries.begin() + child_idx,
+                           right->entries.front());
+  } else {
+    // Middle entry moves up; children split around it.
+    Entry sep = child->entries[mid];
+    right->entries.assign(child->entries.begin() + mid + 1,
+                          child->entries.end());
+    right->children.reserve(child->children.size() - mid - 1);
+    for (size_t i = mid + 1; i < child->children.size(); ++i) {
+      right->children.push_back(std::move(child->children[i]));
+    }
+    child->entries.resize(mid);
+    child->children.resize(mid + 1);
+    parent->entries.insert(parent->entries.begin() + child_idx,
+                           std::move(sep));
+  }
+  parent->children.insert(parent->children.begin() + child_idx + 1,
+                          std::move(right));
+}
+
+void BTree::Insert(const Row& key, const Rid& rid) {
+  if (root_->entries.size() >= kMaxEntries) {
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->children.push_back(std::move(root_));
+    root_ = std::move(new_root);
+    SplitChild(root_.get(), 0);
+  }
+  Node* cur = root_.get();
+  Entry probe{key, rid};
+  while (!cur->leaf) {
+    size_t i = 0;
+    while (i < cur->entries.size() && !EntryLess(probe, cur->entries[i])) {
+      ++i;
+    }
+    if (cur->children[i]->entries.size() >= kMaxEntries) {
+      SplitChild(cur, i);
+      // Re-decide which side to descend.
+      if (!EntryLess(probe, cur->entries[i])) ++i;
+    }
+    cur = cur->children[i].get();
+  }
+  auto it = std::lower_bound(cur->entries.begin(), cur->entries.end(), probe,
+                             EntryLess);
+  if (it != cur->entries.end() && !EntryLess(probe, *it) &&
+      !EntryLess(*it, probe)) {
+    return;  // exact duplicate (key, rid); ignore
+  }
+  cur->entries.insert(it, std::move(probe));
+  ++size_;
+}
+
+bool BTree::Erase(const Row& key, const Rid& rid) {
+  // Lazy deletion strategy: remove from the leaf; underflow is tolerated
+  // (nodes are merged only when empty). This keeps ordering and scan
+  // correctness, trading worst-case height for simplicity — acceptable for
+  // the delete volumes of the workloads, and verified by CheckInvariants.
+  std::vector<Node*> path;
+  Node* leaf = FindLeaf(key, rid, &path);
+  Entry probe{key, rid};
+  auto it = std::lower_bound(leaf->entries.begin(), leaf->entries.end(),
+                             probe, EntryLess);
+  if (it == leaf->entries.end() || EntryLess(probe, *it) ||
+      EntryLess(*it, probe)) {
+    return false;
+  }
+  leaf->entries.erase(it);
+  --size_;
+  RebalanceAfterErase(path);
+  return true;
+}
+
+void BTree::RebalanceAfterErase(std::vector<Node*>& path) {
+  // Collapse empty nodes bottom-up.
+  for (size_t level = path.size(); level-- > 1;) {
+    Node* node = path[level];
+    Node* parent = path[level - 1];
+    if (!node->entries.empty() || !node->children.empty()) break;
+    if (!node->leaf) break;
+    // Find the child pointer in the parent.
+    size_t idx = 0;
+    while (idx < parent->children.size() &&
+           parent->children[idx].get() != node) {
+      ++idx;
+    }
+    if (idx >= parent->children.size()) break;
+    // Fix the leaf chain: predecessor leaf must skip the dying node.
+    // Walk the chain from the leftmost leaf (O(#leaves), deletes of whole
+    // nodes are rare).
+    Node* left = root_.get();
+    while (!left->leaf) left = left->children.front().get();
+    if (left == node) {
+      // node is leftmost; nothing points at it.
+    } else {
+      while (left != nullptr && left->next != node) left = left->next;
+      if (left != nullptr) left->next = node->next;
+    }
+    parent->children.erase(parent->children.begin() + idx);
+    if (!parent->entries.empty()) {
+      size_t sep = idx > 0 ? idx - 1 : 0;
+      parent->entries.erase(parent->entries.begin() + sep);
+    }
+  }
+  // Shrink the root if it has a single child.
+  while (!root_->leaf && root_->children.size() == 1) {
+    root_ = std::move(root_->children.front());
+  }
+}
+
+void BTree::LookupEq(
+    const Row& key,
+    const std::function<bool(const Row&, const Rid&)>& fn) const {
+  ScanFrom(key, [&](const Row& k, const Rid& rid) {
+    if (RowLess(key, k)) return false;  // past the key
+    return fn(k, rid);
+  });
+}
+
+void BTree::ScanFrom(
+    const Row& lo,
+    const std::function<bool(const Row&, const Rid&)>& fn) const {
+  const Node* leaf = FindLeaf(lo, Rid{0, 0}, nullptr);
+  Entry probe{lo, Rid{0, 0}};
+  while (leaf != nullptr) {
+    for (const Entry& e : leaf->entries) {
+      if (EntryLess(e, probe)) continue;
+      if (!fn(e.key, e.rid)) return;
+    }
+    leaf = leaf->next;
+  }
+}
+
+void BTree::ScanAll(
+    const std::function<bool(const Row&, const Rid&)>& fn) const {
+  const Node* leaf = root_.get();
+  while (!leaf->leaf) leaf = leaf->children.front().get();
+  while (leaf != nullptr) {
+    for (const Entry& e : leaf->entries) {
+      if (!fn(e.key, e.rid)) return;
+    }
+    leaf = leaf->next;
+  }
+}
+
+size_t BTree::Height() const {
+  size_t h = 1;
+  const Node* cur = root_.get();
+  while (!cur->leaf) {
+    ++h;
+    cur = cur->children.front().get();
+  }
+  return h;
+}
+
+void BTree::CheckInvariants() const {
+  // Keys along the leaf chain must be non-decreasing, and the leaf chain
+  // must contain exactly size() entries.
+  const Node* leaf = root_.get();
+  while (!leaf->leaf) {
+    assert(!leaf->children.empty());
+    assert(leaf->children.size() == leaf->entries.size() + 1);
+    leaf = leaf->children.front().get();
+  }
+  size_t count = 0;
+  const Entry* prev = nullptr;
+  while (leaf != nullptr) {
+    for (const Entry& e : leaf->entries) {
+      if (prev != nullptr) {
+        assert(!EntryLess(e, *prev));
+      }
+      prev = &e;
+      ++count;
+    }
+    leaf = leaf->next;
+  }
+  assert(count == size_);
+  (void)count;
+}
+
+}  // namespace cpdb::relstore

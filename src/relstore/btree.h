@@ -1,0 +1,72 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "relstore/datum.h"
+#include "relstore/page.h"
+
+namespace cpdb::relstore {
+
+/// In-memory B+tree mapping composite keys (Row) to record ids.
+///
+/// Duplicate keys are supported by ordering entries on (key, rid); all
+/// operations that name a specific entry take both. Leaves are chained for
+/// ordered range scans, which the provenance store uses for Loc-prefix
+/// lookups (every descendant of a path is a contiguous key range).
+class BTree {
+ public:
+  BTree();
+  ~BTree();
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  /// Inserts (key, rid). Duplicate (key, rid) pairs are ignored.
+  void Insert(const Row& key, const Rid& rid);
+
+  /// Removes (key, rid); returns false if not present.
+  bool Erase(const Row& key, const Rid& rid);
+
+  /// Calls `fn(key, rid)` for all entries with key == `key`.
+  void LookupEq(const Row& key,
+                const std::function<bool(const Row&, const Rid&)>& fn) const;
+
+  /// Calls `fn` for all entries with lo <= key, in order, until `fn`
+  /// returns false. With `lo` empty, scans from the smallest key.
+  void ScanFrom(const Row& lo,
+                const std::function<bool(const Row&, const Rid&)>& fn) const;
+
+  /// Calls `fn` for all entries, in key order, until `fn` returns false.
+  void ScanAll(const std::function<bool(const Row&, const Rid&)>& fn) const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Height of the tree (1 = a single leaf). Exposed for tests.
+  size_t Height() const;
+
+  /// Verifies ordering and fanout invariants; aborts on violation.
+  /// Exposed for property tests.
+  void CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct Entry {
+    Row key;
+    Rid rid;
+  };
+
+  static bool EntryLess(const Entry& a, const Entry& b);
+
+  Node* FindLeaf(const Row& key, const Rid& rid,
+                 std::vector<Node*>* path) const;
+  void SplitChild(Node* parent, size_t child_idx);
+  void RebalanceAfterErase(std::vector<Node*>& path);
+
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace cpdb::relstore

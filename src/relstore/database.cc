@@ -1,0 +1,48 @@
+#include "relstore/database.h"
+
+namespace cpdb::relstore {
+
+Result<Table*> Database::CreateTable(const std::string& table_name,
+                                     Schema schema) {
+  if (tables_.count(table_name) > 0) {
+    return Status::AlreadyExists("table '" + table_name + "' exists");
+  }
+  auto table = std::make_unique<Table>(table_name, std::move(schema));
+  Table* ptr = table.get();
+  tables_[table_name] = std::move(table);
+  return ptr;
+}
+
+Result<Table*> Database::GetTable(const std::string& table_name) {
+  auto it = tables_.find(table_name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table '" + table_name + "'");
+  }
+  return it->second.get();
+}
+
+Result<const Table*> Database::GetTable(const std::string& table_name) const {
+  auto it = tables_.find(table_name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table '" + table_name + "'");
+  }
+  return static_cast<const Table*>(it->second.get());
+}
+
+Status Database::DropTable(const std::string& table_name) {
+  if (tables_.erase(table_name) == 0) {
+    return Status::NotFound("no table '" + table_name + "'");
+  }
+  return Status::OK();
+}
+
+size_t Database::PhysicalBytes() const {
+  size_t n = 0;
+  for (const auto& [name, table] : tables_) {
+    (void)name;
+    n += table->PhysicalBytes();
+  }
+  return n;
+}
+
+}  // namespace cpdb::relstore

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "relstore/cost_model.h"
+#include "relstore/table.h"
+#include "util/result.h"
+
+namespace cpdb::relstore {
+
+/// A named catalog of tables with an attached interaction cost model —
+/// the stand-in for the MySQL server holding the provenance store (and,
+/// wrapped, the OrganelleDB source).
+///
+/// The CostModel is *not* charged automatically by Table methods; callers
+/// that model client/server traffic (the provenance stores) charge one
+/// round trip per logical client call via cost(). This mirrors the paper's
+/// accounting, where one SQL statement is one round trip regardless of how
+/// many rows it carries.
+class Database {
+ public:
+  explicit Database(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Creates a table; fails if the name is taken.
+  Result<Table*> CreateTable(const std::string& table_name, Schema schema);
+
+  /// Fails with NotFound if absent.
+  Result<Table*> GetTable(const std::string& table_name);
+  Result<const Table*> GetTable(const std::string& table_name) const;
+
+  Status DropTable(const std::string& table_name);
+
+  /// Total physical footprint across tables.
+  size_t PhysicalBytes() const;
+
+  CostModel& cost() { return cost_; }
+  const CostModel& cost() const { return cost_; }
+
+ private:
+  std::string name_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  CostModel cost_;
+};
+
+}  // namespace cpdb::relstore

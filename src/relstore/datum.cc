@@ -1,0 +1,170 @@
+#include "relstore/datum.h"
+
+#include <cstring>
+#include <sstream>
+
+namespace cpdb::relstore {
+
+const char* ColumnTypeName(ColumnType t) {
+  switch (t) {
+    case ColumnType::kInt64:
+      return "INT64";
+    case ColumnType::kDouble:
+      return "DOUBLE";
+    case ColumnType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+std::string Datum::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int()) return std::to_string(AsInt());
+  if (is_double()) {
+    std::ostringstream os;
+    os << AsDouble();
+    return os.str();
+  }
+  return AsString();
+}
+
+size_t Datum::Hash() const {
+  size_t h = 0xcbf29ce484222325ULL;
+  auto mix_bytes = [&h](const void* p, size_t n) {
+    const auto* b = static_cast<const uint8_t*>(p);
+    for (size_t i = 0; i < n; ++i) {
+      h ^= b[i];
+      h *= 0x100000001b3ULL;
+    }
+  };
+  size_t tag = v_.index();
+  mix_bytes(&tag, sizeof(tag));
+  if (is_int()) {
+    int64_t v = AsInt();
+    mix_bytes(&v, sizeof(v));
+  } else if (is_double()) {
+    double v = AsDouble();
+    mix_bytes(&v, sizeof(v));
+  } else if (is_string()) {
+    mix_bytes(AsString().data(), AsString().size());
+  }
+  return h;
+}
+
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+bool GetU32(const std::string& in, size_t* pos, uint32_t* v) {
+  if (*pos + 4 > in.size()) return false;
+  std::memcpy(v, in.data() + *pos, 4);
+  *pos += 4;
+  return true;
+}
+
+}  // namespace
+
+void Datum::EncodeTo(std::string* out) const {
+  out->push_back(static_cast<char>(v_.index()));
+  if (is_int()) {
+    char buf[8];
+    int64_t v = AsInt();
+    std::memcpy(buf, &v, 8);
+    out->append(buf, 8);
+  } else if (is_double()) {
+    char buf[8];
+    double v = AsDouble();
+    std::memcpy(buf, &v, 8);
+    out->append(buf, 8);
+  } else if (is_string()) {
+    PutU32(out, static_cast<uint32_t>(AsString().size()));
+    out->append(AsString());
+  }
+}
+
+bool Datum::DecodeFrom(const std::string& in, size_t* pos, Datum* out) {
+  if (*pos >= in.size()) return false;
+  uint8_t tag = static_cast<uint8_t>(in[(*pos)++]);
+  switch (tag) {
+    case 0:
+      *out = Datum();
+      return true;
+    case 1: {
+      if (*pos + 8 > in.size()) return false;
+      int64_t v;
+      std::memcpy(&v, in.data() + *pos, 8);
+      *pos += 8;
+      *out = Datum(v);
+      return true;
+    }
+    case 2: {
+      if (*pos + 8 > in.size()) return false;
+      double v;
+      std::memcpy(&v, in.data() + *pos, 8);
+      *pos += 8;
+      *out = Datum(v);
+      return true;
+    }
+    case 3: {
+      uint32_t len;
+      if (!GetU32(in, pos, &len)) return false;
+      if (*pos + len > in.size()) return false;
+      *out = Datum(in.substr(*pos, len));
+      *pos += len;
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+std::ostream& operator<<(std::ostream& os, const Datum& d) {
+  return os << d.ToString();
+}
+
+std::string RowToString(const Row& row) {
+  std::string out = "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += row[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+size_t HashRow(const Row& row) {
+  size_t h = 14695981039346656037ULL;
+  for (const Datum& d : row) {
+    h ^= d.Hash();
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+bool RowLess(const Row& a, const Row& b) {
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+}
+
+void EncodeRow(const Row& row, std::string* out) {
+  PutU32(out, static_cast<uint32_t>(row.size()));
+  for (const Datum& d : row) d.EncodeTo(out);
+}
+
+bool DecodeRow(const std::string& in, size_t* pos, Row* out) {
+  uint32_t n;
+  if (!GetU32(in, pos, &n)) return false;
+  out->clear();
+  out->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Datum d;
+    if (!Datum::DecodeFrom(in, pos, &d)) return false;
+    out->push_back(std::move(d));
+  }
+  return true;
+}
+
+}  // namespace cpdb::relstore

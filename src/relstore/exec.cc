@@ -1,0 +1,269 @@
+#include "relstore/exec.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace cpdb::relstore {
+
+std::vector<Row> RowIterator::Collect() {
+  std::vector<Row> out;
+  Row row;
+  while (Next(&row)) out.push_back(row);
+  return out;
+}
+
+namespace {
+
+class MaterializedIterator : public RowIterator {
+ public:
+  explicit MaterializedIterator(std::vector<Row> rows)
+      : rows_(std::move(rows)) {}
+
+  bool Next(Row* out) override {
+    if (pos_ >= rows_.size()) return false;
+    *out = rows_[pos_++];
+    return true;
+  }
+
+ private:
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+class SeqScanIterator : public RowIterator {
+ public:
+  explicit SeqScanIterator(const Table* table) {
+    // Materialise eagerly: the HeapFile visitor API doesn't suspend, and
+    // tables in this engine are in-memory anyway.
+    table->Scan([this](const Rid&, const Row& row) {
+      rows_.push_back(row);
+      return true;
+    });
+  }
+
+  bool Next(Row* out) override {
+    if (pos_ >= rows_.size()) return false;
+    *out = rows_[pos_++];
+    return true;
+  }
+
+ private:
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+class FilterIterator : public RowIterator {
+ public:
+  FilterIterator(RowIteratorPtr child, std::function<bool(const Row&)> pred)
+      : child_(std::move(child)), pred_(std::move(pred)) {}
+
+  bool Next(Row* out) override {
+    while (child_->Next(out)) {
+      if (pred_(*out)) return true;
+    }
+    return false;
+  }
+
+ private:
+  RowIteratorPtr child_;
+  std::function<bool(const Row&)> pred_;
+};
+
+class ProjectIterator : public RowIterator {
+ public:
+  ProjectIterator(RowIteratorPtr child, std::vector<int> cols)
+      : child_(std::move(child)), cols_(std::move(cols)) {}
+
+  bool Next(Row* out) override {
+    Row row;
+    if (!child_->Next(&row)) return false;
+    out->clear();
+    out->reserve(cols_.size());
+    for (int c : cols_) out->push_back(row[static_cast<size_t>(c)]);
+    return true;
+  }
+
+ private:
+  RowIteratorPtr child_;
+  std::vector<int> cols_;
+};
+
+class HashJoinIterator : public RowIterator {
+ public:
+  HashJoinIterator(RowIteratorPtr left, std::vector<int> left_cols,
+                   RowIteratorPtr right, std::vector<int> right_cols)
+      : left_(std::move(left)),
+        left_cols_(std::move(left_cols)),
+        right_cols_(std::move(right_cols)) {
+    Row row;
+    while (right->Next(&row)) {
+      table_[ExtractKey(row, right_cols_)].push_back(row);
+    }
+  }
+
+  bool Next(Row* out) override {
+    for (;;) {
+      if (matches_ != nullptr && match_pos_ < matches_->size()) {
+        *out = current_left_;
+        const Row& r = (*matches_)[match_pos_++];
+        out->insert(out->end(), r.begin(), r.end());
+        return true;
+      }
+      if (!left_->Next(&current_left_)) return false;
+      auto it = table_.find(ExtractKey(current_left_, left_cols_));
+      matches_ = it == table_.end() ? nullptr : &it->second;
+      match_pos_ = 0;
+    }
+  }
+
+ private:
+  static Row ExtractKey(const Row& row, const std::vector<int>& cols) {
+    Row key;
+    key.reserve(cols.size());
+    for (int c : cols) key.push_back(row[static_cast<size_t>(c)]);
+    return key;
+  }
+
+  struct RowHash {
+    size_t operator()(const Row& r) const { return HashRow(r); }
+  };
+
+  RowIteratorPtr left_;
+  std::vector<int> left_cols_;
+  std::vector<int> right_cols_;
+  std::unordered_map<Row, std::vector<Row>, RowHash> table_;
+  Row current_left_;
+  const std::vector<Row>* matches_ = nullptr;
+  size_t match_pos_ = 0;
+};
+
+class SortIterator : public RowIterator {
+ public:
+  SortIterator(RowIteratorPtr child, std::vector<int> cols)
+      : cols_(std::move(cols)) {
+    rows_ = child->Collect();
+    std::stable_sort(rows_.begin(), rows_.end(),
+                     [this](const Row& a, const Row& b) {
+                       for (int c : cols_) {
+                         auto i = static_cast<size_t>(c);
+                         if (a[i] < b[i]) return true;
+                         if (b[i] < a[i]) return false;
+                       }
+                       return false;
+                     });
+  }
+
+  bool Next(Row* out) override {
+    if (pos_ >= rows_.size()) return false;
+    *out = rows_[pos_++];
+    return true;
+  }
+
+ private:
+  std::vector<int> cols_;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+class DistinctIterator : public RowIterator {
+ public:
+  explicit DistinctIterator(RowIteratorPtr child)
+      : child_(std::move(child)) {}
+
+  bool Next(Row* out) override {
+    while (child_->Next(out)) {
+      if (seen_.insert(*out).second) return true;
+    }
+    return false;
+  }
+
+ private:
+  struct RowHash {
+    size_t operator()(const Row& r) const { return HashRow(r); }
+  };
+  RowIteratorPtr child_;
+  std::unordered_set<Row, RowHash> seen_;
+};
+
+class LimitIterator : public RowIterator {
+ public:
+  LimitIterator(RowIteratorPtr child, size_t n)
+      : child_(std::move(child)), remaining_(n) {}
+
+  bool Next(Row* out) override {
+    if (remaining_ == 0) return false;
+    if (!child_->Next(out)) return false;
+    --remaining_;
+    return true;
+  }
+
+ private:
+  RowIteratorPtr child_;
+  size_t remaining_;
+};
+
+}  // namespace
+
+RowIteratorPtr MakeSeqScan(const Table* table) {
+  return std::make_unique<SeqScanIterator>(table);
+}
+
+RowIteratorPtr MakeIndexScan(const Table* table, std::string index_name,
+                             Row key) {
+  std::vector<Row> rows;
+  // Errors (missing index) yield an empty stream; callers that care use
+  // Table::LookupEq directly.
+  (void)table->LookupEq(index_name, key, [&](const Rid&, const Row& row) {
+    rows.push_back(row);
+    return true;
+  });
+  return std::make_unique<MaterializedIterator>(std::move(rows));
+}
+
+RowIteratorPtr MakePrefixScan(const Table* table, std::string index_name,
+                              std::string prefix) {
+  std::vector<Row> rows;
+  (void)table->ScanPrefix(index_name, prefix,
+                          [&](const Rid&, const Row& row) {
+                            rows.push_back(row);
+                            return true;
+                          });
+  return std::make_unique<MaterializedIterator>(std::move(rows));
+}
+
+RowIteratorPtr MakeFilter(RowIteratorPtr child,
+                          std::function<bool(const Row&)> pred) {
+  return std::make_unique<FilterIterator>(std::move(child), std::move(pred));
+}
+
+RowIteratorPtr MakeProject(RowIteratorPtr child, std::vector<int> cols) {
+  return std::make_unique<ProjectIterator>(std::move(child), std::move(cols));
+}
+
+RowIteratorPtr MakeHashJoin(RowIteratorPtr left, std::vector<int> left_cols,
+                            RowIteratorPtr right,
+                            std::vector<int> right_cols) {
+  return std::make_unique<HashJoinIterator>(std::move(left),
+                                            std::move(left_cols),
+                                            std::move(right),
+                                            std::move(right_cols));
+}
+
+RowIteratorPtr MakeSort(RowIteratorPtr child, std::vector<int> cols) {
+  return std::make_unique<SortIterator>(std::move(child), std::move(cols));
+}
+
+RowIteratorPtr MakeDistinct(RowIteratorPtr child) {
+  return std::make_unique<DistinctIterator>(std::move(child));
+}
+
+RowIteratorPtr MakeLimit(RowIteratorPtr child, size_t n) {
+  return std::make_unique<LimitIterator>(std::move(child), n);
+}
+
+RowIteratorPtr MakeValues(std::vector<Row> rows) {
+  return std::make_unique<MaterializedIterator>(std::move(rows));
+}
+
+}  // namespace cpdb::relstore

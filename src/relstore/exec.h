@@ -1,0 +1,67 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "relstore/table.h"
+
+namespace cpdb::relstore {
+
+/// Volcano-style pull iterator over rows.
+///
+/// A small physical-operator library sufficient for the provenance
+/// queries and the datalog bridge: sequential scan, index scan, filter,
+/// project, hash join, sort, distinct, and limit. Operators own their
+/// children and pull rows one at a time via Next().
+class RowIterator {
+ public:
+  virtual ~RowIterator() = default;
+
+  /// Produces the next row; returns false at end of stream.
+  virtual bool Next(Row* out) = 0;
+
+  /// Drains the iterator into a vector (for tests and small results).
+  std::vector<Row> Collect();
+};
+
+using RowIteratorPtr = std::unique_ptr<RowIterator>;
+
+/// Sequential scan of a table (storage order).
+RowIteratorPtr MakeSeqScan(const Table* table);
+
+/// Equality index scan.
+RowIteratorPtr MakeIndexScan(const Table* table, std::string index_name,
+                             Row key);
+
+/// Prefix index scan on a string-first btree index.
+RowIteratorPtr MakePrefixScan(const Table* table, std::string index_name,
+                              std::string prefix);
+
+/// Keeps rows where `pred` is true.
+RowIteratorPtr MakeFilter(RowIteratorPtr child,
+                          std::function<bool(const Row&)> pred);
+
+/// Emits `cols`-projected rows.
+RowIteratorPtr MakeProject(RowIteratorPtr child, std::vector<int> cols);
+
+/// Hash join on left.cols == right.cols (equi-join); output is the left
+/// row concatenated with the right row. The right input is fully built
+/// into the hash table first.
+RowIteratorPtr MakeHashJoin(RowIteratorPtr left, std::vector<int> left_cols,
+                            RowIteratorPtr right,
+                            std::vector<int> right_cols);
+
+/// Buffers and sorts the child's rows by the given columns (ascending).
+RowIteratorPtr MakeSort(RowIteratorPtr child, std::vector<int> cols);
+
+/// Removes duplicate rows (buffers a hash set of seen rows).
+RowIteratorPtr MakeDistinct(RowIteratorPtr child);
+
+/// Stops after `n` rows.
+RowIteratorPtr MakeLimit(RowIteratorPtr child, size_t n);
+
+/// Materialised constant relation.
+RowIteratorPtr MakeValues(std::vector<Row> rows);
+
+}  // namespace cpdb::relstore

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "relstore/datum.h"
+#include "relstore/page.h"
+
+namespace cpdb::relstore {
+
+/// Unordered (hash) secondary index from composite keys to record ids.
+/// Equality lookups only; the provenance store uses it for Tid lookups
+/// where range order is irrelevant.
+class HashIndex {
+ public:
+  void Insert(const Row& key, const Rid& rid) {
+    buckets_[key].push_back(rid);
+    ++size_;
+  }
+
+  bool Erase(const Row& key, const Rid& rid) {
+    auto it = buckets_.find(key);
+    if (it == buckets_.end()) return false;
+    auto& rids = it->second;
+    for (size_t i = 0; i < rids.size(); ++i) {
+      if (rids[i] == rid) {
+        rids.erase(rids.begin() + static_cast<long>(i));
+        if (rids.empty()) buckets_.erase(it);
+        --size_;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Calls `fn(rid)` for each entry with the given key until it returns
+  /// false.
+  void LookupEq(const Row& key,
+                const std::function<bool(const Rid&)>& fn) const {
+    auto it = buckets_.find(key);
+    if (it == buckets_.end()) return;
+    for (const Rid& rid : it->second) {
+      if (!fn(rid)) return;
+    }
+  }
+
+  size_t size() const { return size_; }
+  size_t DistinctKeys() const { return buckets_.size(); }
+
+ private:
+  struct RowHash {
+    size_t operator()(const Row& r) const { return HashRow(r); }
+  };
+  std::unordered_map<Row, std::vector<Rid>, RowHash> buckets_;
+  size_t size_ = 0;
+};
+
+}  // namespace cpdb::relstore

@@ -1,0 +1,72 @@
+#include "relstore/heap_file.h"
+
+namespace cpdb::relstore {
+
+Result<Rid> HeapFile::Insert(const std::string& record) {
+  // Try hinted pages first (most recently touched last).
+  for (size_t i = free_hints_.size(); i-- > 0;) {
+    uint32_t page_no = free_hints_[i];
+    Page* page = pages_[page_no].get();
+    if (page->Fits(record.size())) {
+      auto slot = page->Insert(record);
+      if (slot.ok()) {
+        ++record_count_;
+        return Rid{page_no, slot.value()};
+      }
+    }
+    // Hint is stale; drop it.
+    free_hints_.erase(free_hints_.begin() + static_cast<long>(i));
+  }
+  // Allocate a fresh page.
+  pages_.push_back(std::make_unique<Page>());
+  uint32_t page_no = static_cast<uint32_t>(pages_.size() - 1);
+  auto slot = pages_.back()->Insert(record);
+  if (!slot.ok()) return slot.status();
+  free_hints_.push_back(page_no);
+  ++record_count_;
+  return Rid{page_no, slot.value()};
+}
+
+Result<std::string> HeapFile::Read(const Rid& rid) const {
+  if (rid.page >= pages_.size()) {
+    return Status::NotFound("page " + std::to_string(rid.page) +
+                            " out of range");
+  }
+  return pages_[rid.page]->Read(rid.slot);
+}
+
+Status HeapFile::Delete(const Rid& rid) {
+  if (rid.page >= pages_.size()) {
+    return Status::NotFound("page " + std::to_string(rid.page) +
+                            " out of range");
+  }
+  CPDB_RETURN_IF_ERROR(pages_[rid.page]->Delete(rid.slot));
+  --record_count_;
+  free_hints_.push_back(rid.page);
+  return Status::OK();
+}
+
+bool HeapFile::IsLive(const Rid& rid) const {
+  return rid.page < pages_.size() && pages_[rid.page]->IsLive(rid.slot);
+}
+
+void HeapFile::Scan(
+    const std::function<bool(const Rid&, const std::string&)>& fn) const {
+  for (uint32_t p = 0; p < pages_.size(); ++p) {
+    const Page& page = *pages_[p];
+    for (uint16_t s = 0; s < page.SlotCount(); ++s) {
+      if (!page.IsLive(s)) continue;
+      auto rec = page.Read(s);
+      if (!rec.ok()) continue;
+      if (!fn(Rid{p, s}, rec.value())) return;
+    }
+  }
+}
+
+size_t HeapFile::LiveBytes() const {
+  size_t n = 0;
+  for (const auto& p : pages_) n += p->LiveBytes();
+  return n;
+}
+
+}  // namespace cpdb::relstore

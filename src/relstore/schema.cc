@@ -1,0 +1,70 @@
+#include "relstore/schema.h"
+
+#include <sstream>
+
+namespace cpdb::relstore {
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+int Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Schema::Validate(const Row& row) const {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(columns_.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const Datum& d = row[i];
+    const Column& c = columns_[i];
+    if (d.is_null()) {
+      if (!c.nullable) {
+        return Status::InvalidArgument("NULL in non-nullable column '" +
+                                       c.name + "'");
+      }
+      continue;
+    }
+    bool ok = (c.type == ColumnType::kInt64 && d.is_int()) ||
+              (c.type == ColumnType::kDouble && d.is_double()) ||
+              (c.type == ColumnType::kString && d.is_string());
+    if (!ok) {
+      return Status::InvalidArgument("type mismatch in column '" + c.name +
+                                     "': expected " +
+                                     ColumnTypeName(c.type) + ", got " +
+                                     d.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+std::string Schema::ToString(const std::string& table_name) const {
+  std::ostringstream os;
+  if (!table_name.empty()) os << table_name;
+  os << "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << columns_[i].name << " " << ColumnTypeName(columns_[i].type);
+    if (!columns_[i].nullable) os << " NOT NULL";
+  }
+  os << ")";
+  return os.str();
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name != other.columns_[i].name ||
+        columns_[i].type != other.columns_[i].type ||
+        columns_[i].nullable != other.columns_[i].nullable) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace cpdb::relstore

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "relstore/datum.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace cpdb::relstore {
+
+/// One column definition.
+struct Column {
+  std::string name;
+  ColumnType type;
+  bool nullable = true;
+};
+
+/// An ordered list of typed, named columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  size_t NumColumns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the named column, or -1.
+  int IndexOf(const std::string& name) const;
+
+  /// Checks arity, types (NULLs allowed only if nullable).
+  Status Validate(const Row& row) const;
+
+  /// "Prov(Tid INT64, Op STRING, Loc STRING, Src STRING)"-style rendering.
+  std::string ToString(const std::string& table_name = "") const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace cpdb::relstore

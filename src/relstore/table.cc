@@ -1,0 +1,216 @@
+#include "relstore/table.h"
+
+#include "util/str.h"
+
+namespace cpdb::relstore {
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {}
+
+Status Table::CreateIndex(const std::string& index_name,
+                          std::vector<int> columns, IndexKind kind,
+                          bool unique) {
+  if (RowCount() != 0) {
+    return Status::FailedPrecondition(
+        "indexes must be created on an empty table");
+  }
+  if (FindIndex(index_name) != nullptr) {
+    return Status::AlreadyExists("index '" + index_name + "' exists");
+  }
+  for (int c : columns) {
+    if (c < 0 || static_cast<size_t>(c) >= schema_.NumColumns()) {
+      return Status::InvalidArgument("index column out of range");
+    }
+  }
+  if (unique && kind != IndexKind::kBTree && kind != IndexKind::kHash) {
+    return Status::InvalidArgument("bad index kind");
+  }
+  Index idx;
+  idx.name = index_name;
+  idx.columns = std::move(columns);
+  idx.kind = kind;
+  idx.unique = unique;
+  if (kind == IndexKind::kBTree) {
+    idx.btree = std::make_unique<BTree>();
+  } else {
+    idx.hash = std::make_unique<HashIndex>();
+  }
+  indexes_.push_back(std::move(idx));
+  return Status::OK();
+}
+
+Row Table::ExtractKey(const Index& idx, const Row& row) const {
+  Row key;
+  key.reserve(idx.columns.size());
+  for (int c : idx.columns) key.push_back(row[static_cast<size_t>(c)]);
+  return key;
+}
+
+const Table::Index* Table::FindIndex(const std::string& name) const {
+  for (const auto& idx : indexes_) {
+    if (idx.name == name) return &idx;
+  }
+  return nullptr;
+}
+
+Result<Rid> Table::Insert(const Row& row) {
+  CPDB_RETURN_IF_ERROR(schema_.Validate(row));
+  // Unique-constraint checks before any mutation.
+  for (const auto& idx : indexes_) {
+    if (!idx.unique) continue;
+    Row key = ExtractKey(idx, row);
+    bool found = false;
+    if (idx.kind == IndexKind::kBTree) {
+      idx.btree->LookupEq(key, [&](const Row&, const Rid&) {
+        found = true;
+        return false;
+      });
+    } else {
+      idx.hash->LookupEq(key, [&](const Rid&) {
+        found = true;
+        return false;
+      });
+    }
+    if (found) {
+      return Status::AlreadyExists("duplicate key " + RowToString(key) +
+                                   " in unique index '" + idx.name + "'");
+    }
+  }
+  std::string encoded;
+  EncodeRow(row, &encoded);
+  CPDB_ASSIGN_OR_RETURN(Rid rid, heap_.Insert(encoded));
+  for (auto& idx : indexes_) {
+    Row key = ExtractKey(idx, row);
+    if (idx.kind == IndexKind::kBTree) {
+      idx.btree->Insert(key, rid);
+    } else {
+      idx.hash->Insert(key, rid);
+    }
+  }
+  return rid;
+}
+
+Result<Row> Table::Get(const Rid& rid) const {
+  CPDB_ASSIGN_OR_RETURN(std::string rec, heap_.Read(rid));
+  Row row;
+  size_t pos = 0;
+  if (!DecodeRow(rec, &pos, &row)) {
+    return Status::Internal("corrupt record at " + rid.ToString());
+  }
+  return row;
+}
+
+Status Table::Delete(const Rid& rid) {
+  CPDB_ASSIGN_OR_RETURN(Row row, Get(rid));
+  CPDB_RETURN_IF_ERROR(heap_.Delete(rid));
+  for (auto& idx : indexes_) {
+    Row key = ExtractKey(idx, row);
+    if (idx.kind == IndexKind::kBTree) {
+      idx.btree->Erase(key, rid);
+    } else {
+      idx.hash->Erase(key, rid);
+    }
+  }
+  return Status::OK();
+}
+
+size_t Table::DeleteWhere(const std::function<bool(const Row&)>& pred) {
+  std::vector<Rid> doomed;
+  Scan([&](const Rid& rid, const Row& row) {
+    if (pred(row)) doomed.push_back(rid);
+    return true;
+  });
+  size_t n = 0;
+  for (const Rid& rid : doomed) {
+    if (Delete(rid).ok()) ++n;
+  }
+  return n;
+}
+
+void Table::Scan(
+    const std::function<bool(const Rid&, const Row&)>& fn) const {
+  heap_.Scan([&](const Rid& rid, const std::string& rec) {
+    Row row;
+    size_t pos = 0;
+    if (!DecodeRow(rec, &pos, &row)) return true;  // skip corrupt
+    return fn(rid, row);
+  });
+}
+
+Status Table::LookupEq(
+    const std::string& index_name, const Row& key,
+    const std::function<bool(const Rid&, const Row&)>& fn) const {
+  const Index* idx = FindIndex(index_name);
+  if (idx == nullptr) {
+    return Status::NotFound("no index '" + index_name + "'");
+  }
+  if (key.size() != idx->columns.size()) {
+    return Status::InvalidArgument("key arity mismatch for index '" +
+                                   index_name + "'");
+  }
+  Status inner = Status::OK();
+  auto emit = [&](const Rid& rid) {
+    auto row = Get(rid);
+    if (!row.ok()) {
+      inner = row.status();
+      return false;
+    }
+    return fn(rid, row.value());
+  };
+  if (idx->kind == IndexKind::kBTree) {
+    idx->btree->LookupEq(key, [&](const Row&, const Rid& rid) {
+      return emit(rid);
+    });
+  } else {
+    idx->hash->LookupEq(key, emit);
+  }
+  return inner;
+}
+
+Status Table::ScanPrefix(
+    const std::string& index_name, const std::string& prefix,
+    const std::function<bool(const Rid&, const Row&)>& fn) const {
+  const Index* idx = FindIndex(index_name);
+  if (idx == nullptr) {
+    return Status::NotFound("no index '" + index_name + "'");
+  }
+  if (idx->kind != IndexKind::kBTree) {
+    return Status::NotSupported("prefix scan requires a btree index");
+  }
+  Status inner = Status::OK();
+  idx->btree->ScanFrom({Datum(prefix)}, [&](const Row& key, const Rid& rid) {
+    if (key.empty() || !key[0].is_string()) return true;
+    if (!StartsWith(key[0].AsString(), prefix)) return false;  // done
+    auto row = Get(rid);
+    if (!row.ok()) {
+      inner = row.status();
+      return false;
+    }
+    return fn(rid, row.value());
+  });
+  return inner;
+}
+
+Status Table::ScanIndex(
+    const std::string& index_name,
+    const std::function<bool(const Rid&, const Row&)>& fn) const {
+  const Index* idx = FindIndex(index_name);
+  if (idx == nullptr) {
+    return Status::NotFound("no index '" + index_name + "'");
+  }
+  if (idx->kind != IndexKind::kBTree) {
+    return Status::NotSupported("ordered scan requires a btree index");
+  }
+  Status inner = Status::OK();
+  idx->btree->ScanAll([&](const Row&, const Rid& rid) {
+    auto row = Get(rid);
+    if (!row.ok()) {
+      inner = row.status();
+      return false;
+    }
+    return fn(rid, row.value());
+  });
+  return inner;
+}
+
+}  // namespace cpdb::relstore

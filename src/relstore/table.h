@@ -1,0 +1,94 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relstore/btree.h"
+#include "relstore/cost_model.h"
+#include "relstore/datum.h"
+#include "relstore/hash_index.h"
+#include "relstore/heap_file.h"
+#include "relstore/schema.h"
+#include "util/result.h"
+
+namespace cpdb::relstore {
+
+enum class IndexKind { kBTree, kHash };
+
+/// A heap-backed table with optional unique constraint and secondary
+/// indexes. Rows live in slotted pages (HeapFile); indexes map extracted
+/// key columns to Rids and are maintained on every insert/delete.
+class Table {
+ public:
+  Table(std::string name, Schema schema);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Adds an index over `columns` (by position). `unique` makes inserts
+  /// fail on duplicate keys — e.g. the provenance store's {Tid, Loc} key.
+  /// Must be called while the table is empty.
+  Status CreateIndex(const std::string& index_name,
+                     std::vector<int> columns, IndexKind kind,
+                     bool unique = false);
+
+  /// Validates and stores a row, maintaining all indexes.
+  Result<Rid> Insert(const Row& row);
+
+  /// Reads the row at `rid`.
+  Result<Row> Get(const Rid& rid) const;
+
+  /// Deletes the row at `rid`, maintaining all indexes.
+  Status Delete(const Rid& rid);
+
+  /// Deletes every row matching `pred`; returns the count removed.
+  size_t DeleteWhere(const std::function<bool(const Row&)>& pred);
+
+  /// Full scan in storage order; stops early when `fn` returns false.
+  void Scan(const std::function<bool(const Rid&, const Row&)>& fn) const;
+
+  /// Equality lookup through the named index.
+  Status LookupEq(const std::string& index_name, const Row& key,
+                  const std::function<bool(const Rid&, const Row&)>& fn) const;
+
+  /// Ordered scan of rows whose (string) first index column starts with
+  /// `prefix`; BTree indexes only. Used for path-descendant queries.
+  Status ScanPrefix(const std::string& index_name, const std::string& prefix,
+                    const std::function<bool(const Rid&, const Row&)>& fn)
+      const;
+
+  /// Ordered scan of the whole index.
+  Status ScanIndex(const std::string& index_name,
+                   const std::function<bool(const Rid&, const Row&)>& fn)
+      const;
+
+  size_t RowCount() const { return heap_.RecordCount(); }
+
+  /// Disk-style physical footprint (pages), as reported in Figure 8.
+  size_t PhysicalBytes() const { return heap_.PhysicalBytes(); }
+
+  /// Bytes of live row payload.
+  size_t LiveBytes() const { return heap_.LiveBytes(); }
+
+ private:
+  struct Index {
+    std::string name;
+    std::vector<int> columns;
+    IndexKind kind;
+    bool unique;
+    std::unique_ptr<BTree> btree;
+    std::unique_ptr<HashIndex> hash;
+  };
+
+  Row ExtractKey(const Index& idx, const Row& row) const;
+  const Index* FindIndex(const std::string& name) const;
+
+  std::string name_;
+  Schema schema_;
+  HeapFile heap_;
+  std::vector<Index> indexes_;
+};
+
+}  // namespace cpdb::relstore

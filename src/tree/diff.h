@@ -1,0 +1,53 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "tree/tree.h"
+
+namespace cpdb::tree {
+
+/// One elementary difference between two tree versions.
+struct DiffEntry {
+  enum class Kind {
+    kAdded,         ///< path exists only in the new version
+    kRemoved,       ///< path exists only in the old version
+    kValueChanged,  ///< path exists in both but the leaf value differs
+  };
+  Kind kind;
+  Path path;
+  /// For kValueChanged: old and new values; for kAdded/kRemoved the
+  /// value at the (single-sided) path if it is a leaf.
+  std::string old_value;
+  std::string new_value;
+
+  bool operator==(const DiffEntry& other) const {
+    return kind == other.kind && path == other.path &&
+           old_value == other.old_value && new_value == other.new_value;
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const DiffEntry& e);
+
+/// Structural diff of two trees in deterministic (path-sorted) order.
+///
+/// This captures exactly the information a version-control or archiving
+/// system retains (paper Section 5): *how the versions differ*, but not
+/// how the change was performed — copies are indistinguishable from fresh
+/// inserts in a diff, which is the paper's argument for why provenance
+/// recording is not subsumed by archiving. Tests use this to contrast
+/// diff-derived information with provenance-derived information.
+std::vector<DiffEntry> DiffTrees(const Tree& before, const Tree& after);
+
+/// Summary counts of a diff.
+struct DiffStats {
+  size_t added = 0;
+  size_t removed = 0;
+  size_t changed = 0;
+  size_t Total() const { return added + removed + changed; }
+};
+
+DiffStats SummarizeDiff(const std::vector<DiffEntry>& diff);
+
+}  // namespace cpdb::tree

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tree/path.h"
+#include "util/result.h"
+
+namespace cpdb::tree {
+
+/// A path pattern for approximate provenance (paper Section 6): segments
+/// may be literal labels, "*" (exactly one segment), or "**" (any number
+/// of segments). "T/a/*/b" matches T/a/x/b for any x.
+class PathGlob {
+ public:
+  PathGlob() = default;
+
+  /// Parses "T/a/*/b". Fails on empty segments.
+  static Result<PathGlob> Parse(const std::string& text);
+  static PathGlob MustParse(const std::string& text);
+
+  /// A glob with only literal segments (matches exactly one path).
+  static PathGlob Exact(const Path& p);
+
+  bool Matches(const Path& p) const;
+
+  /// Matches and returns the labels bound by each single-segment "*"
+  /// wildcard, in order ("**" is not capturable). std::nullopt = no match.
+  std::optional<std::vector<std::string>> Capture(const Path& p) const;
+
+  /// Substitutes captured labels into this glob's "*" wildcards, yielding
+  /// a concrete path. Fails if the arity differs or "**" is present.
+  Result<Path> Substitute(const std::vector<std::string>& bindings) const;
+
+  /// Number of "*" wildcards (capture arity).
+  size_t StarCount() const;
+
+  /// True if any wildcard is present.
+  bool HasWildcards() const;
+
+  /// True if every path this glob matches is also matched by `other`.
+  /// (Conservative: returns false when undecided; exact for globs without
+  /// "**".)
+  bool SubsumedBy(const PathGlob& other) const;
+
+  const std::vector<std::string>& segments() const { return segments_; }
+  std::string ToString() const;
+
+  bool operator==(const PathGlob& o) const { return segments_ == o.segments_; }
+  bool operator<(const PathGlob& o) const { return segments_ < o.segments_; }
+
+ private:
+  std::vector<std::string> segments_;
+};
+
+}  // namespace cpdb::tree

@@ -1,0 +1,93 @@
+#include "tree/path.h"
+
+#include <cassert>
+#include <cstdlib>
+
+#include "util/str.h"
+
+namespace cpdb::tree {
+
+bool IsValidLabel(const std::string& label) {
+  return !label.empty() && label.find('/') == std::string::npos;
+}
+
+Path::Path(std::vector<std::string> labels) : labels_(std::move(labels)) {
+#ifndef NDEBUG
+  for (const auto& l : labels_) assert(IsValidLabel(l));
+#endif
+}
+
+Result<Path> Path::Parse(const std::string& text) {
+  if (text.empty()) return Path();
+  std::vector<std::string> labels = Split(text, '/');
+  for (const auto& l : labels) {
+    if (!IsValidLabel(l)) {
+      return Status::InvalidArgument("invalid path label in '" + text + "'");
+    }
+  }
+  return Path(std::move(labels));
+}
+
+Path Path::MustParse(const std::string& text) {
+  Result<Path> r = Parse(text);
+  if (!r.ok()) {
+    std::abort();
+  }
+  return std::move(r).value();
+}
+
+Path Path::Parent() const {
+  assert(!IsRoot());
+  std::vector<std::string> labels(labels_.begin(), labels_.end() - 1);
+  return Path(std::move(labels));
+}
+
+Path Path::Child(const std::string& label) const {
+  std::vector<std::string> labels = labels_;
+  labels.push_back(label);
+  return Path(std::move(labels));
+}
+
+Path Path::Concat(const Path& suffix) const {
+  std::vector<std::string> labels = labels_;
+  labels.insert(labels.end(), suffix.labels_.begin(), suffix.labels_.end());
+  return Path(std::move(labels));
+}
+
+bool Path::IsPrefixOf(const Path& other) const {
+  if (labels_.size() > other.labels_.size()) return false;
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    if (labels_[i] != other.labels_[i]) return false;
+  }
+  return true;
+}
+
+bool Path::IsStrictPrefixOf(const Path& other) const {
+  return labels_.size() < other.labels_.size() && IsPrefixOf(other);
+}
+
+Result<Path> Path::RelativeTo(const Path& ancestor) const {
+  if (!ancestor.IsPrefixOf(*this)) {
+    return Status::InvalidArgument("'" + ancestor.ToString() +
+                                   "' is not a prefix of '" + ToString() +
+                                   "'");
+  }
+  std::vector<std::string> labels(labels_.begin() + ancestor.Depth(),
+                                  labels_.end());
+  return Path(std::move(labels));
+}
+
+Path Path::Rebase(const Path& from, const Path& to) const {
+  assert(from.IsPrefixOf(*this));
+  std::vector<std::string> labels = to.labels_;
+  labels.insert(labels.end(), labels_.begin() + from.Depth(), labels_.end());
+  return Path(std::move(labels));
+}
+
+std::string Path::ToString() const { return Join(labels_, '/'); }
+
+std::ostream& operator<<(std::ostream& os, const Path& p) {
+  return os << p.ToString();
+}
+
+}  // namespace cpdb::tree

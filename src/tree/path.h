@@ -1,0 +1,83 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace cpdb::tree {
+
+/// A path p in Sigma* addressing a unique node of an edge-labeled tree
+/// (paper Section 2). Rendered as slash-separated labels, e.g. "T/c1/y".
+///
+/// The empty path addresses the root. Labels may not contain '/' and may
+/// not be empty. Paths are small value types ordered lexicographically by
+/// their label sequence, which makes ancestor ranges contiguous in sorted
+/// containers and B-trees (used by prefix scans in the provenance store).
+class Path {
+ public:
+  /// The root (empty) path.
+  Path() = default;
+
+  /// Builds a path from explicit labels. Precondition: labels are valid.
+  explicit Path(std::vector<std::string> labels);
+
+  /// Parses "a/b/c". Empty string yields the root path. Fails on empty
+  /// labels (e.g. "a//b") or leading/trailing slashes.
+  static Result<Path> Parse(const std::string& text);
+
+  /// Parses, aborting on error. Only for use with trusted literals in
+  /// tests/examples.
+  static Path MustParse(const std::string& text);
+
+  bool IsRoot() const { return labels_.empty(); }
+  size_t Depth() const { return labels_.size(); }
+  const std::vector<std::string>& labels() const { return labels_; }
+  const std::string& At(size_t i) const { return labels_[i]; }
+
+  /// Final label. Precondition: !IsRoot().
+  const std::string& Leaf() const { return labels_.back(); }
+
+  /// Path with the final label removed. Precondition: !IsRoot().
+  Path Parent() const;
+
+  /// This path extended by one label.
+  Path Child(const std::string& label) const;
+
+  /// This path followed by all labels of `suffix`.
+  Path Concat(const Path& suffix) const;
+
+  /// True if this path is a (non-strict) prefix of `other` — the "p <= q"
+  /// relation in the paper's Mod query.
+  bool IsPrefixOf(const Path& other) const;
+
+  /// True if this is a strict (proper) prefix of `other`.
+  bool IsStrictPrefixOf(const Path& other) const;
+
+  /// If this is a prefix of `other`, returns the remainder such that
+  /// this->Concat(remainder) == other.
+  Result<Path> RelativeTo(const Path& ancestor) const;
+
+  /// Replaces the prefix `from` with `to`. Precondition established by
+  /// caller: `from` is a prefix of this path. Used by hierarchical
+  /// provenance inference: if p was copied from q, then p/a came from q/a.
+  Path Rebase(const Path& from, const Path& to) const;
+
+  /// Slash-joined rendering; "" for the root.
+  std::string ToString() const;
+
+  bool operator==(const Path& other) const { return labels_ == other.labels_; }
+  bool operator!=(const Path& other) const { return !(*this == other); }
+  bool operator<(const Path& other) const { return labels_ < other.labels_; }
+
+ private:
+  std::vector<std::string> labels_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Path& p);
+
+/// Validates a single edge label: non-empty and without '/'.
+bool IsValidLabel(const std::string& label);
+
+}  // namespace cpdb::tree

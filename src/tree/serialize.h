@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+
+#include "tree/tree.h"
+#include "util/result.h"
+
+namespace cpdb::tree {
+
+/// Parses the compact tree literal syntax produced by Tree::ToString():
+///
+///   tree    ::= '{' [binding (',' binding)*] '}' | value
+///   binding ::= label ':' tree
+///   value   ::= integer | float | quoted string | bare word | 'null'
+///
+/// Examples: `{}`; `{x: 1, y: 2}`; `{a1: {x: 1, y: 3}}`; `"hello"`.
+/// Bare words (unquoted strings without structural characters) parse as
+/// string values, so `{name: ABC1}` is accepted.
+Result<Tree> ParseTree(const std::string& text);
+
+/// Multi-line indented rendering for human consumption, e.g.
+///   a1
+///     x = 1
+///     y = 3
+std::string ToPretty(const Tree& t);
+
+}  // namespace cpdb::tree

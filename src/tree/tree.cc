@@ -1,0 +1,225 @@
+#include "tree/tree.h"
+
+#include <sstream>
+
+namespace cpdb::tree {
+
+Tree Tree::Clone() const {
+  Tree out;
+  out.value_ = value_;
+  for (const auto& [label, child] : children_) {
+    out.children_.emplace(label, std::make_unique<Tree>(child->Clone()));
+  }
+  return out;
+}
+
+Status Tree::SetValue(Value v) {
+  if (!children_.empty()) {
+    return Status::InvalidArgument(
+        "cannot set a value on a node with children");
+  }
+  value_ = std::move(v);
+  return Status::OK();
+}
+
+const Tree* Tree::GetChild(const std::string& label) const {
+  auto it = children_.find(label);
+  return it == children_.end() ? nullptr : it->second.get();
+}
+
+Tree* Tree::GetChild(const std::string& label) {
+  auto it = children_.find(label);
+  return it == children_.end() ? nullptr : it->second.get();
+}
+
+Status Tree::AddChild(const std::string& label, Tree subtree) {
+  if (!IsValidLabel(label)) {
+    return Status::InvalidArgument("invalid edge label '" + label + "'");
+  }
+  if (value_.has_value()) {
+    return Status::InvalidArgument(
+        "cannot add child '" + label + "' to a leaf carrying a value");
+  }
+  auto [it, inserted] =
+      children_.emplace(label, std::make_unique<Tree>(std::move(subtree)));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("edge '" + label + "' already exists");
+  }
+  return Status::OK();
+}
+
+Status Tree::RemoveChild(const std::string& label) {
+  if (children_.erase(label) == 0) {
+    return Status::NotFound("edge '" + label + "' does not exist");
+  }
+  return Status::OK();
+}
+
+Result<Tree> Tree::TakeChild(const std::string& label) {
+  auto it = children_.find(label);
+  if (it == children_.end()) {
+    return Status::NotFound("edge '" + label + "' does not exist");
+  }
+  Tree out = std::move(*it->second);
+  children_.erase(it);
+  return out;
+}
+
+void Tree::PutChild(const std::string& label, Tree subtree) {
+  children_[label] = std::make_unique<Tree>(std::move(subtree));
+  value_.reset();
+}
+
+const Tree* Tree::Find(const Path& p) const {
+  const Tree* cur = this;
+  for (const auto& label : p.labels()) {
+    cur = cur->GetChild(label);
+    if (cur == nullptr) return nullptr;
+  }
+  return cur;
+}
+
+Tree* Tree::Find(const Path& p) {
+  return const_cast<Tree*>(static_cast<const Tree*>(this)->Find(p));
+}
+
+Status Tree::ReplaceAt(const Path& p, Tree subtree) {
+  if (p.IsRoot()) {
+    *this = std::move(subtree);
+    return Status::OK();
+  }
+  Tree* parent = Find(p.Parent());
+  if (parent == nullptr) {
+    return Status::NotFound("path '" + p.Parent().ToString() +
+                            "' does not exist");
+  }
+  if (parent->HasValue()) {
+    return Status::InvalidArgument("cannot create edge under leaf '" +
+                                   p.Parent().ToString() + "'");
+  }
+  parent->PutChild(p.Leaf(), std::move(subtree));
+  return Status::OK();
+}
+
+Status Tree::InsertAt(const Path& p, const std::string& label, Tree subtree) {
+  Tree* node = Find(p);
+  if (node == nullptr) {
+    return Status::NotFound("path '" + p.ToString() + "' does not exist");
+  }
+  return node->AddChild(label, std::move(subtree));
+}
+
+Status Tree::DeleteAt(const Path& p, const std::string& label) {
+  Tree* node = Find(p);
+  if (node == nullptr) {
+    return Status::NotFound("path '" + p.ToString() + "' does not exist");
+  }
+  return node->RemoveChild(label);
+}
+
+size_t Tree::DescendantCount() const {
+  size_t n = 0;
+  for (const auto& [label, child] : children_) {
+    (void)label;
+    n += 1 + child->DescendantCount();
+  }
+  return n;
+}
+
+size_t Tree::ByteSize() const {
+  size_t n = sizeof(Tree);
+  if (value_.has_value()) n += value_->ByteSize();
+  for (const auto& [label, child] : children_) {
+    n += label.size() + child->ByteSize();
+  }
+  return n;
+}
+
+bool Tree::Equals(const Tree& other) const {
+  if (value_.has_value() != other.value_.has_value()) return false;
+  if (value_.has_value() && !(*value_ == *other.value_)) return false;
+  if (children_.size() != other.children_.size()) return false;
+  auto it = children_.begin();
+  auto jt = other.children_.begin();
+  for (; it != children_.end(); ++it, ++jt) {
+    if (it->first != jt->first) return false;
+    if (!it->second->Equals(*jt->second)) return false;
+  }
+  return true;
+}
+
+uint64_t Tree::Hash() const {
+  // FNV-1a over a canonical encoding; children are visited in sorted order
+  // so the hash is independent of insertion order, matching the unordered
+  // tree model.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](const std::string& s) {
+    for (char c : s) {
+      h ^= static_cast<uint8_t>(c);
+      h *= 0x100000001b3ULL;
+    }
+    h ^= 0xff;
+    h *= 0x100000001b3ULL;
+  };
+  if (value_.has_value()) {
+    mix("v:" + value_->ToString());
+  }
+  for (const auto& [label, child] : children_) {
+    mix("l:" + label);
+    uint64_t ch = child->Hash();
+    for (int i = 0; i < 8; ++i) {
+      h ^= (ch >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  }
+  return h;
+}
+
+void Tree::Visit(
+    const std::function<void(const Path&, const Tree&)>& fn) const {
+  struct Walker {
+    const std::function<void(const Path&, const Tree&)>& fn;
+    void Walk(const Path& p, const Tree& t) {
+      fn(p, t);
+      for (const auto& [label, child] : t.children()) {
+        Walk(p.Child(label), *child);
+      }
+    }
+  };
+  Walker w{fn};
+  w.Walk(Path(), *this);
+}
+
+std::vector<Path> Tree::AllPaths() const {
+  std::vector<Path> out;
+  Visit([&out](const Path& p, const Tree&) { out.push_back(p); });
+  return out;
+}
+
+std::vector<Path> Tree::LeafPaths() const {
+  std::vector<Path> out;
+  Visit([&out](const Path& p, const Tree& t) {
+    if (!t.HasChildren()) out.push_back(p);
+  });
+  return out;
+}
+
+std::string Tree::ToString() const {
+  if (value_.has_value()) {
+    if (value_->is_string()) return "\"" + value_->AsString() + "\"";
+    return value_->ToString();
+  }
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const auto& [label, child] : children_) {
+    if (!first) os << ", ";
+    first = false;
+    os << label << ": " << child->ToString();
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace cpdb::tree

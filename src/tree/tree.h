@@ -1,0 +1,157 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tree/path.h"
+#include "tree/value.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace cpdb::tree {
+
+/// An unordered, edge-labeled tree with data values at the leaves — the
+/// paper's data model (Section 2): t ::= {a1 : v1, ..., an : vn} where each
+/// vi is a subtree or a data value.
+///
+/// A Tree object is one node; its children are owned subtrees reached by
+/// labeled edges. Invariant: a node carries a Value only if it has no
+/// children ("values only at the leaves"). A node with neither children
+/// nor value is the empty tree {} — a legal insert payload in the update
+/// language ("ins {c2 : {}} into T").
+///
+/// Trees are move-only; deep copies are explicit via Clone() because the
+/// copy operation of the update language is semantically a deep copy and
+/// accidental copies of multi-megabyte curated databases are a bug.
+///
+/// Children are kept in a std::map so iteration order is deterministic,
+/// which the model permits (trees are unordered, so any canonical order is
+/// sound) and which makes serialization, hashing, and tests reproducible.
+class Tree {
+ public:
+  /// Constructs the empty tree {}.
+  Tree() = default;
+
+  /// Constructs a leaf carrying `v`.
+  explicit Tree(Value v) : value_(std::move(v)) {}
+
+  Tree(Tree&&) = default;
+  Tree& operator=(Tree&&) = default;
+  Tree(const Tree&) = delete;
+  Tree& operator=(const Tree&) = delete;
+
+  /// Deep copy of this subtree.
+  Tree Clone() const;
+
+  // ----- Node-local accessors -------------------------------------------
+
+  bool HasValue() const { return value_.has_value(); }
+  /// Precondition: HasValue().
+  const Value& value() const { return *value_; }
+
+  /// Sets the leaf value. Fails if this node has children.
+  Status SetValue(Value v);
+  /// Removes the leaf value (node becomes the empty tree if childless).
+  void ClearValue() { value_.reset(); }
+
+  bool HasChildren() const { return !children_.empty(); }
+  size_t ChildCount() const { return children_.size(); }
+
+  /// True for a node with neither children nor value.
+  bool IsEmpty() const { return children_.empty() && !value_.has_value(); }
+
+  /// Child by label, or nullptr.
+  const Tree* GetChild(const std::string& label) const;
+  Tree* GetChild(const std::string& label);
+
+  /// Deterministic (sorted) iteration over children.
+  const std::map<std::string, std::unique_ptr<Tree>>& children() const {
+    return children_;
+  }
+
+  /// Adds edge `label` to `subtree`. Fails with AlreadyExists if the label
+  /// is present (the paper's t ] t' union) and InvalidArgument if this node
+  /// holds a value (values live only at leaves) or the label is malformed.
+  Status AddChild(const std::string& label, Tree subtree);
+
+  /// Removes edge `label` and its subtree. Fails with NotFound if absent
+  /// (the paper's t - a operation).
+  Status RemoveChild(const std::string& label);
+
+  /// Removes and returns the subtree under `label`, or NotFound.
+  Result<Tree> TakeChild(const std::string& label);
+
+  /// Replaces (or creates) edge `label` with `subtree`.
+  void PutChild(const std::string& label, Tree subtree);
+
+  // ----- Path-addressed operations (relative to this node) ---------------
+
+  /// Node at `p`, or nullptr if the path does not exist.
+  const Tree* Find(const Path& p) const;
+  Tree* Find(const Path& p);
+
+  bool Contains(const Path& p) const { return Find(p) != nullptr; }
+
+  /// The paper's t[p := t'] — replaces the subtree at `p`. As in the
+  /// paper's examples (operation (7) "copy S1/a3 into T/c3" targets a
+  /// fresh edge), the final edge of `p` is created if absent, but the
+  /// parent of `p` must exist; fails with NotFound otherwise.
+  Status ReplaceAt(const Path& p, Tree subtree);
+
+  /// Inserts edge {label : subtree} under the node at `p`
+  /// (the paper's "ins {a : v} into p"). Fails with NotFound if `p` is
+  /// absent, AlreadyExists on duplicate edge.
+  Status InsertAt(const Path& p, const std::string& label, Tree subtree);
+
+  /// Deletes edge `label` under the node at `p`
+  /// (the paper's "del a from p"). Fails with NotFound if `p` or the edge
+  /// is absent.
+  Status DeleteAt(const Path& p, const std::string& label);
+
+  // ----- Whole-subtree utilities -----------------------------------------
+
+  /// Number of nodes in this subtree, excluding this (root) node. The
+  /// paper's provenance accounting counts the nodes a copy touches: a copy
+  /// of a "subtree of size four (a parent with three children)" touches 4
+  /// nodes = 1 (root, counted by the caller) + 3 descendants.
+  size_t DescendantCount() const;
+
+  /// Number of nodes in this subtree including this node.
+  size_t NodeCount() const { return 1 + DescendantCount(); }
+
+  /// Approximate in-memory footprint in bytes (labels + values + overhead).
+  size_t ByteSize() const;
+
+  /// Structural equality (labels, shape, and leaf values).
+  bool Equals(const Tree& other) const;
+
+  /// Order-independent structural hash (FNV over canonical encoding).
+  uint64_t Hash() const;
+
+  /// Calls `fn(path, node)` for every node in preorder; `path` is relative
+  /// to this node (the root gets the empty path).
+  void Visit(
+      const std::function<void(const Path&, const Tree&)>& fn) const;
+
+  /// All node paths in this subtree (preorder), relative to this node,
+  /// including the empty path for this node itself.
+  std::vector<Path> AllPaths() const;
+
+  /// All leaf paths (nodes with values or empty trees).
+  std::vector<Path> LeafPaths() const;
+
+  /// Compact one-line rendering: {a: {x: 1}, b: "s"} — parseable by
+  /// ParseTree() in serialize.h.
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Tree>> children_;
+  std::optional<Value> value_;
+};
+
+}  // namespace cpdb::tree

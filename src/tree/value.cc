@@ -1,0 +1,34 @@
+#include "tree/value.h"
+
+#include <sstream>
+
+#include "util/str.h"
+
+namespace cpdb::tree {
+
+std::string Value::ToString() const {
+  if (is_null()) return "null";
+  if (is_int()) return std::to_string(AsInt());
+  if (is_double()) {
+    std::ostringstream os;
+    os << AsDouble();
+    return os.str();
+  }
+  return AsString();
+}
+
+Value Value::FromString(const std::string& s) {
+  if (s == "null") return Value();
+  int64_t i;
+  if (ParseInt64(s, &i)) return Value(i);
+  double d;
+  if (ParseDouble(s, &d)) return Value(d);
+  return Value(s);
+}
+
+size_t Value::ByteSize() const {
+  if (is_string()) return AsString().size() + sizeof(size_t);
+  return 8;
+}
+
+}  // namespace cpdb::tree

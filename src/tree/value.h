@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace cpdb::tree {
+
+/// A leaf data value from the paper's domain D.
+///
+/// The paper's trees "store data values from some domain D only at the
+/// leaves". We support the value kinds that occur in curated scientific
+/// databases: integers, floating point numbers, and strings, plus a null
+/// marker used for leaves that exist structurally but carry no datum.
+class Value {
+ public:
+  /// Null value (distinct from "no value": an interior node has no Value
+  /// at all, while a leaf may carry an explicit null).
+  Value() : v_(std::monostate{}) {}
+  Value(int64_t v) : v_(v) {}                 // NOLINT
+  Value(double v) : v_(v) {}                  // NOLINT
+  Value(std::string v) : v_(std::move(v)) {}  // NOLINT
+  Value(const char* v) : v_(std::string(v)) {}  // NOLINT
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+
+  /// Precondition: is_int().
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  /// Precondition: is_double().
+  double AsDouble() const { return std::get<double>(v_); }
+  /// Precondition: is_string().
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  /// Canonical textual rendering ("null", "12", "3.5", or the raw string).
+  std::string ToString() const;
+
+  /// Parses the canonical rendering back: integers and doubles are
+  /// recognised, "null" maps to the null value, everything else is a string.
+  static Value FromString(const std::string& s);
+
+  bool operator==(const Value& other) const { return v_ == other.v_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  bool operator<(const Value& other) const { return v_ < other.v_; }
+
+  /// Approximate in-memory footprint in bytes, used by storage accounting.
+  size_t ByteSize() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> v_;
+};
+
+}  // namespace cpdb::tree

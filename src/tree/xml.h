@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+
+#include "tree/tree.h"
+#include "util/result.h"
+
+namespace cpdb::tree {
+
+/// XML round-tripping for trees.
+///
+/// The paper uses XML "only as an abstraction for exchanging and locating
+/// data in databases" (Section 1.3). These helpers render a tree as keyed
+/// XML and parse such XML back. Tree children map to nested elements; leaf
+/// values become element text. Because tree edges within a parent are
+/// unique (the model requires each label sequence to identify at most one
+/// element), elements produced by ToXml never repeat a tag within a parent.
+///
+/// FromXml supports general well-formed XML subsets without attributes or
+/// namespaces; repeated sibling tags are disambiguated by appending
+/// "{2}", "{3}", ... to later duplicates, mirroring the keyed-XML
+/// convention of Buneman et al.'s archiving work that the paper builds on
+/// (e.g. "Citation{3}/Title").
+std::string ToXml(const Tree& t, const std::string& root_tag = "db");
+
+Result<Tree> FromXml(const std::string& xml);
+
+/// Escapes &, <, >, " for inclusion in XML text.
+std::string XmlEscape(const std::string& s);
+
+}  // namespace cpdb::tree

@@ -1,0 +1,37 @@
+#include "update/bulk.h"
+
+namespace cpdb::update {
+
+std::vector<tree::Path> MatchPaths(const tree::Tree& universe,
+                                   const tree::PathGlob& glob) {
+  std::vector<tree::Path> out;
+  universe.Visit([&](const tree::Path& p, const tree::Tree&) {
+    if (!p.IsRoot() && glob.Matches(p)) out.push_back(p);
+  });
+  return out;
+}
+
+Result<Script> ExpandBulkCopy(const tree::Tree& universe,
+                              const BulkCopySpec& spec) {
+  if (spec.src.StarCount() != spec.dst.StarCount()) {
+    return Status::InvalidArgument(
+        "bulk copy wildcard arity mismatch: " + spec.ToString());
+  }
+  for (const std::string& seg : spec.dst.segments()) {
+    if (seg == "**") {
+      return Status::InvalidArgument(
+          "bulk copy destination cannot contain '**'");
+    }
+  }
+  Script script;
+  for (const tree::Path& src_path : MatchPaths(universe, spec.src)) {
+    auto bindings = spec.src.Capture(src_path);
+    if (!bindings.has_value()) continue;  // cannot happen; defensive
+    CPDB_ASSIGN_OR_RETURN(tree::Path dst_path,
+                          spec.dst.Substitute(*bindings));
+    script.push_back(Update::Copy(src_path, dst_path));
+  }
+  return script;
+}
+
+}  // namespace cpdb::update

@@ -1,0 +1,39 @@
+#pragma once
+
+#include "tree/glob.h"
+#include "tree/tree.h"
+#include "update/update.h"
+#include "util/result.h"
+
+namespace cpdb::update {
+
+/// A declarative bulk copy (paper Section 6, future work): copy every
+/// source location matching `src` to the target location obtained by
+/// substituting the captured "*" bindings into `dst`.
+///
+/// Example: {src: "S1/*/organelle", dst: "T/*/organelle"} copies the
+/// organelle field of every S1 entry onto the same-named entry of T.
+struct BulkCopySpec {
+  tree::PathGlob src;
+  tree::PathGlob dst;
+
+  std::string ToString() const {
+    return "copy " + src.ToString() + " into " + dst.ToString();
+  }
+};
+
+/// Compiles a bulk copy into the equivalent sequence of atomic copies
+/// against the current universe, in deterministic (path) order.
+///
+/// Requirements: `src` and `dst` must have the same "*" arity and no
+/// "**" in `dst`. The expansion is proportional to the matched data —
+/// exactly the provenance blow-up that motivates approximate glob records
+/// (one ApproxRecord describes the whole statement).
+Result<Script> ExpandBulkCopy(const tree::Tree& universe,
+                              const BulkCopySpec& spec);
+
+/// All paths in `universe` matching the glob, preorder.
+std::vector<tree::Path> MatchPaths(const tree::Tree& universe,
+                                   const tree::PathGlob& glob);
+
+}  // namespace cpdb::update

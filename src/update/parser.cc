@@ -1,0 +1,182 @@
+#include "update/parser.h"
+
+#include <cctype>
+
+#include "util/str.h"
+
+namespace cpdb::update {
+
+namespace {
+
+/// Cursor over one update line.
+class LineParser {
+ public:
+  explicit LineParser(std::string_view s) : s_(s) {}
+
+  Result<Update> Parse() {
+    std::string verb = Word();
+    if (verb == "insert" || verb == "ins") return ParseInsert();
+    if (verb == "delete" || verb == "del") return ParseDelete();
+    if (verb == "copy") return ParseCopy();
+    return Status::InvalidArgument("unknown update verb '" + verb + "'");
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  /// Next run of non-space, non-structural characters.
+  std::string Word() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c)) || c == '{' ||
+          c == '}' || c == ':') {
+        break;
+      }
+      ++pos_;
+    }
+    return std::string(s_.substr(start, pos_ - start));
+  }
+
+  Status Expect(const std::string& keyword) {
+    std::string w = Word();
+    if (w != keyword) {
+      return Status::InvalidArgument("expected '" + keyword + "', got '" + w +
+                                     "'");
+    }
+    return Status::OK();
+  }
+
+  Result<tree::Path> ParsePath() {
+    std::string w = Word();
+    return tree::Path::Parse(w);
+  }
+
+  Result<Update> ParseInsert() {
+    if (!Consume('{')) {
+      return Status::InvalidArgument("expected '{' after insert");
+    }
+    std::string label = Word();
+    if (label.empty()) {
+      return Status::InvalidArgument("expected edge label in insert");
+    }
+    if (!Consume(':')) {
+      return Status::InvalidArgument("expected ':' in insert payload");
+    }
+    std::optional<tree::Value> value;
+    SkipSpace();
+    if (Consume('{')) {
+      if (!Consume('}')) {
+        return Status::InvalidArgument(
+            "insert payload must be a value or the empty tree {}");
+      }
+      value = std::nullopt;
+    } else if (pos_ < s_.size() && s_[pos_] == '"') {
+      ++pos_;
+      std::string str;
+      while (pos_ < s_.size() && s_[pos_] != '"') str.push_back(s_[pos_++]);
+      if (pos_ == s_.size()) {
+        return Status::InvalidArgument("unterminated string payload");
+      }
+      ++pos_;
+      value = tree::Value(str);
+    } else {
+      std::string w = Word();
+      if (w.empty()) {
+        return Status::InvalidArgument("expected insert payload");
+      }
+      value = tree::Value::FromString(w);
+    }
+    if (!Consume('}')) {
+      return Status::InvalidArgument("expected '}' closing insert payload");
+    }
+    CPDB_RETURN_IF_ERROR(Expect("into"));
+    CPDB_ASSIGN_OR_RETURN(tree::Path p, ParsePath());
+    return Update::Insert(std::move(p), std::move(label), std::move(value));
+  }
+
+  Result<Update> ParseDelete() {
+    std::string label = Word();
+    if (label.empty()) {
+      return Status::InvalidArgument("expected edge label in delete");
+    }
+    CPDB_RETURN_IF_ERROR(Expect("from"));
+    CPDB_ASSIGN_OR_RETURN(tree::Path p, ParsePath());
+    return Update::Delete(std::move(p), std::move(label));
+  }
+
+  Result<Update> ParseCopy() {
+    CPDB_ASSIGN_OR_RETURN(tree::Path q, ParsePath());
+    CPDB_RETURN_IF_ERROR(Expect("into"));
+    CPDB_ASSIGN_OR_RETURN(tree::Path p, ParsePath());
+    return Update::Copy(std::move(q), std::move(p));
+  }
+
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+/// Strips "(12)" numbering prefixes and trailing ';'.
+std::string_view StripDecoration(std::string_view line) {
+  line = StripWhitespace(line);
+  if (!line.empty() && line.front() == '(') {
+    size_t close = line.find(')');
+    if (close != std::string_view::npos) {
+      bool all_digits = close > 1;
+      for (size_t i = 1; i < close; ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(line[i]))) {
+          all_digits = false;
+          break;
+        }
+      }
+      if (all_digits) line = StripWhitespace(line.substr(close + 1));
+    }
+  }
+  while (!line.empty() && line.back() == ';') {
+    line = StripWhitespace(line.substr(0, line.size() - 1));
+  }
+  return line;
+}
+
+}  // namespace
+
+Result<Update> ParseUpdate(const std::string& line) {
+  std::string_view stripped = StripDecoration(line);
+  if (stripped.empty()) {
+    return Status::InvalidArgument("empty update line");
+  }
+  return LineParser(stripped).Parse();
+}
+
+Result<Script> ParseScript(const std::string& text) {
+  Script script;
+  // Split on newlines first, then on ';' within each line.
+  for (const std::string& raw_line : Split(text, '\n')) {
+    std::string_view line = StripWhitespace(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+    for (const std::string& piece : Split(std::string(line), ';')) {
+      std::string_view sv = StripWhitespace(piece);
+      if (sv.empty() || sv.front() == '#') continue;
+      CPDB_ASSIGN_OR_RETURN(Update u, ParseUpdate(std::string(sv)));
+      script.push_back(std::move(u));
+    }
+  }
+  return script;
+}
+
+}  // namespace cpdb::update

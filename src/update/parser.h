@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+
+#include "update/update.h"
+#include "util/result.h"
+
+namespace cpdb::update {
+
+/// Parses one atomic update in the paper's concrete syntax:
+///
+///   insert {c2 : {}} into T
+///   insert {y : 12} into T/c4
+///   delete c5 from T
+///   copy S1/a1/y into T/c1/y
+///
+/// `ins` and `del` are accepted as synonyms of `insert`/`delete`; string
+/// payloads may be double-quoted.
+Result<Update> ParseUpdate(const std::string& line);
+
+/// Parses a whole script: one operation per line or ';'-separated, with
+/// optional "(n)" numbering prefixes exactly as printed in the paper's
+/// Figure 3, plus '#' line comments and blank lines.
+Result<Script> ParseScript(const std::string& text);
+
+}  // namespace cpdb::update

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace cpdb {
+
+/// Minimal command-line flag parser for the benchmark and example binaries.
+///
+/// Accepts `--name=value` and `--name value` forms; everything else is
+/// ignored. Values are looked up with typed accessors that fall back to a
+/// default when the flag is absent or malformed.
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  /// True if `--name` was present (with or without a value).
+  bool Has(const std::string& name) const;
+
+  int64_t GetInt(const std::string& name, int64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  std::string GetString(const std::string& name,
+                        const std::string& def) const;
+  bool GetBool(const std::string& name, bool def) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace cpdb

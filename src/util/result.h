@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace cpdb {
+
+/// Either a value of type T or an error Status. Analogous to
+/// arrow::Result / absl::StatusOr.
+///
+/// Usage:
+///   Result<Path> r = Path::Parse("T/c1/y");
+///   if (!r.ok()) return r.status();
+///   const Path& p = r.value();
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Constructs from a value (implicit by design, like StatusOr).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+
+  /// Constructs from a non-OK status. Aborts (in debug) if the status is OK,
+  /// since an OK Result must carry a value.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the contained value or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_ = Status::OK();
+  std::optional<T> value_;
+};
+
+/// Propagates an error Result; otherwise assigns the unwrapped value.
+#define CPDB_ASSIGN_OR_RETURN(lhs, expr)            \
+  CPDB_ASSIGN_OR_RETURN_IMPL_(                      \
+      CPDB_CONCAT_(_cpdb_result_, __LINE__), lhs, expr)
+
+#define CPDB_CONCAT_INNER_(a, b) a##b
+#define CPDB_CONCAT_(a, b) CPDB_CONCAT_INNER_(a, b)
+
+#define CPDB_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+}  // namespace cpdb

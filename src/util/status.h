@@ -1,0 +1,104 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace cpdb {
+
+/// Error categories used across the CPDB public API.
+///
+/// The library follows the RocksDB / Arrow convention of returning Status
+/// (or Result<T>) from any operation that can fail, instead of throwing
+/// exceptions across the public API boundary.
+enum class StatusCode {
+  kOk = 0,
+  /// A path mentioned by an update does not exist in the tree
+  /// (paper Section 2: "failing if path p is not present in t").
+  kNotFound,
+  /// An insert would create a duplicate edge label
+  /// (paper Section 2: "t ] t' fails if there are any shared edge names").
+  kAlreadyExists,
+  /// Input could not be parsed or violates a structural precondition.
+  kInvalidArgument,
+  /// An operation was attempted in a state that does not permit it
+  /// (e.g. committing a transaction that was never begun).
+  kFailedPrecondition,
+  /// Internal invariant violation; always a bug in the library.
+  kInternal,
+  /// Feature is recognised but not supported by this build/configuration.
+  kNotSupported,
+};
+
+/// Human-readable name for a StatusCode (e.g. "NotFound").
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of an operation: a code plus an optional message.
+///
+/// `Status::OK()` is cheap (no allocation). Statuses are small value types
+/// and may be freely copied. Functions returning Status are marked
+/// [[nodiscard]] by convention at the call site via this type's attribute.
+class [[nodiscard]] Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Propagates a non-OK status to the caller.
+#define CPDB_RETURN_IF_ERROR(expr)             \
+  do {                                         \
+    ::cpdb::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+}  // namespace cpdb

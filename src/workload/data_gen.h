@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+
+#include "relstore/database.h"
+#include "tree/tree.h"
+#include "util/status.h"
+
+namespace cpdb::workload {
+
+/// Synthetic stand-ins for the paper's evaluation data (Section 4.1).
+/// Only the tree *shape* matters to the experiments — the updates are
+/// random and "the copies were all of subtrees of size four (a parent
+/// with three children)" — so the generators reproduce shape and scale
+/// with deterministic pseudo-biological content.
+
+/// MiMI-like curated target: protein-interaction entries, each a record
+/// with a handful of leaf fields and a small nested substructure.
+/// `entries` scales the database (the paper used a 27.3 MB MiMI copy).
+tree::Tree GenMimiLike(size_t entries, uint64_t seed);
+
+/// OrganelleDB-like source: `entries` subtrees of size four — a parent
+/// with exactly three leaf children (protein, organelle, species) — the
+/// copy-unit shape of every experiment.
+tree::Tree GenOrganelleLike(size_t entries, uint64_t seed);
+
+/// The same OrganelleDB-like content as a relational table
+/// organelle(id, protein, organelle, species) inside `db`, for use with
+/// wrap::RelationalSourceDb. Returns the created table's name.
+Result<std::string> FillOrganelleRelational(relstore::Database* db,
+                                            size_t rows, uint64_t seed);
+
+}  // namespace cpdb::workload

@@ -1,0 +1,76 @@
+#include "wrap/relational_source.h"
+
+namespace cpdb::wrap {
+
+tree::Value RelationalSourceDb::DatumToValue(const relstore::Datum& d) {
+  if (d.is_int()) return tree::Value(d.AsInt());
+  if (d.is_double()) return tree::Value(d.AsDouble());
+  if (d.is_string()) return tree::Value(d.AsString());
+  return tree::Value();  // NULL
+}
+
+tree::Tree RelationalSourceDb::RowToTree(const relstore::Schema& schema,
+                                         const relstore::Row& row) {
+  tree::Tree tuple;
+  for (size_t c = 1; c < row.size(); ++c) {
+    // Field labels come from the schema; tables with duplicate column
+    // names are rejected at schema level, so AddChild cannot collide.
+    (void)tuple.AddChild(schema.column(c).name,
+                         tree::Tree(DatumToValue(row[c])));
+  }
+  return tuple;
+}
+
+Result<tree::Tree> RelationalSourceDb::TreeFromDb() {
+  tree::Tree root;
+  size_t rows = 0;
+  for (const std::string& table_name : tables_) {
+    CPDB_ASSIGN_OR_RETURN(const relstore::Table* table,
+                          static_cast<const relstore::Database*>(db_)
+                              ->GetTable(table_name));
+    tree::Tree rel;
+    Status inner = Status::OK();
+    table->Scan([&](const relstore::Rid&, const relstore::Row& row) {
+      if (row.empty()) return true;
+      std::string label = row[0].ToString();
+      Status st = rel.AddChild(label, RowToTree(table->schema(), row));
+      if (!st.ok()) {
+        // Duplicate first-column keys break path uniqueness; surface it.
+        inner = Status::InvalidArgument(
+            "table '" + table_name +
+            "' has duplicate tuple identifier: " + label);
+        return false;
+      }
+      ++rows;
+      return true;
+    });
+    CPDB_RETURN_IF_ERROR(inner);
+    CPDB_RETURN_IF_ERROR(root.AddChild(table_name, std::move(rel)));
+  }
+  // One client call shipping the whole exposed view.
+  db_->cost().ChargeCall(rows);
+  return root;
+}
+
+Result<std::vector<CopiedNode>> RelationalSourceDb::CopyNode(
+    const tree::Path& rel) {
+  // Materialise the view and export from it; a production wrapper would
+  // translate the path into a point query, which we emulate cost-wise by
+  // charging only the returned rows.
+  CPDB_ASSIGN_OR_RETURN(tree::Tree view, TreeFromDb());
+  const tree::Tree* node = view.Find(rel);
+  if (node == nullptr) {
+    return Status::NotFound("no node at '" + rel.ToString() + "' in source " +
+                            name_);
+  }
+  std::vector<CopiedNode> out;
+  node->Visit([&](const tree::Path& sub, const tree::Tree& t) {
+    CopiedNode cn;
+    cn.path = rel.Concat(sub);
+    if (t.HasValue()) cn.value = t.value();
+    out.push_back(std::move(cn));
+  });
+  return out;
+}
+
+}  // namespace cpdb::wrap

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "relstore/database.h"
+#include "wrap/target_db.h"
+
+namespace cpdb::wrap {
+
+/// A relational database as the curated target, addressed by four-level
+/// paths R/tid/F (table / tuple / field) below the mount label. This
+/// demonstrates the paper's claim that "any underlying data model for
+/// which path addresses make sense can be used" on the *target* side too.
+///
+/// Path-to-SQL mapping of the atomic updates:
+///   ins {tid : {}} into R          -> INSERT a fresh tuple (NULL fields)
+///   ins {F : v} into R/tid         -> UPDATE R SET F = v (F was NULL)
+///   del tid from R                 -> DELETE FROM R WHERE key = tid
+///   del F from R/tid               -> UPDATE R SET F = NULL
+///   copy ... into R/tid            -> upsert the whole tuple
+///   copy ... into R/tid/F          -> UPDATE R SET F = value
+/// Updates that do not fit the relational schema (new tables, extra
+/// nesting, unknown fields) fail with NotSupported/InvalidArgument —
+/// mirroring a real wrapper's schema mapping limits.
+class RelationalTargetDb : public TargetDb {
+ public:
+  /// Exposes `tables` of `db`; first column of each table is the tuple
+  /// identifier (as in RelationalSourceDb).
+  RelationalTargetDb(std::string name, relstore::Database* db,
+                     std::vector<std::string> tables)
+      : name_(std::move(name)), db_(db), tables_(std::move(tables)) {}
+
+  const std::string& name() const override { return name_; }
+
+  Result<tree::Tree> TreeFromDb() override;
+
+  Status ApplyNative(const update::Update& u,
+                     const tree::Tree* copied_subtree) override;
+
+  relstore::CostModel& cost() override { return db_->cost(); }
+
+ private:
+  Result<relstore::Table*> TableFor(const std::string& name);
+
+  /// Finds the row with identifier `tid_label` (first-column rendering).
+  Result<relstore::Rid> FindRow(relstore::Table* table,
+                                const std::string& tid_label);
+
+  /// Replaces a row in place (delete + insert).
+  Status RewriteRow(relstore::Table* table, const relstore::Rid& rid,
+                    relstore::Row row);
+
+  static Result<relstore::Datum> ValueToDatum(const tree::Value& v,
+                                              relstore::ColumnType type);
+
+  std::string name_;
+  relstore::Database* db_;
+  std::vector<std::string> tables_;
+};
+
+}  // namespace cpdb::wrap

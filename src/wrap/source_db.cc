@@ -1,0 +1,22 @@
+#include "wrap/source_db.h"
+
+namespace cpdb::wrap {
+
+Result<std::vector<CopiedNode>> TreeSourceDb::CopyNode(
+    const tree::Path& rel) {
+  const tree::Tree* node = content_.Find(rel);
+  if (node == nullptr) {
+    return Status::NotFound("no node at '" + rel.ToString() + "' in source " +
+                            name_);
+  }
+  std::vector<CopiedNode> out;
+  node->Visit([&](const tree::Path& sub, const tree::Tree& t) {
+    CopiedNode cn;
+    cn.path = rel.Concat(sub);
+    if (t.HasValue()) cn.value = t.value();
+    out.push_back(std::move(cn));
+  });
+  return out;
+}
+
+}  // namespace cpdb::wrap

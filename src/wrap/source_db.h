@@ -1,0 +1,63 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tree/path.h"
+#include "tree/tree.h"
+#include "tree/value.h"
+#include "util/result.h"
+
+namespace cpdb::wrap {
+
+/// One node delivered by SourceDb::CopyNode — identifying path (relative
+/// to the source root) plus the leaf value, if any (Figure 6: "Each node
+/// contains the identifying path and data value").
+struct CopiedNode {
+  tree::Path path;
+  std::optional<tree::Value> value;
+};
+
+/// Wrapper a source database must implement (paper Figure 6): a
+/// fully-keyed XML (tree) view of the underlying data plus subtree
+/// export. "This approach does not require that any of the source or
+/// target databases represent data internally as XML" — see
+/// RelationalSourceDb for a relational implementation.
+class SourceDb {
+ public:
+  virtual ~SourceDb() = default;
+
+  /// The label under which this source is mounted (e.g. "S1",
+  /// "OrganelleDB").
+  virtual const std::string& name() const = 0;
+
+  /// treeFromDB(): the keyed tree view of the exposed data. The source
+  /// decides how much to expose ("it is up to the databases'
+  /// administrators how much data to expose").
+  virtual Result<tree::Tree> TreeFromDb() = 0;
+
+  /// copyNode(): the nodes of the subtree rooted at `rel` (preorder,
+  /// root first); a leaf yields a single-element list.
+  virtual Result<std::vector<CopiedNode>> CopyNode(const tree::Path& rel) = 0;
+};
+
+/// A source database that is natively a tree (flat XML file, web page —
+/// the paper's SwissProt/OMIM browsing scenario).
+class TreeSourceDb : public SourceDb {
+ public:
+  TreeSourceDb(std::string name, tree::Tree content)
+      : name_(std::move(name)), content_(std::move(content)) {}
+
+  const std::string& name() const override { return name_; }
+  Result<tree::Tree> TreeFromDb() override { return content_.Clone(); }
+  Result<std::vector<CopiedNode>> CopyNode(const tree::Path& rel) override;
+
+  const tree::Tree& content() const { return content_; }
+
+ private:
+  std::string name_;
+  tree::Tree content_;
+};
+
+}  // namespace cpdb::wrap

@@ -1,0 +1,35 @@
+#include "wrap/target_db.h"
+
+namespace cpdb::wrap {
+
+Status TreeTargetDb::ApplyNative(const update::Update& u,
+                                 const tree::Tree* copied_subtree) {
+  switch (u.kind) {
+    case update::OpKind::kInsert: {
+      tree::Tree payload;
+      if (u.value.has_value()) payload = tree::Tree(*u.value);
+      CPDB_RETURN_IF_ERROR(
+          content_.InsertAt(u.target, u.label, std::move(payload)));
+      cost_.ChargeCall(1);
+      return Status::OK();
+    }
+    case update::OpKind::kDelete: {
+      CPDB_RETURN_IF_ERROR(content_.DeleteAt(u.target, u.label));
+      cost_.ChargeCall(1);
+      return Status::OK();
+    }
+    case update::OpKind::kCopy: {
+      if (copied_subtree == nullptr) {
+        return Status::InvalidArgument(
+            "paste into the native store requires the copied subtree");
+      }
+      CPDB_RETURN_IF_ERROR(
+          content_.ReplaceAt(u.target, copied_subtree->Clone()));
+      cost_.ChargeCall(copied_subtree->NodeCount());
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown update kind");
+}
+
+}  // namespace cpdb::wrap

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <string>
+
+#include "relstore/cost_model.h"
+#include "tree/tree.h"
+#include "update/update.h"
+#include "util/result.h"
+
+namespace cpdb::wrap {
+
+/// Wrapper a target database must implement (paper Figure 6): initial
+/// tree view plus the update methods addNode / deleteNode / pasteNode,
+/// here unified as ApplyNative(update) since the three update verbs map
+/// 1:1 onto the atomic update language.
+///
+/// The editor keeps the authoritative universe tree; ApplyNative pushes
+/// each applied update through to the native store so it stays in sync,
+/// and charges the target's interaction cost (the dominant "dataset
+/// update" time of Figure 9 — Timber-over-SOAP in the paper).
+class TargetDb {
+ public:
+  virtual ~TargetDb() = default;
+
+  /// The label under which the target mounts in the universe (e.g. "T").
+  virtual const std::string& name() const = 0;
+
+  /// Initial content (fully-keyed tree view).
+  virtual Result<tree::Tree> TreeFromDb() = 0;
+
+  /// Mirrors one applied update into the native store. `u`'s paths are
+  /// relative to this database's root (the mount label stripped).
+  /// For copies the already-materialised subtree is supplied, because the
+  /// native store cannot see the editor's universe.
+  virtual Status ApplyNative(const update::Update& u,
+                             const tree::Tree* copied_subtree) = 0;
+
+  /// Accumulated simulated interaction cost.
+  virtual relstore::CostModel& cost() = 0;
+};
+
+/// A native tree/XML target database — the stand-in for MiMI-on-Timber.
+/// Content mirrors the editor's universe; ApplyNative re-applies the
+/// update locally and charges one round trip per update plus per-node
+/// costs for pastes.
+class TreeTargetDb : public TargetDb {
+ public:
+  TreeTargetDb(std::string name, tree::Tree initial,
+               relstore::CostParams cost_params = DefaultTargetCost())
+      : name_(std::move(name)),
+        content_(std::move(initial)),
+        cost_(cost_params) {}
+
+  /// Target-database interaction dominates per-op time in the paper
+  /// (hundreds of ms against Timber via SOAP); scaled down ~1000x like
+  /// the provenance-store costs so that ratios are preserved.
+  static relstore::CostParams DefaultTargetCost() {
+    relstore::CostParams p;
+    p.roundtrip_us = 400.0;
+    p.per_row_us = 10.0;
+    return p;
+  }
+
+  const std::string& name() const override { return name_; }
+  Result<tree::Tree> TreeFromDb() override { return content_.Clone(); }
+  Status ApplyNative(const update::Update& u,
+                     const tree::Tree* copied_subtree) override;
+  relstore::CostModel& cost() override { return cost_; }
+
+  const tree::Tree& content() const { return content_; }
+
+ private:
+  std::string name_;
+  tree::Tree content_;
+  relstore::CostModel cost_;
+};
+
+}  // namespace cpdb::wrap

@@ -1,0 +1,167 @@
+#include "relstore/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/rng.h"
+
+namespace cpdb::relstore {
+namespace {
+
+Row K(const std::string& s) { return Row{Datum(s)}; }
+Row K(int64_t i) { return Row{Datum(i)}; }
+
+TEST(BTreeTest, EmptyTree) {
+  BTree bt;
+  EXPECT_TRUE(bt.empty());
+  EXPECT_EQ(bt.Height(), 1u);
+  size_t n = 0;
+  bt.ScanAll([&](const Row&, const Rid&) {
+    ++n;
+    return true;
+  });
+  EXPECT_EQ(n, 0u);
+}
+
+TEST(BTreeTest, InsertAndLookup) {
+  BTree bt;
+  bt.Insert(K("b"), Rid{0, 1});
+  bt.Insert(K("a"), Rid{0, 2});
+  bt.Insert(K("c"), Rid{0, 3});
+  std::vector<Rid> found;
+  bt.LookupEq(K("a"), [&](const Row&, const Rid& rid) {
+    found.push_back(rid);
+    return true;
+  });
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0], (Rid{0, 2}));
+}
+
+TEST(BTreeTest, DuplicateKeysAllSurface) {
+  BTree bt;
+  for (uint16_t i = 0; i < 10; ++i) bt.Insert(K("dup"), Rid{0, i});
+  size_t n = 0;
+  bt.LookupEq(K("dup"), [&](const Row&, const Rid&) {
+    ++n;
+    return true;
+  });
+  EXPECT_EQ(n, 10u);
+  // Exact duplicate (key, rid) pairs are idempotent.
+  bt.Insert(K("dup"), Rid{0, 3});
+  EXPECT_EQ(bt.size(), 10u);
+}
+
+TEST(BTreeTest, OrderedScan) {
+  BTree bt;
+  for (int i = 999; i >= 0; --i) {
+    bt.Insert(K("k" + std::to_string(1000 + i)), Rid{0, 0});
+  }
+  std::vector<std::string> keys;
+  bt.ScanAll([&](const Row& k, const Rid&) {
+    keys.push_back(k[0].AsString());
+    return true;
+  });
+  ASSERT_EQ(keys.size(), 1000u);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_GT(bt.Height(), 1u);  // must actually have split
+}
+
+TEST(BTreeTest, ScanFromStartsAtLowerBound) {
+  BTree bt;
+  for (int i = 0; i < 100; ++i) {
+    bt.Insert(K(int64_t{i * 2}), Rid{0, 0});  // even keys
+  }
+  std::vector<int64_t> seen;
+  bt.ScanFrom(K(int64_t{51}), [&](const Row& k, const Rid&) {
+    seen.push_back(k[0].AsInt());
+    return seen.size() < 3;
+  });
+  EXPECT_EQ(seen, (std::vector<int64_t>{52, 54, 56}));
+}
+
+TEST(BTreeTest, EraseRemovesSpecificEntry) {
+  BTree bt;
+  bt.Insert(K("a"), Rid{0, 1});
+  bt.Insert(K("a"), Rid{0, 2});
+  EXPECT_TRUE(bt.Erase(K("a"), Rid{0, 1}));
+  EXPECT_FALSE(bt.Erase(K("a"), Rid{0, 1}));  // already gone
+  size_t n = 0;
+  bt.LookupEq(K("a"), [&](const Row&, const Rid&) {
+    ++n;
+    return true;
+  });
+  EXPECT_EQ(n, 1u);
+}
+
+// Property sweep: random interleaved inserts/erases stay consistent with
+// a reference std::multimap across tree sizes.
+class BTreeRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BTreeRandomTest, MatchesReferenceModel) {
+  Rng rng(GetParam());
+  BTree bt;
+  std::set<std::pair<std::string, uint16_t>> model;
+
+  for (int step = 0; step < 4000; ++step) {
+    std::string key = "k" + std::to_string(rng.NextBelow(500));
+    uint16_t rid_slot = static_cast<uint16_t>(rng.NextBelow(4));
+    if (rng.NextBool(0.6)) {
+      bt.Insert(K(key), Rid{0, rid_slot});
+      model.emplace(key, rid_slot);
+    } else {
+      bool erased = bt.Erase(K(key), Rid{0, rid_slot});
+      bool model_erased = model.erase({key, rid_slot}) > 0;
+      ASSERT_EQ(erased, model_erased) << "step " << step << " key " << key;
+    }
+  }
+  ASSERT_EQ(bt.size(), model.size());
+  bt.CheckInvariants();
+
+  // Full ordered scan equals the model's ordering.
+  std::vector<std::pair<std::string, uint16_t>> scanned;
+  bt.ScanAll([&](const Row& k, const Rid& rid) {
+    scanned.emplace_back(k[0].AsString(), rid.slot);
+    return true;
+  });
+  std::vector<std::pair<std::string, uint16_t>> expected(model.begin(),
+                                                         model.end());
+  ASSERT_EQ(scanned, expected);
+
+  // Point lookups agree on a sample of keys.
+  for (int i = 0; i < 50; ++i) {
+    std::string key = "k" + std::to_string(rng.NextBelow(500));
+    std::set<uint16_t> got;
+    bt.LookupEq(K(key), [&](const Row&, const Rid& rid) {
+      got.insert(rid.slot);
+      return true;
+    });
+    std::set<uint16_t> want;
+    for (uint16_t s = 0; s < 4; ++s) {
+      if (model.count({key, s}) > 0) want.insert(s);
+    }
+    ASSERT_EQ(got, want) << key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreeRandomTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(BTreeTest, LargeMonotonicInsertThenDrain) {
+  BTree bt;
+  for (int i = 0; i < 20000; ++i) {
+    bt.Insert(K(int64_t{i}), Rid{0, 0});
+  }
+  EXPECT_EQ(bt.size(), 20000u);
+  bt.CheckInvariants();
+  for (int i = 0; i < 20000; ++i) {
+    ASSERT_TRUE(bt.Erase(K(int64_t{i}), Rid{0, 0})) << i;
+  }
+  EXPECT_TRUE(bt.empty());
+  bt.CheckInvariants();
+}
+
+}  // namespace
+}  // namespace cpdb::relstore

@@ -1,0 +1,148 @@
+#include "datalog/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+
+namespace cpdb::datalog {
+namespace {
+
+Status LoadProgram(Evaluator* eval, const std::string& text) {
+  auto rules = ParseProgram(text);
+  if (!rules.ok()) return rules.status();
+  for (auto& r : rules.value()) {
+    CPDB_RETURN_IF_ERROR(eval->AddRule(std::move(r)));
+  }
+  return Status::OK();
+}
+
+TEST(DatalogParserTest, FactsRulesAndComments) {
+  auto rules = ParseProgram(R"(
+    % base facts
+    Edge(a, b).
+    Edge("b", "c with spaces").
+    Path(X, Y) :- Edge(X, Y).
+    Path(X, Z) :- Path(X, Y), Edge(Y, Z).
+  )");
+  ASSERT_TRUE(rules.ok()) << rules.status();
+  ASSERT_EQ(rules->size(), 4u);
+  EXPECT_TRUE(rules->at(0).body.empty());
+  EXPECT_EQ(rules->at(2).head.pred, "Path");
+  EXPECT_TRUE(rules->at(2).head.args[0].is_var);
+  EXPECT_FALSE(rules->at(1).head.args[1].is_var);
+  EXPECT_EQ(rules->at(1).head.args[1].text, "c with spaces");
+}
+
+TEST(DatalogParserTest, RejectsMalformedRules) {
+  EXPECT_FALSE(ParseRule("Path(X, Y :- Edge(X, Y).").ok());
+  EXPECT_FALSE(ParseRule("Path(X, Y)").ok());          // missing '.'
+  EXPECT_FALSE(ParseRule("!Neg(X) :- Edge(X, X).").ok());  // negated head
+}
+
+TEST(DatalogTest, TransitiveClosure) {
+  Evaluator eval;
+  ASSERT_TRUE(LoadProgram(&eval, R"(
+    Edge(a, b). Edge(b, c). Edge(c, d).
+    Path(X, Y) :- Edge(X, Y).
+    Path(X, Z) :- Path(X, Y), Edge(Y, Z).
+  )").ok());
+  ASSERT_TRUE(eval.Evaluate().ok());
+  EXPECT_EQ(eval.Get("Path").size(), 6u);
+  EXPECT_TRUE(eval.Holds("Path", {"a", "d"}));
+  EXPECT_FALSE(eval.Holds("Path", {"d", "a"}));
+}
+
+TEST(DatalogTest, CyclicGraphTerminates) {
+  Evaluator eval;
+  ASSERT_TRUE(LoadProgram(&eval, R"(
+    Edge(a, b). Edge(b, a).
+    Path(X, Y) :- Edge(X, Y).
+    Path(X, Z) :- Path(X, Y), Path(Y, Z).
+  )").ok());
+  ASSERT_TRUE(eval.Evaluate().ok());
+  // Reflexive pairs appear through the cycle.
+  EXPECT_TRUE(eval.Holds("Path", {"a", "a"}));
+  EXPECT_EQ(eval.Get("Path").size(), 4u);
+}
+
+TEST(DatalogTest, StratifiedNegation) {
+  Evaluator eval;
+  ASSERT_TRUE(LoadProgram(&eval, R"(
+    Node(a). Node(b). Node(c).
+    Edge(a, b).
+    HasOut(X) :- Edge(X, Y).
+    Sink(X) :- Node(X), !HasOut(X).
+  )").ok());
+  ASSERT_TRUE(eval.Evaluate().ok());
+  EXPECT_FALSE(eval.Holds("Sink", {"a"}));
+  EXPECT_TRUE(eval.Holds("Sink", {"b"}));
+  EXPECT_TRUE(eval.Holds("Sink", {"c"}));
+}
+
+TEST(DatalogTest, RejectsNegationInCycle) {
+  Evaluator eval;
+  ASSERT_TRUE(LoadProgram(&eval, R"(
+    P(X) :- Q(X), !P(X).
+    Q(a).
+  )").ok());
+  EXPECT_FALSE(eval.Evaluate().ok());
+}
+
+TEST(DatalogTest, RejectsUnsafeRules) {
+  Evaluator eval;
+  // Head variable Y unbound.
+  auto r1 = ParseRule("P(X, Y) :- Q(X).");
+  ASSERT_TRUE(r1.ok());
+  EXPECT_FALSE(eval.AddRule(r1.value()).ok());
+  // Negated variable unbound.
+  auto r2 = ParseRule("P(X) :- Q(X), !R(Z).");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_FALSE(eval.AddRule(r2.value()).ok());
+}
+
+TEST(DatalogTest, ConstantsInRules) {
+  Evaluator eval;
+  ASSERT_TRUE(LoadProgram(&eval, R"(
+    Op(t1, "C"). Op(t2, "I").
+    CopyTxn(T) :- Op(T, "C").
+  )").ok());
+  ASSERT_TRUE(eval.Evaluate().ok());
+  EXPECT_TRUE(eval.Holds("CopyTxn", {"t1"}));
+  EXPECT_FALSE(eval.Holds("CopyTxn", {"t2"}));
+}
+
+TEST(DatalogTest, MultiStratumPipeline) {
+  // Three strata: base -> closure -> complement -> projection.
+  Evaluator eval;
+  ASSERT_TRUE(LoadProgram(&eval, R"(
+    Node(a). Node(b). Node(c). Node(d).
+    Edge(a, b). Edge(b, c).
+    Reach(X, Y) :- Edge(X, Y).
+    Reach(X, Z) :- Reach(X, Y), Edge(Y, Z).
+    Unreachable(X) :- Node(X), !ReachedFromA(X).
+    ReachedFromA(X) :- Reach(a, X).
+  )").ok());
+  ASSERT_TRUE(eval.Evaluate().ok());
+  EXPECT_TRUE(eval.Holds("Unreachable", {"a"}));  // a doesn't reach itself
+  EXPECT_FALSE(eval.Holds("Unreachable", {"c"}));
+  EXPECT_TRUE(eval.Holds("Unreachable", {"d"}));
+}
+
+TEST(DatalogTest, SemiNaiveMatchesNaiveOnChains) {
+  // A long chain exercises multiple delta rounds; spot-check the closure
+  // count n*(n+1)/2 for a chain of n edges.
+  Evaluator eval;
+  const int n = 30;
+  for (int i = 0; i < n; ++i) {
+    eval.AddFact("Edge", {"v" + std::to_string(i), "v" + std::to_string(i + 1)});
+  }
+  ASSERT_TRUE(LoadProgram(&eval, R"(
+    Path(X, Y) :- Edge(X, Y).
+    Path(X, Z) :- Path(X, Y), Edge(Y, Z).
+  )").ok());
+  ASSERT_TRUE(eval.Evaluate().ok());
+  EXPECT_EQ(eval.Get("Path").size(), static_cast<size_t>(n * (n + 1) / 2));
+}
+
+}  // namespace
+}  // namespace cpdb::datalog

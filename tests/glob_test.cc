@@ -1,0 +1,85 @@
+#include "tree/glob.h"
+
+#include <gtest/gtest.h>
+
+namespace cpdb::tree {
+namespace {
+
+Path P(const std::string& s) { return Path::MustParse(s); }
+
+TEST(GlobTest, LiteralMatchesExactly) {
+  PathGlob g = PathGlob::MustParse("T/a/b");
+  EXPECT_TRUE(g.Matches(P("T/a/b")));
+  EXPECT_FALSE(g.Matches(P("T/a")));
+  EXPECT_FALSE(g.Matches(P("T/a/b/c")));
+  EXPECT_FALSE(g.HasWildcards());
+}
+
+TEST(GlobTest, SingleStar) {
+  // The paper's example pattern: Prov(t, C, T/a/*/b, S/a/*/b).
+  PathGlob g = PathGlob::MustParse("T/a/*/b");
+  EXPECT_TRUE(g.Matches(P("T/a/x/b")));
+  EXPECT_TRUE(g.Matches(P("T/a/y/b")));
+  EXPECT_FALSE(g.Matches(P("T/a/b")));
+  EXPECT_FALSE(g.Matches(P("T/a/x/y/b")));
+  EXPECT_EQ(g.StarCount(), 1u);
+}
+
+TEST(GlobTest, DoubleStarMatchesAnyDepth) {
+  PathGlob g = PathGlob::MustParse("T/**/b");
+  EXPECT_TRUE(g.Matches(P("T/b")));
+  EXPECT_TRUE(g.Matches(P("T/x/b")));
+  EXPECT_TRUE(g.Matches(P("T/x/y/z/b")));
+  EXPECT_FALSE(g.Matches(P("T/x/c")));
+}
+
+TEST(GlobTest, PartialSegmentWildcard) {
+  PathGlob g = PathGlob::MustParse("T/prot*/name");
+  EXPECT_TRUE(g.Matches(P("T/prot12/name")));
+  EXPECT_FALSE(g.Matches(P("T/gene12/name")));
+}
+
+TEST(GlobTest, CaptureBindsStars) {
+  PathGlob g = PathGlob::MustParse("S1/*/organelle");
+  auto b = g.Capture(P("S1/o7/organelle"));
+  ASSERT_TRUE(b.has_value());
+  ASSERT_EQ(b->size(), 1u);
+  EXPECT_EQ((*b)[0], "o7");
+  EXPECT_FALSE(g.Capture(P("S1/o7/species")).has_value());
+}
+
+TEST(GlobTest, SubstituteRebuildsPath) {
+  PathGlob src = PathGlob::MustParse("S1/*/organelle");
+  PathGlob dst = PathGlob::MustParse("T/*/organelle");
+  auto b = src.Capture(P("S1/o7/organelle"));
+  ASSERT_TRUE(b.has_value());
+  auto p = dst.Substitute(*b);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->ToString(), "T/o7/organelle");
+  EXPECT_FALSE(dst.Substitute({}).ok());            // missing binding
+  EXPECT_FALSE(dst.Substitute({"a", "b"}).ok());    // extra binding
+}
+
+TEST(GlobTest, SubsumedBy) {
+  EXPECT_TRUE(PathGlob::MustParse("T/a/b").SubsumedBy(
+      PathGlob::MustParse("T/*/b")));
+  EXPECT_TRUE(PathGlob::MustParse("T/*/b").SubsumedBy(
+      PathGlob::MustParse("T/*/b")));
+  EXPECT_FALSE(PathGlob::MustParse("T/*/b").SubsumedBy(
+      PathGlob::MustParse("T/a/b")));
+  EXPECT_FALSE(PathGlob::MustParse("T/a").SubsumedBy(
+      PathGlob::MustParse("T/a/b")));
+}
+
+TEST(GlobTest, ExactFromPath) {
+  PathGlob g = PathGlob::Exact(P("T/a/b"));
+  EXPECT_TRUE(g.Matches(P("T/a/b")));
+  EXPECT_FALSE(g.HasWildcards());
+}
+
+TEST(GlobTest, ParseRejectsEmptySegments) {
+  EXPECT_FALSE(PathGlob::Parse("T//b").ok());
+}
+
+}  // namespace
+}  // namespace cpdb::tree

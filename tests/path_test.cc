@@ -1,0 +1,136 @@
+#include "tree/path.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace cpdb::tree {
+namespace {
+
+TEST(PathTest, RootIsEmpty) {
+  Path root;
+  EXPECT_TRUE(root.IsRoot());
+  EXPECT_EQ(root.Depth(), 0u);
+  EXPECT_EQ(root.ToString(), "");
+}
+
+TEST(PathTest, ParseSimple) {
+  auto r = Path::Parse("T/c1/y");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->Depth(), 3u);
+  EXPECT_EQ(r->At(0), "T");
+  EXPECT_EQ(r->At(1), "c1");
+  EXPECT_EQ(r->At(2), "y");
+  EXPECT_EQ(r->ToString(), "T/c1/y");
+}
+
+TEST(PathTest, ParseEmptyIsRoot) {
+  auto r = Path::Parse("");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->IsRoot());
+}
+
+TEST(PathTest, ParseRejectsEmptyLabels) {
+  EXPECT_FALSE(Path::Parse("a//b").ok());
+  EXPECT_FALSE(Path::Parse("/a").ok());
+  EXPECT_FALSE(Path::Parse("a/").ok());
+}
+
+TEST(PathTest, KeyedXmlStyleLabels) {
+  // Paths like SwissProt/Release{20}/Q01780 from the paper must parse.
+  auto r = Path::Parse("SwissProt/Release{20}/Q01780/Citation{3}/Title");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->Depth(), 5u);
+  EXPECT_EQ(r->At(1), "Release{20}");
+}
+
+TEST(PathTest, ParentAndLeaf) {
+  Path p = Path::MustParse("T/c1/y");
+  EXPECT_EQ(p.Leaf(), "y");
+  EXPECT_EQ(p.Parent().ToString(), "T/c1");
+  EXPECT_EQ(p.Parent().Parent().ToString(), "T");
+  EXPECT_TRUE(p.Parent().Parent().Parent().IsRoot());
+}
+
+TEST(PathTest, ChildAndConcat) {
+  Path p = Path::MustParse("T");
+  EXPECT_EQ(p.Child("c1").ToString(), "T/c1");
+  EXPECT_EQ(p.Concat(Path::MustParse("c1/y")).ToString(), "T/c1/y");
+  EXPECT_EQ(Path().Concat(p).ToString(), "T");
+}
+
+TEST(PathTest, PrefixRelation) {
+  Path t = Path::MustParse("T");
+  Path tc1 = Path::MustParse("T/c1");
+  Path tc1y = Path::MustParse("T/c1/y");
+  Path tc2 = Path::MustParse("T/c2");
+
+  EXPECT_TRUE(t.IsPrefixOf(tc1));
+  EXPECT_TRUE(t.IsPrefixOf(tc1y));
+  EXPECT_TRUE(tc1.IsPrefixOf(tc1y));
+  EXPECT_TRUE(tc1.IsPrefixOf(tc1));  // non-strict
+  EXPECT_FALSE(tc1.IsStrictPrefixOf(tc1));
+  EXPECT_TRUE(tc1.IsStrictPrefixOf(tc1y));
+  EXPECT_FALSE(tc1.IsPrefixOf(tc2));
+  EXPECT_FALSE(tc1y.IsPrefixOf(tc1));
+  EXPECT_TRUE(Path().IsPrefixOf(t));
+}
+
+TEST(PathTest, PrefixIsNotStringPrefix) {
+  // "T/c1" is a string prefix of "T/c10" but not a path prefix.
+  Path a = Path::MustParse("T/c1");
+  Path b = Path::MustParse("T/c10");
+  EXPECT_FALSE(a.IsPrefixOf(b));
+}
+
+TEST(PathTest, RelativeTo) {
+  Path p = Path::MustParse("T/c1/y");
+  auto rel = p.RelativeTo(Path::MustParse("T"));
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->ToString(), "c1/y");
+  EXPECT_FALSE(p.RelativeTo(Path::MustParse("S1")).ok());
+}
+
+TEST(PathTest, Rebase) {
+  // If T/c2 was copied from S1/a2, then T/c2/x came from S1/a2/x.
+  Path p = Path::MustParse("T/c2/x");
+  Path rebased = p.Rebase(Path::MustParse("T/c2"), Path::MustParse("S1/a2"));
+  EXPECT_EQ(rebased.ToString(), "S1/a2/x");
+}
+
+TEST(PathTest, OrderingGroupsSubtrees) {
+  std::vector<Path> paths = {
+      Path::MustParse("T/c2"),   Path::MustParse("T/c1/y"),
+      Path::MustParse("T/c1"),   Path::MustParse("T/c1/x"),
+      Path::MustParse("T/c10"),
+  };
+  std::sort(paths.begin(), paths.end());
+  // Lexicographic order on label sequences keeps a subtree contiguous.
+  EXPECT_EQ(paths[0].ToString(), "T/c1");
+  EXPECT_EQ(paths[1].ToString(), "T/c1/x");
+  EXPECT_EQ(paths[2].ToString(), "T/c1/y");
+  EXPECT_EQ(paths[3].ToString(), "T/c10");
+  EXPECT_EQ(paths[4].ToString(), "T/c2");
+}
+
+TEST(PathTest, EqualityAndStreaming) {
+  Path p = Path::MustParse("a/b");
+  Path q = Path::MustParse("a/b");
+  Path r = Path::MustParse("a/c");
+  EXPECT_EQ(p, q);
+  EXPECT_NE(p, r);
+  std::ostringstream os;
+  os << p;
+  EXPECT_EQ(os.str(), "a/b");
+}
+
+TEST(PathTest, LabelValidation) {
+  EXPECT_TRUE(IsValidLabel("c1"));
+  EXPECT_TRUE(IsValidLabel("Release{20}"));
+  EXPECT_FALSE(IsValidLabel(""));
+  EXPECT_FALSE(IsValidLabel("a/b"));
+}
+
+}  // namespace
+}  // namespace cpdb::tree

@@ -1,0 +1,253 @@
+// Strategy-level unit tests driving the ProvStore implementations
+// directly with hand-built effects — edge cases of the provlist
+// (net-effect) semantics and of the hierarchical inferability checks.
+
+#include <gtest/gtest.h>
+
+#include "provenance/hier_store.h"
+#include "provenance/naive_store.h"
+#include "provenance/txn_store.h"
+#include "relstore/database.h"
+
+namespace cpdb::provenance {
+namespace {
+
+using tree::Path;
+using update::ApplyEffect;
+
+Path P(const std::string& s) { return Path::MustParse(s); }
+
+ApplyEffect InsertEffect(const std::string& p) {
+  ApplyEffect e;
+  e.inserted.push_back(P(p));
+  return e;
+}
+
+ApplyEffect DeleteEffect(std::vector<std::string> paths) {
+  ApplyEffect e;
+  for (const auto& p : paths) e.deleted.push_back(P(p));
+  return e;
+}
+
+ApplyEffect CopyEffect(std::vector<std::pair<std::string, std::string>> c,
+                       std::vector<std::string> overwritten = {}) {
+  ApplyEffect e;
+  for (const auto& [loc, src] : c) e.copied.emplace_back(P(loc), P(src));
+  for (const auto& o : overwritten) e.overwritten.push_back(P(o));
+  e.overwrote = !e.overwritten.empty();
+  return e;
+}
+
+struct Fixture {
+  relstore::Database db{"provdb"};
+  ProvBackend backend{&db};
+};
+
+TEST(TxnStoreTest, InsertThenDeleteCancels) {
+  Fixture fx;
+  TxnStore store(&fx.backend, TxnStoreOptions{});
+  ASSERT_TRUE(store.TrackInsert(InsertEffect("T/a")).ok());
+  EXPECT_EQ(store.PendingCount(), 1u);
+  ASSERT_TRUE(store.TrackDelete(DeleteEffect({"T/a"})).ok());
+  EXPECT_EQ(store.PendingCount(), 0u);
+  ASSERT_TRUE(store.Commit().ok());
+  EXPECT_EQ(store.RecordCount(), 0u);
+}
+
+TEST(TxnStoreTest, DeleteThenReinsertBecomesInsert) {
+  // Content at the location was replaced: the {Tid, Loc} key admits one
+  // record, and the net effect is recorded as I.
+  Fixture fx;
+  TxnStore store(&fx.backend, TxnStoreOptions{});
+  ASSERT_TRUE(store.TrackDelete(DeleteEffect({"T/a"})).ok());
+  ASSERT_TRUE(store.TrackInsert(InsertEffect("T/a")).ok());
+  ASSERT_TRUE(store.Commit().ok());
+  auto records = store.AllRecords();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].op, ProvOp::kInsert);
+  EXPECT_EQ((*records)[0].loc, P("T/a"));
+}
+
+TEST(TxnStoreTest, DeleteOfPreexistingChildrenSurvivesReinsertOfRoot) {
+  Fixture fx;
+  TxnStore store(&fx.backend, TxnStoreOptions{});
+  // Delete a pre-existing subtree {a, a/x}; re-insert only the root.
+  ASSERT_TRUE(store.TrackDelete(DeleteEffect({"T/a", "T/a/x"})).ok());
+  ASSERT_TRUE(store.TrackInsert(InsertEffect("T/a")).ok());
+  ASSERT_TRUE(store.Commit().ok());
+  auto records = store.AllRecords();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  // a: net replaced (I); a/x: net deleted (D).
+  EXPECT_EQ((*records)[0].loc, P("T/a"));
+  EXPECT_EQ((*records)[0].op, ProvOp::kInsert);
+  EXPECT_EQ((*records)[1].loc, P("T/a/x"));
+  EXPECT_EQ((*records)[1].op, ProvOp::kDelete);
+}
+
+TEST(TxnStoreTest, CopyOverwriteDropsOverwrittenLinks) {
+  Fixture fx;
+  TxnStore store(&fx.backend, TxnStoreOptions{});
+  ASSERT_TRUE(store
+                  .TrackCopy(CopyEffect(
+                      {{"T/e", "S1/a"}, {"T/e/x", "S1/a/x"}}))
+                  .ok());
+  EXPECT_EQ(store.PendingCount(), 2u);
+  // Overwrite with a copy from S2 whose shape differs.
+  ASSERT_TRUE(store
+                  .TrackCopy(CopyEffect({{"T/e", "S2/b"},
+                                         {"T/e/y", "S2/b/y"}},
+                                        {"T/e", "T/e/x"}))
+                  .ok());
+  ASSERT_TRUE(store.Commit().ok());
+  auto records = store.AllRecords();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  for (const auto& r : *records) {
+    EXPECT_EQ(r.src.At(0), "S2") << r.ToString();
+  }
+}
+
+TEST(TxnStoreTest, CopyDataThenDeleteWithinTxnLeavesNothing) {
+  Fixture fx;
+  TxnStore store(&fx.backend, TxnStoreOptions{});
+  ASSERT_TRUE(store
+                  .TrackCopy(CopyEffect(
+                      {{"T/e", "S1/a"}, {"T/e/x", "S1/a/x"}}))
+                  .ok());
+  ASSERT_TRUE(store.TrackDelete(DeleteEffect({"T/e", "T/e/x"})).ok());
+  ASSERT_TRUE(store.Commit().ok());
+  EXPECT_EQ(store.RecordCount(), 0u);
+}
+
+TEST(TxnStoreTest, EmptyCommitAdvancesTidWithoutRoundTrip) {
+  Fixture fx;
+  TxnStore store(&fx.backend, TxnStoreOptions{});
+  size_t calls_before = fx.db.cost().Calls();
+  ASSERT_TRUE(store.Commit().ok());
+  ASSERT_TRUE(store.Commit().ok());
+  EXPECT_EQ(fx.db.cost().Calls(), calls_before);
+  EXPECT_EQ(store.LastCommittedTid(), 2);
+}
+
+TEST(TxnStoreTest, AbortDiscardsPending) {
+  Fixture fx;
+  TxnStore store(&fx.backend, TxnStoreOptions{});
+  ASSERT_TRUE(store.TrackInsert(InsertEffect("T/a")).ok());
+  EXPECT_TRUE(store.HasPending());
+  store.AbortPending();
+  EXPECT_FALSE(store.HasPending());
+  ASSERT_TRUE(store.Commit().ok());
+  EXPECT_EQ(store.RecordCount(), 0u);
+}
+
+TEST(HtStoreTest, InsertUnderSameTxnInsertIsInferable) {
+  Fixture fx;
+  TxnStoreOptions opts;
+  opts.hierarchical = true;
+  TxnStore store(&fx.backend, opts);
+  ASSERT_TRUE(store.TrackInsert(InsertEffect("T/a")).ok());
+  ASSERT_TRUE(store.TrackInsert(InsertEffect("T/a/b")).ok());
+  // b is inferable from a's insert; only one record pending.
+  EXPECT_EQ(store.PendingCount(), 1u);
+  // But an insert under a *copied* node is NOT inferable (Fig 5(d)'s
+  // "121 I T/c4/y").
+  ASSERT_TRUE(store
+                  .TrackCopy(CopyEffect({{"T/c", "S1/a"}}))
+                  .ok());
+  ASSERT_TRUE(store.TrackInsert(InsertEffect("T/c/y")).ok());
+  EXPECT_EQ(store.PendingCount(), 3u);
+}
+
+TEST(HtStoreTest, HierarchicalDeleteStoresOnlyRoot) {
+  Fixture fx;
+  TxnStoreOptions opts;
+  opts.hierarchical = true;
+  TxnStore store(&fx.backend, opts);
+  ASSERT_TRUE(
+      store.TrackDelete(DeleteEffect({"T/a", "T/a/x", "T/a/y"})).ok());
+  ASSERT_TRUE(store.Commit().ok());
+  auto records = store.AllRecords();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].op, ProvOp::kDelete);
+  EXPECT_EQ((*records)[0].loc, P("T/a"));
+}
+
+TEST(NaiveStoreTest, PerOpTransactionNumbers) {
+  Fixture fx;
+  NaiveStore store(&fx.backend, /*first_tid=*/121);
+  ASSERT_TRUE(store.TrackInsert(InsertEffect("T/a")).ok());
+  ASSERT_TRUE(store.TrackDelete(DeleteEffect({"T/b", "T/b/x"})).ok());
+  auto records = store.AllRecords();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 3u);
+  EXPECT_EQ((*records)[0].tid, 121);
+  EXPECT_EQ((*records)[1].tid, 122);  // both delete rows share tid 122
+  EXPECT_EQ((*records)[2].tid, 122);
+  EXPECT_EQ(store.LastCommittedTid(), 122);
+}
+
+TEST(HierStoreTest, InsertProbeCostsARoundTrip) {
+  Fixture fx;
+  HierStore hier(&fx.backend);
+  size_t calls0 = fx.db.cost().Calls();
+  ASSERT_TRUE(hier.TrackInsert(InsertEffect("T/a")).ok());
+  size_t insert_calls = fx.db.cost().Calls() - calls0;
+
+  relstore::Database db2("provdb2");
+  ProvBackend backend2(&db2);
+  NaiveStore naive(&backend2);
+  size_t calls1 = db2.cost().Calls();
+  ASSERT_TRUE(naive.TrackInsert(InsertEffect("T/a")).ok());
+  size_t naive_calls = db2.cost().Calls() - calls1;
+
+  // The hierarchical insert issues the existence probe + the write; the
+  // naive insert only the write (Figure 10's H-add penalty).
+  EXPECT_EQ(insert_calls, naive_calls + 1);
+}
+
+TEST(BackendTest, TidLocKeyEnforced) {
+  Fixture fx;
+  ASSERT_TRUE(
+      fx.backend.WriteRecords({ProvRecord::Insert(1, P("T/a"))}).ok());
+  // Same {Tid, Loc} again: the unique index refuses.
+  EXPECT_FALSE(
+      fx.backend.WriteRecords({ProvRecord::Delete(1, P("T/a"))}).ok());
+  // Different tid: fine.
+  EXPECT_TRUE(
+      fx.backend.WriteRecords({ProvRecord::Delete(2, P("T/a"))}).ok());
+}
+
+TEST(BackendTest, GetUnderIsPathAware) {
+  Fixture fx;
+  ASSERT_TRUE(fx.backend
+                  .WriteRecords({ProvRecord::Insert(1, P("T/c1")),
+                                 ProvRecord::Insert(2, P("T/c1/x")),
+                                 ProvRecord::Insert(3, P("T/c10")),
+                                 ProvRecord::Insert(4, P("T/c2"))})
+                  .ok());
+  auto under = fx.backend.GetUnder(P("T/c1"));
+  ASSERT_TRUE(under.ok());
+  ASSERT_EQ(under->size(), 2u);  // c1 and c1/x, NOT c10
+  EXPECT_EQ((*under)[0].loc, P("T/c1"));
+  EXPECT_EQ((*under)[1].loc, P("T/c1/x"));
+}
+
+TEST(BackendTest, GetAtLocOrAncestorsWalksUp) {
+  Fixture fx;
+  ASSERT_TRUE(fx.backend
+                  .WriteRecords({ProvRecord::Copy(1, P("T/a"), P("S/x")),
+                                 ProvRecord::Insert(2, P("T/a/b/c")),
+                                 ProvRecord::Insert(3, P("T/zz"))})
+                  .ok());
+  size_t calls0 = fx.db.cost().Calls();
+  auto recs = fx.backend.GetAtLocOrAncestors(P("T/a/b/c"));
+  ASSERT_TRUE(recs.ok());
+  EXPECT_EQ(fx.db.cost().Calls() - calls0, 1u);  // ONE client call
+  ASSERT_EQ(recs->size(), 2u);  // T/a and T/a/b/c, not T/zz
+}
+
+}  // namespace
+}  // namespace cpdb::provenance

@@ -1,0 +1,188 @@
+// Provenance queries (Section 2.2) on the paper's worked example, for all
+// four storage strategies — answers must agree across strategies.
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace cpdb {
+namespace {
+
+using provenance::Strategy;
+using testutil::MakeFigureSession;
+using tree::Path;
+
+constexpr Strategy kAll[] = {Strategy::kNaive, Strategy::kTransactional,
+                             Strategy::kHierarchical,
+                             Strategy::kHierarchicalTransactional};
+
+std::unique_ptr<testutil::Session> RunFigure3Session(Strategy strategy) {
+  auto s = MakeFigureSession(strategy);
+  EXPECT_NE(s, nullptr);
+  Status st = s->editor->ApplyScriptText(testutil::Figure3ScriptText());
+  EXPECT_TRUE(st.ok()) << st;
+  st = s->editor->Commit();
+  EXPECT_TRUE(st.ok()) << st;
+  return s;
+}
+
+TEST(QueryTest, GetSrcFindsLocalInsert) {
+  for (Strategy strat : kAll) {
+    auto s = RunFigure3Session(strat);
+    // T/c4/y was inserted by operation (10).
+    auto src = s->editor->query()->GetSrc(Path::MustParse("T/c4/y"));
+    ASSERT_TRUE(src.ok());
+    ASSERT_TRUE(src->has_value()) << provenance::StrategyName(strat);
+    // Per-op strategies: tid 130; transactional: the single txn 121.
+    int64_t expect = (strat == Strategy::kNaive ||
+                      strat == Strategy::kHierarchical)
+                         ? 130
+                         : 121;
+    EXPECT_EQ(**src, expect) << provenance::StrategyName(strat);
+  }
+}
+
+TEST(QueryTest, GetSrcIsUnknownForExternalData) {
+  // "the Src query cannot tell us anything about data that was copied
+  // from elsewhere" — T/c2 came from S1/a2.
+  for (Strategy strat : kAll) {
+    auto s = RunFigure3Session(strat);
+    auto trace = s->editor->query()->TraceBack(Path::MustParse("T/c2"));
+    ASSERT_TRUE(trace.ok());
+    EXPECT_FALSE(trace->origin_tid.has_value());
+    ASSERT_TRUE(trace->external_src.has_value());
+    EXPECT_EQ(trace->external_src->ToString(), "S1/a2");
+  }
+}
+
+TEST(QueryTest, GetHistListsCopyTransactions) {
+  for (Strategy strat : kAll) {
+    auto s = RunFigure3Session(strat);
+    auto hist = s->editor->query()->GetHist(Path::MustParse("T/c2/y"));
+    ASSERT_TRUE(hist.ok());
+    ASSERT_EQ(hist->size(), 1u) << provenance::StrategyName(strat);
+    int64_t expect = (strat == Strategy::kNaive ||
+                      strat == Strategy::kHierarchical)
+                         ? 126
+                         : 121;
+    EXPECT_EQ((*hist)[0], expect);
+  }
+}
+
+TEST(QueryTest, HierarchicalInfersChildProvenance) {
+  // T/c3/x has no explicit record in the hierarchical store; its
+  // provenance is inferred from C T/c3 <- S1/a3 (closest ancestor).
+  auto s = RunFigure3Session(Strategy::kHierarchical);
+  auto trace = s->editor->query()->TraceBack(Path::MustParse("T/c3/x"));
+  ASSERT_TRUE(trace.ok());
+  ASSERT_TRUE(trace->external_src.has_value());
+  EXPECT_EQ(trace->external_src->ToString(), "S1/a3/x");
+  EXPECT_EQ(trace->external_tid, 127);
+}
+
+TEST(QueryTest, ExplicitChildOverridesAncestor) {
+  // T/c2/y was copied from S2/b3/y AFTER T/c2 came from S1/a2; the
+  // closest-ancestor rule must not misattribute it to S1/a2/y.
+  for (Strategy strat : {Strategy::kHierarchical,
+                         Strategy::kHierarchicalTransactional}) {
+    auto s = RunFigure3Session(strat);
+    auto trace = s->editor->query()->TraceBack(Path::MustParse("T/c2/y"));
+    ASSERT_TRUE(trace.ok());
+    ASSERT_TRUE(trace->external_src.has_value());
+    EXPECT_EQ(trace->external_src->ToString(), "S2/b3/y")
+        << provenance::StrategyName(strat);
+  }
+}
+
+TEST(QueryTest, GetModPerOpStrategies) {
+  // Transactions modifying the subtree under T/c2: ops (3)..(6).
+  for (Strategy strat : {Strategy::kNaive, Strategy::kHierarchical}) {
+    auto s = RunFigure3Session(strat);
+    auto versions = s->editor->archive()->MakeVersionFn();
+    auto mod = s->editor->query()->GetMod(Path::MustParse("T/c2"), versions);
+    ASSERT_TRUE(mod.ok());
+    EXPECT_EQ(*mod, (std::vector<int64_t>{123, 124, 125, 126}))
+        << provenance::StrategyName(strat);
+  }
+}
+
+TEST(QueryTest, GetModWholeTargetSeesAllTransactions) {
+  for (Strategy strat : {Strategy::kNaive, Strategy::kHierarchical}) {
+    auto s = RunFigure3Session(strat);
+    auto versions = s->editor->archive()->MakeVersionFn();
+    auto mod = s->editor->query()->GetMod(Path::MustParse("T"), versions);
+    ASSERT_TRUE(mod.ok());
+    EXPECT_EQ(mod->size(), 10u) << provenance::StrategyName(strat);
+    EXPECT_EQ(mod->front(), 121);
+    EXPECT_EQ(mod->back(), 130);
+  }
+}
+
+TEST(QueryTest, GetModAgreesBetweenNaiveAndHierarchical) {
+  auto sn = RunFigure3Session(Strategy::kNaive);
+  auto sh = RunFigure3Session(Strategy::kHierarchical);
+  auto vn = sn->editor->archive()->MakeVersionFn();
+  auto vh = sh->editor->archive()->MakeVersionFn();
+  for (const char* loc : {"T", "T/c1", "T/c1/y", "T/c2", "T/c2/x", "T/c2/y",
+                          "T/c3", "T/c3/x", "T/c4", "T/c4/y", "T/c5"}) {
+    auto mn = sn->editor->query()->GetMod(Path::MustParse(loc), vn);
+    auto mh = sh->editor->query()->GetMod(Path::MustParse(loc), vh);
+    ASSERT_TRUE(mn.ok());
+    ASSERT_TRUE(mh.ok());
+    EXPECT_EQ(*mn, *mh) << loc;
+  }
+}
+
+TEST(QueryTest, UnchangedDataTracesToOldestVersion) {
+  // T/c1/x was never touched: no origin, no external source, no steps.
+  auto s = RunFigure3Session(Strategy::kNaive);
+  auto trace = s->editor->query()->TraceBack(Path::MustParse("T/c1/x"));
+  ASSERT_TRUE(trace.ok());
+  EXPECT_TRUE(trace->steps.empty());
+  EXPECT_FALSE(trace->origin_tid.has_value());
+  EXPECT_FALSE(trace->external_src.has_value());
+}
+
+TEST(QueryTest, MultiHopTraceWithinTarget) {
+  // Extend the session: copy T/c3 (which came from S1/a3) to T/c6, then
+  // trace T/c6/x back through both hops.
+  auto s = RunFigure3Session(Strategy::kNaive);
+  ASSERT_TRUE(s->editor
+                  ->CopyPaste(Path::MustParse("T/c3"),
+                              Path::MustParse("T/c6"))
+                  .ok());
+  ASSERT_TRUE(s->editor->Commit().ok());
+  auto trace = s->editor->query()->TraceBack(Path::MustParse("T/c6/x"));
+  ASSERT_TRUE(trace.ok());
+  ASSERT_TRUE(trace->external_src.has_value());
+  EXPECT_EQ(trace->external_src->ToString(), "S1/a3/x");
+  // Two copy hops: T/c6/x <- T/c3/x (tid 131) <- S1/a3/x (tid 127).
+  ASSERT_EQ(trace->steps.size(), 2u);
+  EXPECT_EQ(trace->steps[0].tid, 131);
+  EXPECT_EQ(trace->steps[0].src.ToString(), "T/c3/x");
+  EXPECT_EQ(trace->steps[1].tid, 127);
+}
+
+TEST(QueryTest, QueriesChargeTheCostModel) {
+  auto s = RunFigure3Session(Strategy::kNaive);
+  double before = s->prov_db->cost().ElapsedMicros();
+  ASSERT_TRUE(s->editor->query()->GetSrc(Path::MustParse("T/c4/y")).ok());
+  EXPECT_GT(s->prov_db->cost().ElapsedMicros(), before);
+}
+
+TEST(QueryTest, UnindexedQueriesCostMoreThanIndexed) {
+  auto indexed = RunFigure3Session(Strategy::kNaive);
+  auto scans = RunFigure3Session(Strategy::kNaive);
+  scans->backend->set_use_indexes(false);
+  double i0 = indexed->prov_db->cost().ElapsedMicros();
+  double s0 = scans->prov_db->cost().ElapsedMicros();
+  ASSERT_TRUE(
+      indexed->editor->query()->GetMod(Path::MustParse("T/c2")).ok());
+  ASSERT_TRUE(scans->editor->query()->GetMod(Path::MustParse("T/c2")).ok());
+  double di = indexed->prov_db->cost().ElapsedMicros() - i0;
+  double ds = scans->prov_db->cost().ElapsedMicros() - s0;
+  EXPECT_GT(ds, di);
+}
+
+}  // namespace
+}  // namespace cpdb

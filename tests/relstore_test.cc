@@ -1,0 +1,367 @@
+#include <gtest/gtest.h>
+
+#include "relstore/database.h"
+#include "relstore/datum.h"
+#include "relstore/exec.h"
+#include "relstore/heap_file.h"
+#include "relstore/page.h"
+#include "relstore/schema.h"
+#include "relstore/table.h"
+
+namespace cpdb::relstore {
+namespace {
+
+// ----- Datum ---------------------------------------------------------------
+
+TEST(DatumTest, EncodeDecodeRoundTrip) {
+  for (const Datum& d : {Datum(), Datum(int64_t{-5}), Datum(3.25),
+                         Datum("hello world"), Datum("")}) {
+    std::string buf;
+    d.EncodeTo(&buf);
+    size_t pos = 0;
+    Datum back;
+    ASSERT_TRUE(Datum::DecodeFrom(buf, &pos, &back));
+    EXPECT_EQ(back, d);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(DatumTest, RowEncodeDecode) {
+  Row row = {Datum(int64_t{121}), Datum("C"), Datum("T/c2"), Datum("S1/a2")};
+  std::string buf;
+  EncodeRow(row, &buf);
+  Row back;
+  size_t pos = 0;
+  ASSERT_TRUE(DecodeRow(buf, &pos, &back));
+  EXPECT_EQ(back, row);
+}
+
+TEST(DatumTest, DecodeRejectsTruncation) {
+  Row row = {Datum("abcdef")};
+  std::string buf;
+  EncodeRow(row, &buf);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    Row back;
+    size_t pos = 0;
+    EXPECT_FALSE(DecodeRow(buf.substr(0, cut), &pos, &back)) << cut;
+  }
+}
+
+TEST(DatumTest, HashConsistency) {
+  EXPECT_EQ(Datum("x").Hash(), Datum("x").Hash());
+  EXPECT_NE(Datum("x").Hash(), Datum("y").Hash());
+  EXPECT_NE(Datum(int64_t{1}).Hash(), Datum(1.0).Hash());  // typed
+}
+
+// ----- Schema ----------------------------------------------------------------
+
+TEST(SchemaTest, Validate) {
+  Schema s({{"Tid", ColumnType::kInt64, false},
+            {"Loc", ColumnType::kString, false},
+            {"Src", ColumnType::kString, true}});
+  EXPECT_TRUE(s.Validate({Datum(int64_t{1}), Datum("a"), Datum()}).ok());
+  EXPECT_FALSE(s.Validate({Datum(int64_t{1}), Datum("a")}).ok());  // arity
+  EXPECT_FALSE(
+      s.Validate({Datum(), Datum("a"), Datum()}).ok());  // null pk
+  EXPECT_FALSE(
+      s.Validate({Datum("x"), Datum("a"), Datum()}).ok());  // type
+}
+
+// ----- Page / heap file -------------------------------------------------------
+
+TEST(PageTest, InsertReadDelete) {
+  Page page;
+  auto s1 = page.Insert("hello");
+  auto s2 = page.Insert("world!");
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(page.Read(s1.value()).value(), "hello");
+  EXPECT_EQ(page.Read(s2.value()).value(), "world!");
+  ASSERT_TRUE(page.Delete(s1.value()).ok());
+  EXPECT_FALSE(page.Read(s1.value()).ok());
+  EXPECT_TRUE(page.Delete(s1.value()).IsNotFound());  // double delete
+  EXPECT_EQ(page.LiveRecords(), 1u);
+}
+
+TEST(PageTest, FillsAndReportsFull) {
+  Page page;
+  std::string rec(100, 'x');
+  size_t n = 0;
+  while (page.Fits(rec.size())) {
+    ASSERT_TRUE(page.Insert(rec).ok());
+    ++n;
+  }
+  EXPECT_GT(n, 30u);  // ~4096/104
+  EXPECT_FALSE(page.Insert(rec).ok());
+}
+
+TEST(PageTest, CompactionReclaimsDeletedSpace) {
+  Page page;
+  std::string rec(100, 'x');
+  std::vector<uint16_t> slots;
+  while (page.Fits(rec.size())) {
+    slots.push_back(page.Insert(rec).value());
+  }
+  // Free half the page, then insert again: compaction must make room.
+  for (size_t i = 0; i < slots.size(); i += 2) {
+    ASSERT_TRUE(page.Delete(slots[i]).ok());
+  }
+  EXPECT_TRUE(page.Fits(rec.size()));
+  auto slot = page.Insert(rec);
+  ASSERT_TRUE(slot.ok());
+  EXPECT_EQ(page.Read(slot.value()).value(), rec);
+  // Surviving records are intact after compaction.
+  for (size_t i = 1; i < slots.size(); i += 2) {
+    EXPECT_EQ(page.Read(slots[i]).value(), rec);
+  }
+}
+
+TEST(PageTest, RejectsOversizedRecord) {
+  Page page;
+  EXPECT_FALSE(page.Insert(std::string(Page::kPageSize, 'x')).ok());
+}
+
+TEST(HeapFileTest, InsertReadDeleteScan) {
+  HeapFile heap;
+  std::vector<Rid> rids;
+  for (int i = 0; i < 1000; ++i) {
+    auto rid = heap.Insert("record-" + std::to_string(i));
+    ASSERT_TRUE(rid.ok());
+    rids.push_back(rid.value());
+  }
+  EXPECT_EQ(heap.RecordCount(), 1000u);
+  EXPECT_GT(heap.PageCount(), 1u);
+  EXPECT_EQ(heap.Read(rids[123]).value(), "record-123");
+
+  ASSERT_TRUE(heap.Delete(rids[500]).ok());
+  EXPECT_FALSE(heap.Read(rids[500]).ok());
+  EXPECT_EQ(heap.RecordCount(), 999u);
+
+  size_t seen = 0;
+  heap.Scan([&](const Rid&, const std::string&) {
+    ++seen;
+    return true;
+  });
+  EXPECT_EQ(seen, 999u);
+}
+
+TEST(HeapFileTest, ReusesFreedSpace) {
+  HeapFile heap;
+  std::vector<Rid> rids;
+  for (int i = 0; i < 500; ++i) {
+    rids.push_back(heap.Insert(std::string(64, 'a')).value());
+  }
+  size_t pages_before = heap.PageCount();
+  for (const Rid& rid : rids) ASSERT_TRUE(heap.Delete(rid).ok());
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(heap.Insert(std::string(64, 'b')).ok());
+  }
+  EXPECT_EQ(heap.PageCount(), pages_before);  // no growth
+}
+
+// ----- Table -----------------------------------------------------------------
+
+Schema ProvSchema() {
+  return Schema({{"Tid", ColumnType::kInt64, false},
+                 {"Op", ColumnType::kString, false},
+                 {"Loc", ColumnType::kString, false},
+                 {"Src", ColumnType::kString, true}});
+}
+
+TEST(TableTest, InsertAndScan) {
+  Table t("Prov", ProvSchema());
+  ASSERT_TRUE(
+      t.Insert({Datum(int64_t{1}), Datum("I"), Datum("T/a"), Datum()}).ok());
+  ASSERT_TRUE(
+      t.Insert({Datum(int64_t{2}), Datum("C"), Datum("T/b"), Datum("S/x")})
+          .ok());
+  EXPECT_EQ(t.RowCount(), 2u);
+  size_t n = 0;
+  t.Scan([&](const Rid&, const Row& row) {
+    EXPECT_EQ(row.size(), 4u);
+    ++n;
+    return true;
+  });
+  EXPECT_EQ(n, 2u);
+}
+
+TEST(TableTest, UniqueIndexRejectsDuplicates) {
+  Table t("Prov", ProvSchema());
+  ASSERT_TRUE(t.CreateIndex("pk", {0, 2}, IndexKind::kBTree, true).ok());
+  ASSERT_TRUE(
+      t.Insert({Datum(int64_t{1}), Datum("I"), Datum("T/a"), Datum()}).ok());
+  // Same {Tid, Loc}: rejected (the paper's provenance-table key).
+  auto dup =
+      t.Insert({Datum(int64_t{1}), Datum("D"), Datum("T/a"), Datum()});
+  EXPECT_TRUE(dup.status().IsAlreadyExists());
+  // Different Tid: fine.
+  EXPECT_TRUE(
+      t.Insert({Datum(int64_t{2}), Datum("D"), Datum("T/a"), Datum()}).ok());
+}
+
+TEST(TableTest, LookupEqThroughBothIndexKinds) {
+  Table t("Prov", ProvSchema());
+  ASSERT_TRUE(t.CreateIndex("idx_tid", {0}, IndexKind::kHash).ok());
+  ASSERT_TRUE(t.CreateIndex("idx_loc", {2}, IndexKind::kBTree).ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(t.Insert({Datum(int64_t{i % 5}), Datum("I"),
+                          Datum("T/n" + std::to_string(i)), Datum()})
+                    .ok());
+  }
+  size_t hits = 0;
+  ASSERT_TRUE(t.LookupEq("idx_tid", {Datum(int64_t{3})},
+                         [&](const Rid&, const Row&) {
+                           ++hits;
+                           return true;
+                         })
+                  .ok());
+  EXPECT_EQ(hits, 10u);
+  hits = 0;
+  ASSERT_TRUE(t.LookupEq("idx_loc", {Datum("T/n7")},
+                         [&](const Rid&, const Row&) {
+                           ++hits;
+                           return true;
+                         })
+                  .ok());
+  EXPECT_EQ(hits, 1u);
+}
+
+TEST(TableTest, PrefixScanFindsDescendants) {
+  Table t("Prov", ProvSchema());
+  ASSERT_TRUE(t.CreateIndex("idx_loc", {2}, IndexKind::kBTree).ok());
+  for (const char* loc :
+       {"T/c1", "T/c1/x", "T/c1/y", "T/c10", "T/c2", "S/c1/x"}) {
+    ASSERT_TRUE(
+        t.Insert({Datum(int64_t{1}), Datum("I"), Datum(loc), Datum()}).ok());
+  }
+  std::vector<std::string> found;
+  ASSERT_TRUE(t.ScanPrefix("idx_loc", "T/c1/",
+                           [&](const Rid&, const Row& row) {
+                             found.push_back(row[2].AsString());
+                             return true;
+                           })
+                  .ok());
+  // Strict descendants only: not T/c1 itself and not the sibling T/c10.
+  EXPECT_EQ(found, (std::vector<std::string>{"T/c1/x", "T/c1/y"}));
+}
+
+TEST(TableTest, DeleteMaintainsIndexes) {
+  Table t("Prov", ProvSchema());
+  ASSERT_TRUE(t.CreateIndex("idx_loc", {2}, IndexKind::kBTree).ok());
+  auto rid =
+      t.Insert({Datum(int64_t{1}), Datum("I"), Datum("T/a"), Datum()});
+  ASSERT_TRUE(rid.ok());
+  ASSERT_TRUE(t.Delete(rid.value()).ok());
+  size_t hits = 0;
+  ASSERT_TRUE(t.LookupEq("idx_loc", {Datum("T/a")},
+                         [&](const Rid&, const Row&) {
+                           ++hits;
+                           return true;
+                         })
+                  .ok());
+  EXPECT_EQ(hits, 0u);
+}
+
+TEST(TableTest, DeleteWhere) {
+  Table t("Prov", ProvSchema());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(t.Insert({Datum(int64_t{i}), Datum(i % 2 ? "I" : "D"),
+                          Datum("T/x"), Datum()})
+                    .ok());
+  }
+  size_t removed =
+      t.DeleteWhere([](const Row& row) { return row[1].AsString() == "D"; });
+  EXPECT_EQ(removed, 10u);
+  EXPECT_EQ(t.RowCount(), 10u);
+}
+
+TEST(TableTest, PhysicalBytesArePageMultiples) {
+  Table t("Prov", ProvSchema());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(t.Insert({Datum(int64_t{i}), Datum("C"),
+                          Datum("T/some/fairly/long/path/n" +
+                                std::to_string(i)),
+                          Datum("S/source/path")})
+                    .ok());
+  }
+  EXPECT_EQ(t.PhysicalBytes() % Page::kPageSize, 0u);
+  EXPECT_GT(t.PhysicalBytes(), t.LiveBytes());
+  EXPECT_GT(t.LiveBytes(), 0u);
+}
+
+// ----- Database / executor ----------------------------------------------------
+
+TEST(DatabaseTest, CatalogOperations) {
+  Database db("provdb");
+  ASSERT_TRUE(db.CreateTable("Prov", ProvSchema()).ok());
+  EXPECT_TRUE(db.CreateTable("Prov", ProvSchema()).status().IsAlreadyExists());
+  EXPECT_TRUE(db.GetTable("Prov").ok());
+  EXPECT_TRUE(db.GetTable("zz").status().IsNotFound());
+  ASSERT_TRUE(db.DropTable("Prov").ok());
+  EXPECT_TRUE(db.GetTable("Prov").status().IsNotFound());
+}
+
+TEST(ExecTest, FilterProjectPipeline) {
+  Table t("Prov", ProvSchema());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(t.Insert({Datum(int64_t{i}), Datum(i < 5 ? "I" : "C"),
+                          Datum("T/n" + std::to_string(i)), Datum()})
+                    .ok());
+  }
+  auto it = MakeProject(
+      MakeFilter(MakeSeqScan(&t),
+                 [](const Row& r) { return r[1].AsString() == "C"; }),
+      {0, 2});
+  auto rows = it->Collect();
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[0].size(), 2u);
+}
+
+TEST(ExecTest, HashJoin) {
+  // Prov join TxnMeta on Tid.
+  Table prov("Prov", ProvSchema());
+  ASSERT_TRUE(prov.Insert({Datum(int64_t{1}), Datum("I"), Datum("T/a"),
+                           Datum()})
+                  .ok());
+  ASSERT_TRUE(prov.Insert({Datum(int64_t{2}), Datum("C"), Datum("T/b"),
+                           Datum("S/x")})
+                  .ok());
+  ASSERT_TRUE(prov.Insert({Datum(int64_t{2}), Datum("C"), Datum("T/c"),
+                           Datum("S/y")})
+                  .ok());
+  std::vector<Row> meta = {{Datum(int64_t{2}), Datum("alice")},
+                           {Datum(int64_t{3}), Datum("bob")}};
+  auto joined = MakeHashJoin(MakeSeqScan(&prov), {0},
+                             MakeValues(meta), {0})
+                    ->Collect();
+  ASSERT_EQ(joined.size(), 2u);  // only tid 2 matches
+  for (const Row& r : joined) {
+    EXPECT_EQ(r.size(), 6u);
+    EXPECT_EQ(r[5].AsString(), "alice");
+  }
+}
+
+TEST(ExecTest, SortDistinctLimit) {
+  std::vector<Row> rows = {{Datum(int64_t{3})}, {Datum(int64_t{1})},
+                           {Datum(int64_t{3})}, {Datum(int64_t{2})}};
+  auto out = MakeLimit(MakeSort(MakeDistinct(MakeValues(rows)), {0}), 2)
+                 ->Collect();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0][0].AsInt(), 1);
+  EXPECT_EQ(out[1][0].AsInt(), 2);
+}
+
+TEST(CostModelTest, ChargesRoundTripsAndRows) {
+  CostModel cost(CostParams{100.0, 10.0, 0.0});
+  cost.ChargeCall(0);
+  EXPECT_DOUBLE_EQ(cost.ElapsedMicros(), 100.0);
+  cost.ChargeCall(4);
+  EXPECT_DOUBLE_EQ(cost.ElapsedMicros(), 240.0);
+  EXPECT_EQ(cost.Calls(), 2u);
+  EXPECT_EQ(cost.RowsMoved(), 4u);
+  cost.Reset();
+  EXPECT_DOUBLE_EQ(cost.ElapsedMicros(), 0.0);
+}
+
+}  // namespace
+}  // namespace cpdb::relstore

@@ -1,0 +1,182 @@
+#include "tree/tree.h"
+
+#include <gtest/gtest.h>
+
+#include "tree/serialize.h"
+#include "tree/value.h"
+
+namespace cpdb::tree {
+namespace {
+
+Tree T(const std::string& literal) {
+  auto r = ParseTree(literal);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return std::move(r).value();
+}
+
+TEST(ValueTest, Kinds) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(int64_t{3}).is_int());
+  EXPECT_TRUE(Value(2.5).is_double());
+  EXPECT_TRUE(Value("abc").is_string());
+  EXPECT_EQ(Value(int64_t{3}).AsInt(), 3);
+  EXPECT_EQ(Value("abc").AsString(), "abc");
+}
+
+TEST(ValueTest, RoundTripViaString) {
+  for (const Value& v :
+       {Value(), Value(int64_t{42}), Value(2.5), Value("hello")}) {
+    EXPECT_EQ(Value::FromString(v.ToString()), v);
+  }
+}
+
+TEST(ValueTest, Ordering) {
+  EXPECT_TRUE(Value(int64_t{1}) < Value(int64_t{2}));
+  EXPECT_FALSE(Value(int64_t{2}) < Value(int64_t{2}));
+}
+
+TEST(TreeTest, EmptyTree) {
+  Tree t;
+  EXPECT_TRUE(t.IsEmpty());
+  EXPECT_FALSE(t.HasValue());
+  EXPECT_FALSE(t.HasChildren());
+  EXPECT_EQ(t.NodeCount(), 1u);
+  EXPECT_EQ(t.ToString(), "{}");
+}
+
+TEST(TreeTest, LeafValue) {
+  Tree t(Value(int64_t{7}));
+  EXPECT_TRUE(t.HasValue());
+  EXPECT_EQ(t.value().AsInt(), 7);
+  EXPECT_FALSE(t.IsEmpty());
+}
+
+TEST(TreeTest, AddChildRejectsDuplicates) {
+  Tree t;
+  EXPECT_TRUE(t.AddChild("a", Tree()).ok());
+  Status st = t.AddChild("a", Tree());
+  EXPECT_TRUE(st.IsAlreadyExists());
+}
+
+TEST(TreeTest, AddChildRejectsValueLeaf) {
+  Tree t(Value(int64_t{1}));
+  EXPECT_FALSE(t.AddChild("a", Tree()).ok());
+}
+
+TEST(TreeTest, SetValueRejectsInternalNode) {
+  Tree t;
+  ASSERT_TRUE(t.AddChild("a", Tree()).ok());
+  EXPECT_FALSE(t.SetValue(Value(int64_t{1})).ok());
+}
+
+TEST(TreeTest, RemoveChild) {
+  Tree t = T("{a: 1, b: 2}");
+  EXPECT_TRUE(t.RemoveChild("a").ok());
+  EXPECT_EQ(t.GetChild("a"), nullptr);
+  EXPECT_TRUE(t.RemoveChild("a").IsNotFound());
+}
+
+TEST(TreeTest, FindByPath) {
+  Tree t = T("{a: {b: {c: 5}}}");
+  const Tree* node = t.Find(Path::MustParse("a/b/c"));
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->value().AsInt(), 5);
+  EXPECT_EQ(t.Find(Path::MustParse("a/x")), nullptr);
+  EXPECT_EQ(t.Find(Path()), &t);
+}
+
+TEST(TreeTest, InsertAtAndDeleteAt) {
+  Tree t = T("{a: {}}");
+  EXPECT_TRUE(t.InsertAt(Path::MustParse("a"), "b",
+                         Tree(Value(int64_t{1}))).ok());
+  EXPECT_TRUE(t.Contains(Path::MustParse("a/b")));
+  EXPECT_TRUE(t.InsertAt(Path::MustParse("zz"), "b", Tree()).IsNotFound());
+  EXPECT_TRUE(t.DeleteAt(Path::MustParse("a"), "b").ok());
+  EXPECT_FALSE(t.Contains(Path::MustParse("a/b")));
+}
+
+TEST(TreeTest, ReplaceAtCreatesOrReplaces) {
+  Tree t = T("{a: {b: 1}}");
+  // Replace existing.
+  EXPECT_TRUE(t.ReplaceAt(Path::MustParse("a/b"),
+                          Tree(Value(int64_t{9}))).ok());
+  EXPECT_EQ(t.Find(Path::MustParse("a/b"))->value().AsInt(), 9);
+  // Create fresh edge (as in Figure 3's operation (7)).
+  EXPECT_TRUE(t.ReplaceAt(Path::MustParse("a/c"),
+                          Tree(Value(int64_t{2}))).ok());
+  EXPECT_EQ(t.Find(Path::MustParse("a/c"))->value().AsInt(), 2);
+  // Parent must exist.
+  EXPECT_TRUE(t.ReplaceAt(Path::MustParse("zz/c"), Tree()).IsNotFound());
+}
+
+TEST(TreeTest, CloneIsDeep) {
+  Tree t = T("{a: {b: 1}}");
+  Tree c = t.Clone();
+  ASSERT_TRUE(c.Equals(t));
+  ASSERT_TRUE(c.DeleteAt(Path::MustParse("a"), "b").ok());
+  EXPECT_TRUE(t.Contains(Path::MustParse("a/b")));  // original untouched
+  EXPECT_FALSE(c.Equals(t));
+}
+
+TEST(TreeTest, NodeCountAndDescendants) {
+  Tree t = T("{a: {x: 1, y: 2, z: 3}}");  // the size-4 copy unit + root
+  EXPECT_EQ(t.NodeCount(), 5u);
+  EXPECT_EQ(t.GetChild("a")->NodeCount(), 4u);
+  EXPECT_EQ(t.GetChild("a")->DescendantCount(), 3u);
+}
+
+TEST(TreeTest, EqualsIsStructuralAndValueSensitive) {
+  EXPECT_TRUE(T("{a: 1, b: {c: 2}}").Equals(T("{b: {c: 2}, a: 1}")));
+  EXPECT_FALSE(T("{a: 1}").Equals(T("{a: 2}")));
+  EXPECT_FALSE(T("{a: 1}").Equals(T("{a: 1, b: 2}")));
+  EXPECT_FALSE(T("{a: {}}").Equals(T("{a: 1}")));
+}
+
+TEST(TreeTest, HashAgreesWithEquals) {
+  Tree a = T("{a: 1, b: {c: 2}}");
+  Tree b = T("{b: {c: 2}, a: 1}");
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_NE(a.Hash(), T("{a: 1, b: {c: 3}}").Hash());
+}
+
+TEST(TreeTest, VisitIsPreorder) {
+  Tree t = T("{a: {b: 1}, c: 2}");
+  std::vector<std::string> seen;
+  t.Visit([&](const Path& p, const Tree&) { seen.push_back(p.ToString()); });
+  EXPECT_EQ(seen, (std::vector<std::string>{"", "a", "a/b", "c"}));
+}
+
+TEST(TreeTest, AllPathsAndLeafPaths) {
+  Tree t = T("{a: {b: 1}, c: {}}");
+  EXPECT_EQ(t.AllPaths().size(), 4u);  // root, a, a/b, c
+  auto leaves = t.LeafPaths();
+  ASSERT_EQ(leaves.size(), 2u);
+  EXPECT_EQ(leaves[0].ToString(), "a/b");
+  EXPECT_EQ(leaves[1].ToString(), "c");
+}
+
+TEST(TreeTest, TakeChildMovesSubtree) {
+  Tree t = T("{a: {b: 1}}");
+  auto taken = t.TakeChild("a");
+  ASSERT_TRUE(taken.ok());
+  EXPECT_TRUE(taken->Contains(Path::MustParse("b")));
+  EXPECT_FALSE(t.HasChildren());
+  EXPECT_TRUE(t.TakeChild("a").status().IsNotFound());
+}
+
+TEST(TreeTest, ToStringRoundTrip) {
+  for (const char* lit :
+       {"{}", "{a: 1}", "{a: {b: {c: \"x y\"}}, d: null}",
+        "{c1: {x: 1, y: 2}, c5: {x: 9, y: 7}}"}) {
+    Tree t = T(lit);
+    Tree again = T(t.ToString());
+    EXPECT_TRUE(t.Equals(again)) << lit << " -> " << t.ToString();
+  }
+}
+
+TEST(TreeTest, ByteSizeGrowsWithContent) {
+  EXPECT_LT(T("{a: 1}").ByteSize(), T("{a: 1, b: {c: 2, d: 3}}").ByteSize());
+}
+
+}  // namespace
+}  // namespace cpdb::tree
