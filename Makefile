@@ -1,0 +1,46 @@
+# Convenience wrapper around the CMake presets (see CMakePresets.json).
+#
+#   make            — release build (benches get -O2 -DNDEBUG; test
+#                     binaries keep assertions armed)
+#   make test       — full suite via ctest
+#   make unit       — ctest -L unit only
+#   make integration— ctest -L integration only
+#   make asan       — Debug + ASan/UBSan build and suite
+#   make bench      — run the figure benches (release build)
+#   make clean      — drop all build trees
+
+JOBS ?= $(shell nproc)
+
+.PHONY: all build test unit integration asan bench clean
+
+all: build
+
+build:
+	cmake --preset release
+	cmake --build --preset release -j $(JOBS)
+
+test: build
+	ctest --preset release -j $(JOBS)
+
+unit: build
+	ctest --preset unit -j $(JOBS)
+
+integration: build
+	ctest --preset integration -j $(JOBS)
+
+asan:
+	cmake --preset asan
+	cmake --build --preset asan -j $(JOBS)
+	ctest --preset asan -j $(JOBS)
+
+bench: build
+	./build/bench_fig7_storage3500
+	./build/bench_fig8_storage14000
+	./build/bench_fig9_optime
+	./build/bench_fig10_overhead
+	./build/bench_fig11_deletion
+	./build/bench_fig12_txnlen
+	./build/bench_fig13_querytime
+
+clean:
+	rm -rf build build-dev build-asan

@@ -60,6 +60,52 @@ void BM_BTreeInsert(benchmark::State& state) {
 }
 BENCHMARK(BM_BTreeInsert);
 
+void BM_BTreeBulkLoad(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<std::pair<relstore::Row, relstore::Rid>> items;
+  items.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    items.emplace_back(
+        relstore::Row{relstore::Datum(static_cast<int64_t>(i))},
+        relstore::Rid{static_cast<uint32_t>(i / 64),
+                      static_cast<uint16_t>(i % 64)});
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto batch = items;  // BulkLoad consumes its argument
+    auto bt = std::make_unique<relstore::BTree>();
+    state.ResumeTiming();
+    bt->BulkLoad(std::move(batch));
+    benchmark::DoNotOptimize(bt->size());
+    state.PauseTiming();
+    bt.reset();  // teardown untimed
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BTreeBulkLoad)->Arg(10000)->Arg(100000);
+
+void BM_TableBulkLoad(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto db = std::make_unique<relstore::Database>("bulkdb");
+    state.ResumeTiming();
+    auto filled = workload::FillOrganelleRelational(db.get(), n, /*seed=*/1);
+    if (!filled.ok()) {
+      state.SkipWithError(filled.status().ToString().c_str());
+      break;
+    }
+    state.PauseTiming();
+    db.reset();  // teardown of n rows + indexes stays untimed
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_TableBulkLoad)->Arg(3000)->Arg(14000);
+
 void BM_TableInsertIndexed(benchmark::State& state) {
   relstore::Schema schema({{"Tid", relstore::ColumnType::kInt64, false},
                            {"Op", relstore::ColumnType::kString, false},

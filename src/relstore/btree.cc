@@ -1,24 +1,48 @@
 #include "relstore/btree.h"
 
 #include <algorithm>
-#include <cassert>
+#include <cstdio>
 #include <cstdlib>
+#include <iterator>
 
 namespace cpdb::relstore {
 
 namespace {
+
 constexpr size_t kMaxEntries = 64;  // fanout
-constexpr size_t kMinEntries = kMaxEntries / 2;
+// Minimum occupancy for non-root nodes. An internal node's minimum is one
+// lower than a leaf's because splitting a full internal node moves the
+// middle entry up, leaving (kMaxEntries - kMaxEntries/2 - 1) entries in
+// the new right node.
+constexpr size_t kMinLeafEntries = kMaxEntries / 2;
+constexpr size_t kMinInternalEntries = kMaxEntries / 2 - 1;
+constexpr size_t kMaxChildren = kMaxEntries + 1;
+constexpr size_t kMinInternalChildren = kMinInternalEntries + 1;
+
+// Invariant checks must survive -DNDEBUG: release-mode benches and the
+// large drain probes are exactly where corruption is most expensive to
+// chase, so these are hard aborts rather than assert().
+[[noreturn]] void InvariantFailure(const char* what) {
+  std::fprintf(stderr, "BTree invariant violated: %s\n", what);
+  std::abort();
+}
+
+void Check(bool ok, const char* what) {
+  if (!ok) InvariantFailure(what);
+}
+
 }  // namespace
 
 struct BTree::Node {
   bool leaf = true;
-  // Leaf: `entries` holds the data; `next` chains leaves left-to-right.
-  // Internal: `keys[i]` separates children[i] (< key) from children[i+1]
-  // (>= key); keys are (key,rid) pairs so duplicates split cleanly.
+  // Leaf: `entries` holds the data; `next`/`prev` form the leaf chain.
+  // Internal: `entries[i]` separates children[i] (< entry) from
+  // children[i+1] (>= entry); separators are (key,rid) pairs so duplicate
+  // keys split cleanly.
   std::vector<Entry> entries;                   // leaf payload or seps
   std::vector<std::unique_ptr<Node>> children;  // internal only
   Node* next = nullptr;                         // leaf chain
+  Node* prev = nullptr;                         // leaf chain, for O(1) unlink
 };
 
 bool BTree::EntryLess(const Entry& a, const Entry& b) {
@@ -30,20 +54,23 @@ bool BTree::EntryLess(const Entry& a, const Entry& b) {
 BTree::BTree() : root_(std::make_unique<Node>()) {}
 BTree::~BTree() = default;
 
-BTree::Node* BTree::FindLeaf(const Row& key, const Rid& rid,
-                             std::vector<Node*>* path) const {
+// Descent rule shared by lookup, insert, and erase: children[i] holds
+// entries < entries[i], so the probe goes into the child after the last
+// separator <= it.
+size_t BTree::ChildIndex(const Node& node, const Entry& probe) {
+  size_t i = 0;
+  while (i < node.entries.size() && !EntryLess(probe, node.entries[i])) {
+    ++i;
+  }
+  return i;
+}
+
+BTree::Node* BTree::FindLeaf(const Row& key, const Rid& rid) const {
   Node* cur = root_.get();
   Entry probe{key, rid};
   while (!cur->leaf) {
-    if (path != nullptr) path->push_back(cur);
-    // children[i] holds entries < entries[i]; find first sep > probe.
-    size_t i = 0;
-    while (i < cur->entries.size() && !EntryLess(probe, cur->entries[i])) {
-      ++i;
-    }
-    cur = cur->children[i].get();
+    cur = cur->children[ChildIndex(*cur, probe)].get();
   }
-  if (path != nullptr) path->push_back(cur);
   return cur;
 }
 
@@ -57,6 +84,8 @@ void BTree::SplitChild(Node* parent, size_t child_idx) {
     right->entries.assign(child->entries.begin() + mid, child->entries.end());
     child->entries.resize(mid);
     right->next = child->next;
+    right->prev = child;
+    if (right->next != nullptr) right->next->prev = right.get();
     child->next = right.get();
     // Separator is a copy of the right half's first entry.
     parent->entries.insert(parent->entries.begin() + child_idx,
@@ -90,10 +119,7 @@ void BTree::Insert(const Row& key, const Rid& rid) {
   Node* cur = root_.get();
   Entry probe{key, rid};
   while (!cur->leaf) {
-    size_t i = 0;
-    while (i < cur->entries.size() && !EntryLess(probe, cur->entries[i])) {
-      ++i;
-    }
+    size_t i = ChildIndex(*cur, probe);
     if (cur->children[i]->entries.size() >= kMaxEntries) {
       SplitChild(cur, i);
       // Re-decide which side to descend.
@@ -112,60 +138,185 @@ void BTree::Insert(const Row& key, const Rid& rid) {
 }
 
 bool BTree::Erase(const Row& key, const Rid& rid) {
-  // Lazy deletion strategy: remove from the leaf; underflow is tolerated
-  // (nodes are merged only when empty). This keeps ordering and scan
-  // correctness, trading worst-case height for simplicity — acceptable for
-  // the delete volumes of the workloads, and verified by CheckInvariants.
-  std::vector<Node*> path;
-  Node* leaf = FindLeaf(key, rid, &path);
   Entry probe{key, rid};
-  auto it = std::lower_bound(leaf->entries.begin(), leaf->entries.end(),
-                             probe, EntryLess);
-  if (it == leaf->entries.end() || EntryLess(probe, *it) ||
-      EntryLess(*it, probe)) {
-    return false;
-  }
-  leaf->entries.erase(it);
+  if (!EraseRec(root_.get(), probe)) return false;
   --size_;
-  RebalanceAfterErase(path);
+  // Shrink the root while it is an internal node with a single child.
+  while (!root_->leaf && root_->children.size() == 1) {
+    std::unique_ptr<Node> child = std::move(root_->children.front());
+    root_ = std::move(child);
+  }
   return true;
 }
 
-void BTree::RebalanceAfterErase(std::vector<Node*>& path) {
-  // Collapse empty nodes bottom-up.
-  for (size_t level = path.size(); level-- > 1;) {
-    Node* node = path[level];
-    Node* parent = path[level - 1];
-    if (!node->entries.empty() || !node->children.empty()) break;
-    if (!node->leaf) break;
-    // Find the child pointer in the parent.
-    size_t idx = 0;
-    while (idx < parent->children.size() &&
-           parent->children[idx].get() != node) {
-      ++idx;
-    }
-    if (idx >= parent->children.size()) break;
-    // Fix the leaf chain: predecessor leaf must skip the dying node.
-    // Walk the chain from the leftmost leaf (O(#leaves), deletes of whole
-    // nodes are rare).
-    Node* left = root_.get();
-    while (!left->leaf) left = left->children.front().get();
-    if (left == node) {
-      // node is leftmost; nothing points at it.
+bool BTree::EraseRec(Node* node, const Entry& probe) {
+  if (node->leaf) {
+    auto it = std::lower_bound(node->entries.begin(), node->entries.end(),
+                               probe, EntryLess);
+    if (it == node->entries.end() || EntryLess(probe, *it)) return false;
+    node->entries.erase(it);
+    return true;
+  }
+  size_t i = ChildIndex(*node, probe);
+  Node* child = node->children[i].get();
+  if (!EraseRec(child, probe)) return false;
+  size_t min_entries = child->leaf ? kMinLeafEntries : kMinInternalEntries;
+  if (child->entries.size() < min_entries) FixUnderflow(node, i);
+  return true;
+}
+
+void BTree::FixUnderflow(Node* parent, size_t child_idx) {
+  Node* child = parent->children[child_idx].get();
+  Node* left =
+      child_idx > 0 ? parent->children[child_idx - 1].get() : nullptr;
+  Node* right = child_idx + 1 < parent->children.size()
+                    ? parent->children[child_idx + 1].get()
+                    : nullptr;
+  size_t min_entries = child->leaf ? kMinLeafEntries : kMinInternalEntries;
+
+  if (left != nullptr && left->entries.size() > min_entries) {
+    // Borrow the left sibling's maximum.
+    if (child->leaf) {
+      child->entries.insert(child->entries.begin(),
+                            std::move(left->entries.back()));
+      left->entries.pop_back();
+      parent->entries[child_idx - 1] = child->entries.front();
     } else {
-      while (left != nullptr && left->next != node) left = left->next;
-      if (left != nullptr) left->next = node->next;
+      // Rotate right through the separator.
+      child->entries.insert(child->entries.begin(),
+                            std::move(parent->entries[child_idx - 1]));
+      parent->entries[child_idx - 1] = std::move(left->entries.back());
+      left->entries.pop_back();
+      child->children.insert(child->children.begin(),
+                             std::move(left->children.back()));
+      left->children.pop_back();
     }
-    parent->children.erase(parent->children.begin() + idx);
-    if (!parent->entries.empty()) {
-      size_t sep = idx > 0 ? idx - 1 : 0;
-      parent->entries.erase(parent->entries.begin() + sep);
+    return;
+  }
+  if (right != nullptr && right->entries.size() > min_entries) {
+    // Borrow the right sibling's minimum.
+    if (child->leaf) {
+      child->entries.push_back(std::move(right->entries.front()));
+      right->entries.erase(right->entries.begin());
+      parent->entries[child_idx] = right->entries.front();
+    } else {
+      // Rotate left through the separator.
+      child->entries.push_back(std::move(parent->entries[child_idx]));
+      parent->entries[child_idx] = std::move(right->entries.front());
+      right->entries.erase(right->entries.begin());
+      child->children.push_back(std::move(right->children.front()));
+      right->children.erase(right->children.begin());
     }
+    return;
   }
-  // Shrink the root if it has a single child.
-  while (!root_->leaf && root_->children.size() == 1) {
-    root_ = std::move(root_->children.front());
+  // No sibling can lend: merge with one. Both nodes are at (or, for the
+  // underflowing child, just below) minimum occupancy, so the merged node
+  // cannot exceed kMaxEntries.
+  if (left != nullptr) {
+    MergeChildren(parent, child_idx - 1);
+  } else {
+    MergeChildren(parent, child_idx);
   }
+}
+
+void BTree::MergeChildren(Node* parent, size_t left_idx) {
+  Node* dst = parent->children[left_idx].get();
+  Node* src = parent->children[left_idx + 1].get();
+  if (dst->leaf) {
+    dst->entries.insert(dst->entries.end(),
+                        std::make_move_iterator(src->entries.begin()),
+                        std::make_move_iterator(src->entries.end()));
+    // Unlink src from the doubly-linked leaf chain in O(1).
+    dst->next = src->next;
+    if (src->next != nullptr) src->next->prev = dst;
+  } else {
+    // The separator between the two nodes moves down between their
+    // child sequences.
+    dst->entries.push_back(std::move(parent->entries[left_idx]));
+    dst->entries.insert(dst->entries.end(),
+                        std::make_move_iterator(src->entries.begin()),
+                        std::make_move_iterator(src->entries.end()));
+    for (auto& c : src->children) dst->children.push_back(std::move(c));
+  }
+  parent->entries.erase(parent->entries.begin() + left_idx);
+  parent->children.erase(parent->children.begin() + left_idx + 1);
+}
+
+void BTree::BulkLoad(std::vector<std::pair<Row, Rid>> items) {
+  Check(size_ == 0, "BulkLoad requires an empty tree");
+  std::vector<Entry> entries;
+  entries.reserve(items.size());
+  for (auto& [key, rid] : items) entries.push_back(Entry{std::move(key), rid});
+  std::sort(entries.begin(), entries.end(), EntryLess);
+  entries.erase(std::unique(entries.begin(), entries.end(),
+                            [](const Entry& a, const Entry& b) {
+                              return !EntryLess(a, b) && !EntryLess(b, a);
+                            }),
+                entries.end());
+  size_ = entries.size();
+  if (entries.empty()) {
+    root_ = std::make_unique<Node>();
+    return;
+  }
+
+  // A built subtree plus the smallest entry it contains; the minimum of
+  // node i+1 becomes the separator between siblings i and i+1.
+  struct Built {
+    std::unique_ptr<Node> node;
+    Entry min;
+  };
+
+  // Chunk `remaining` items into nodes of up to `max_per`, keeping every
+  // chunk at or above `min_per` by rebalancing against the final chunk.
+  auto take_chunk = [](size_t remaining, size_t max_per, size_t min_per) {
+    size_t take = std::min(max_per, remaining);
+    if (remaining > take && remaining - take < min_per) {
+      take = remaining - min_per;
+    }
+    return take;
+  };
+
+  // Leaf level: pack full (minimum-height tree); the erase path repairs
+  // any underflow later deletions cause.
+  std::vector<Built> level;
+  for (size_t i = 0; i < entries.size();) {
+    size_t take =
+        take_chunk(entries.size() - i, kMaxEntries, kMinLeafEntries);
+    auto leaf = std::make_unique<Node>();
+    leaf->entries.assign(std::make_move_iterator(entries.begin() + i),
+                         std::make_move_iterator(entries.begin() + i + take));
+    if (!level.empty()) {
+      Node* prev_leaf = level.back().node.get();
+      prev_leaf->next = leaf.get();
+      leaf->prev = prev_leaf;
+    }
+    Entry min = leaf->entries.front();
+    level.push_back(Built{std::move(leaf), std::move(min)});
+    i += take;
+  }
+
+  // Internal levels until a single root remains.
+  while (level.size() > 1) {
+    std::vector<Built> next_level;
+    for (size_t i = 0; i < level.size();) {
+      size_t take =
+          take_chunk(level.size() - i, kMaxChildren, kMinInternalChildren);
+      auto node = std::make_unique<Node>();
+      node->leaf = false;
+      node->children.reserve(take);
+      node->entries.reserve(take - 1);
+      for (size_t j = 0; j < take; ++j) {
+        Built& b = level[i + j];
+        if (j > 0) node->entries.push_back(std::move(b.min));
+        node->children.push_back(std::move(b.node));
+      }
+      Entry min = level[i].min;
+      next_level.push_back(Built{std::move(node), std::move(min)});
+      i += take;
+    }
+    level = std::move(next_level);
+  }
+  root_ = std::move(level.front().node);
 }
 
 void BTree::LookupEq(
@@ -180,14 +331,17 @@ void BTree::LookupEq(
 void BTree::ScanFrom(
     const Row& lo,
     const std::function<bool(const Row&, const Rid&)>& fn) const {
-  const Node* leaf = FindLeaf(lo, Rid{0, 0}, nullptr);
+  const Node* leaf = FindLeaf(lo, Rid{0, 0});
   Entry probe{lo, Rid{0, 0}};
+  // Only the first leaf can contain entries below `lo`.
+  auto it = std::lower_bound(leaf->entries.begin(), leaf->entries.end(),
+                             probe, EntryLess);
   while (leaf != nullptr) {
-    for (const Entry& e : leaf->entries) {
-      if (EntryLess(e, probe)) continue;
-      if (!fn(e.key, e.rid)) return;
+    for (; it != leaf->entries.end(); ++it) {
+      if (!fn(it->key, it->rid)) return;
     }
     leaf = leaf->next;
+    if (leaf != nullptr) it = leaf->entries.begin();
   }
 }
 
@@ -213,29 +367,69 @@ size_t BTree::Height() const {
   return h;
 }
 
-void BTree::CheckInvariants() const {
-  // Keys along the leaf chain must be non-decreasing, and the leaf chain
-  // must contain exactly size() entries.
-  const Node* leaf = root_.get();
-  while (!leaf->leaf) {
-    assert(!leaf->children.empty());
-    assert(leaf->children.size() == leaf->entries.size() + 1);
-    leaf = leaf->children.front().get();
+void BTree::CheckNode(const Node* node, const Entry* lo, const Entry* hi,
+                      size_t depth, size_t* leaf_depth,
+                      std::vector<const Node*>* leaves) const {
+  const bool is_root = node == root_.get();
+  for (size_t i = 0; i + 1 < node->entries.size(); ++i) {
+    Check(EntryLess(node->entries[i], node->entries[i + 1]),
+          "entries out of order");
   }
-  size_t count = 0;
-  const Entry* prev = nullptr;
-  while (leaf != nullptr) {
-    for (const Entry& e : leaf->entries) {
-      if (prev != nullptr) {
-        assert(!EntryLess(e, *prev));
-      }
-      prev = &e;
-      ++count;
+  for (const Entry& e : node->entries) {
+    if (lo != nullptr) Check(!EntryLess(e, *lo), "entry below lower bound");
+    if (hi != nullptr) Check(EntryLess(e, *hi), "entry at/above upper bound");
+  }
+  if (node->leaf) {
+    Check(node->children.empty(), "leaf with children");
+    if (!is_root) {
+      Check(node->entries.size() >= kMinLeafEntries, "leaf under-occupied");
     }
-    leaf = leaf->next;
+    Check(node->entries.size() <= kMaxEntries, "leaf over-occupied");
+    if (*leaf_depth == 0) {
+      *leaf_depth = depth;
+    } else {
+      Check(*leaf_depth == depth, "leaves at different depths");
+    }
+    leaves->push_back(node);
+    return;
   }
-  assert(count == size_);
-  (void)count;
+  Check(node->children.size() == node->entries.size() + 1,
+        "internal fanout mismatch");
+  if (is_root) {
+    Check(node->children.size() >= 2, "internal root with < 2 children");
+  } else {
+    Check(node->entries.size() >= kMinInternalEntries,
+          "internal node under-occupied");
+  }
+  Check(node->entries.size() <= kMaxEntries, "internal node over-occupied");
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    const Entry* child_lo = i == 0 ? lo : &node->entries[i - 1];
+    const Entry* child_hi = i == node->entries.size() ? hi : &node->entries[i];
+    Check(node->children[i] != nullptr, "null child pointer");
+    CheckNode(node->children[i].get(), child_lo, child_hi, depth + 1,
+              leaf_depth, leaves);
+  }
+}
+
+void BTree::CheckInvariants() const {
+  Check(root_ != nullptr, "null root");
+  size_t leaf_depth = 0;
+  std::vector<const Node*> leaves;
+  CheckNode(root_.get(), nullptr, nullptr, 1, &leaf_depth, &leaves);
+
+  // The in-order leaf sequence must match the doubly-linked chain exactly.
+  Check(!leaves.empty(), "no leaves");
+  Check(leaves.front()->prev == nullptr, "first leaf has a predecessor");
+  Check(leaves.back()->next == nullptr, "last leaf has a successor");
+  size_t count = 0;
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    count += leaves[i]->entries.size();
+    if (i + 1 < leaves.size()) {
+      Check(leaves[i]->next == leaves[i + 1], "broken leaf next-chain");
+      Check(leaves[i + 1]->prev == leaves[i], "broken leaf prev-chain");
+    }
+  }
+  Check(count == size_, "entry count mismatch");
 }
 
 }  // namespace cpdb::relstore

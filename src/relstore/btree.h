@@ -2,6 +2,7 @@
 
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "relstore/datum.h"
@@ -12,9 +13,17 @@ namespace cpdb::relstore {
 /// In-memory B+tree mapping composite keys (Row) to record ids.
 ///
 /// Duplicate keys are supported by ordering entries on (key, rid); all
-/// operations that name a specific entry take both. Leaves are chained for
-/// ordered range scans, which the provenance store uses for Loc-prefix
-/// lookups (every descendant of a path is a contiguous key range).
+/// operations that name a specific entry take both. Leaves form a doubly
+/// linked chain for ordered range scans — which the provenance store uses
+/// for Loc-prefix lookups (every descendant of a path is a contiguous key
+/// range) — and for O(1) unlink when a leaf is merged away.
+///
+/// Deletion uses the standard B+tree rebalance: a leaf or internal node
+/// that drops below minimum occupancy borrows an entry from an adjacent
+/// sibling, or is merged with one, so the occupancy and height bounds hold
+/// for any interleaving of inserts and erases. `CheckInvariants()`
+/// verifies the full structural contract and stays armed in release
+/// builds (it does not rely on `assert`).
 class BTree {
  public:
   BTree();
@@ -28,6 +37,13 @@ class BTree {
 
   /// Removes (key, rid); returns false if not present.
   bool Erase(const Row& key, const Rid& rid);
+
+  /// Builds the tree from `items` in one pass, replacing incremental
+  /// insertion for initial loads (workload generators, storage benches).
+  /// The tree must be empty. Input need not be sorted; exact duplicate
+  /// (key, rid) pairs are dropped, matching Insert semantics. Leaves are
+  /// packed full, so the result is the minimum-height tree for the data.
+  void BulkLoad(std::vector<std::pair<Row, Rid>> items);
 
   /// Calls `fn(key, rid)` for all entries with key == `key`.
   void LookupEq(const Row& key,
@@ -47,8 +63,10 @@ class BTree {
   /// Height of the tree (1 = a single leaf). Exposed for tests.
   size_t Height() const;
 
-  /// Verifies ordering and fanout invariants; aborts on violation.
-  /// Exposed for property tests.
+  /// Verifies the full structural contract — separator bounds, occupancy
+  /// minima, uniform leaf depth, doubly-linked chain integrity, and entry
+  /// count — and aborts with a diagnostic on violation. Active in all
+  /// build types. Exposed for property tests.
   void CheckInvariants() const;
 
  private:
@@ -59,11 +77,16 @@ class BTree {
   };
 
   static bool EntryLess(const Entry& a, const Entry& b);
+  static size_t ChildIndex(const Node& node, const Entry& probe);
 
-  Node* FindLeaf(const Row& key, const Rid& rid,
-                 std::vector<Node*>* path) const;
+  Node* FindLeaf(const Row& key, const Rid& rid) const;
   void SplitChild(Node* parent, size_t child_idx);
-  void RebalanceAfterErase(std::vector<Node*>& path);
+  bool EraseRec(Node* node, const Entry& probe);
+  void FixUnderflow(Node* parent, size_t child_idx);
+  void MergeChildren(Node* parent, size_t left_idx);
+  void CheckNode(const Node* node, const Entry* lo, const Entry* hi,
+                 size_t depth, size_t* leaf_depth,
+                 std::vector<const Node*>* leaves) const;
 
   std::unique_ptr<Node> root_;
   size_t size_ = 0;

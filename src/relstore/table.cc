@@ -1,5 +1,8 @@
 #include "relstore/table.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "util/str.h"
 
 namespace cpdb::relstore {
@@ -88,6 +91,74 @@ Result<Rid> Table::Insert(const Row& row) {
     }
   }
   return rid;
+}
+
+Result<size_t> Table::BulkLoad(const std::vector<Row>& rows) {
+  if (RowCount() != 0) {
+    return Status::FailedPrecondition("bulk load requires an empty table");
+  }
+  // Validate everything before mutating, so a bad batch leaves the table
+  // untouched.
+  for (const Row& row : rows) {
+    CPDB_RETURN_IF_ERROR(schema_.Validate(row));
+  }
+  // Extract each index's keys once; reused for the duplicate check here
+  // and the index build below.
+  std::vector<std::vector<Row>> index_keys(indexes_.size());
+  for (size_t ix = 0; ix < indexes_.size(); ++ix) {
+    index_keys[ix].reserve(rows.size());
+    for (const Row& row : rows) {
+      index_keys[ix].push_back(ExtractKey(indexes_[ix], row));
+    }
+  }
+  for (size_t ix = 0; ix < indexes_.size(); ++ix) {
+    if (!indexes_[ix].unique) continue;
+    // Sort pointers, not rows, for the adjacency duplicate check.
+    std::vector<const Row*> keys;
+    keys.reserve(index_keys[ix].size());
+    for (const Row& key : index_keys[ix]) keys.push_back(&key);
+    std::sort(keys.begin(), keys.end(),
+              [](const Row* a, const Row* b) { return RowLess(*a, *b); });
+    for (size_t i = 0; i + 1 < keys.size(); ++i) {
+      if (!RowLess(*keys[i], *keys[i + 1])) {
+        return Status::AlreadyExists(
+            "duplicate key " + RowToString(*keys[i]) + " in unique index '" +
+            indexes_[ix].name + "'");
+      }
+    }
+  }
+  std::vector<Rid> rids;
+  rids.reserve(rows.size());
+  std::string encoded;
+  for (const Row& row : rows) {
+    encoded.clear();
+    EncodeRow(row, &encoded);
+    auto rid = heap_.Insert(encoded);
+    if (!rid.ok()) {
+      // Schema validation can't see encoded size, so an oversized record
+      // surfaces here; un-store the partial batch to keep the documented
+      // no-side-effects contract (indexes are not built yet).
+      for (const Rid& stored : rids) (void)heap_.Delete(stored);
+      return rid.status();
+    }
+    rids.push_back(rid.value());
+  }
+  for (size_t ix = 0; ix < indexes_.size(); ++ix) {
+    Index& idx = indexes_[ix];
+    if (idx.kind == IndexKind::kBTree) {
+      std::vector<std::pair<Row, Rid>> items;
+      items.reserve(rows.size());
+      for (size_t i = 0; i < rows.size(); ++i) {
+        items.emplace_back(std::move(index_keys[ix][i]), rids[i]);
+      }
+      idx.btree->BulkLoad(std::move(items));
+    } else {
+      for (size_t i = 0; i < rows.size(); ++i) {
+        idx.hash->Insert(std::move(index_keys[ix][i]), rids[i]);
+      }
+    }
+  }
+  return rows.size();
 }
 
 Result<Row> Table::Get(const Rid& rid) const {

@@ -37,6 +37,13 @@ class Table {
   /// Validates and stores a row, maintaining all indexes.
   Result<Rid> Insert(const Row& row);
 
+  /// Bulk variant of Insert for initial loads: validates and stores every
+  /// row, then builds each B+tree index with one sorted bulk load instead
+  /// of per-row insertions. The table must be empty. Fails without side
+  /// effects on a schema or unique-constraint violation (duplicates are
+  /// detected within the batch). Returns the number of rows stored.
+  Result<size_t> BulkLoad(const std::vector<Row>& rows);
+
   /// Reads the row at `rid`.
   Result<Row> Get(const Rid& rid) const;
 

@@ -87,15 +87,15 @@ Result<std::string> FillOrganelleRelational(relstore::Database* db,
                         db->CreateTable("organelle", schema));
   CPDB_RETURN_IF_ERROR(table->CreateIndex(
       "pk_id", {0}, relstore::IndexKind::kBTree, /*unique=*/true));
+  std::vector<relstore::Row> batch;
+  batch.reserve(rows);
   for (size_t i = 0; i < rows; ++i) {
-    CPDB_RETURN_IF_ERROR(
-        table
-            ->Insert({Datum("o" + std::to_string(i + 1)),
-                      Datum(ProteinName(&rng)),
-                      Datum(std::string(kOrganelles[rng.NextBelow(10)])),
-                      Datum(std::string(kSpecies[rng.NextBelow(6)]))})
-            .status());
+    batch.push_back({Datum("o" + std::to_string(i + 1)),
+                     Datum(ProteinName(&rng)),
+                     Datum(std::string(kOrganelles[rng.NextBelow(10)])),
+                     Datum(std::string(kSpecies[rng.NextBelow(6)]))});
   }
+  CPDB_RETURN_IF_ERROR(table->BulkLoad(batch).status());
   return std::string("organelle");
 }
 

@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "util/rng.h"
 
@@ -149,6 +151,12 @@ TEST_P(BTreeRandomTest, MatchesReferenceModel) {
 INSTANTIATE_TEST_SUITE_P(Seeds, BTreeRandomTest,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
 
+// Regression: the pre-rebalance erase path left dangling leaf-chain
+// pointers and unbalanced internal nodes on exactly this workload — a
+// monotonic fill followed by a full drain hung indefinitely at 20k keys
+// (and segfaulted a standalone probe at 4k). Each drain order stresses a
+// different rebalance direction: forward drains merge rightward, reverse
+// drains merge leftward, and the shuffled drain mixes borrows and merges.
 TEST(BTreeTest, LargeMonotonicInsertThenDrain) {
   BTree bt;
   for (int i = 0; i < 20000; ++i) {
@@ -158,9 +166,211 @@ TEST(BTreeTest, LargeMonotonicInsertThenDrain) {
   bt.CheckInvariants();
   for (int i = 0; i < 20000; ++i) {
     ASSERT_TRUE(bt.Erase(K(int64_t{i}), Rid{0, 0})) << i;
+    if (i % 4096 == 0) bt.CheckInvariants();
   }
   EXPECT_TRUE(bt.empty());
   bt.CheckInvariants();
+}
+
+TEST(BTreeTest, LargeReverseOrderDrain) {
+  BTree bt;
+  for (int i = 0; i < 20000; ++i) {
+    bt.Insert(K(int64_t{i}), Rid{0, 0});
+  }
+  bt.CheckInvariants();
+  for (int i = 19999; i >= 0; --i) {
+    ASSERT_TRUE(bt.Erase(K(int64_t{i}), Rid{0, 0})) << i;
+    if (i % 4096 == 0) bt.CheckInvariants();
+  }
+  EXPECT_TRUE(bt.empty());
+  bt.CheckInvariants();
+}
+
+TEST(BTreeTest, LargeRandomOrderDrain) {
+  BTree bt;
+  std::vector<int64_t> keys(20000);
+  for (size_t i = 0; i < keys.size(); ++i) keys[i] = static_cast<int64_t>(i);
+  for (int64_t k : keys) bt.Insert(K(k), Rid{0, 0});
+  bt.CheckInvariants();
+  Rng rng(7);
+  rng.Shuffle(&keys);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(bt.Erase(K(keys[i]), Rid{0, 0})) << keys[i];
+    if (i % 4096 == 0) bt.CheckInvariants();
+  }
+  EXPECT_TRUE(bt.empty());
+  bt.CheckInvariants();
+}
+
+TEST(BTreeTest, PartialDrainKeepsRemainderScannable) {
+  BTree bt;
+  for (int i = 0; i < 10000; ++i) bt.Insert(K(int64_t{i}), Rid{0, 0});
+  for (int i = 0; i < 10000; i += 2) {
+    ASSERT_TRUE(bt.Erase(K(int64_t{i}), Rid{0, 0}));
+  }
+  bt.CheckInvariants();
+  int64_t expect = 1;
+  bt.ScanAll([&](const Row& k, const Rid&) {
+    EXPECT_EQ(k[0].AsInt(), expect);
+    expect += 2;
+    return true;
+  });
+  EXPECT_EQ(expect, 10001);
+}
+
+TEST(BTreeTest, BulkLoadMatchesIncremental) {
+  // Unsorted input with exact (key, rid) duplicates: bulk load must sort,
+  // drop duplicates, and produce the same contents as Insert would.
+  std::vector<std::pair<Row, Rid>> items;
+  for (int i = 9999; i >= 0; --i) {
+    items.emplace_back(K(int64_t{i}), Rid{0, static_cast<uint16_t>(i % 3)});
+  }
+  items.emplace_back(K(int64_t{1234}), Rid{0, 1});  // duplicate of i=1234
+  BTree bt;
+  bt.BulkLoad(items);
+  EXPECT_EQ(bt.size(), 10000u);
+  bt.CheckInvariants();
+  // Packed leaves give the minimum height for the data.
+  EXPECT_GT(bt.Height(), 1u);
+  int64_t expect = 0;
+  bt.ScanAll([&](const Row& k, const Rid& rid) {
+    EXPECT_EQ(k[0].AsInt(), expect);
+    EXPECT_EQ(rid.slot, static_cast<uint16_t>(expect % 3));
+    ++expect;
+    return true;
+  });
+  EXPECT_EQ(expect, 10000);
+}
+
+TEST(BTreeTest, BulkLoadEmptyAndTiny) {
+  BTree empty;
+  empty.BulkLoad({});
+  EXPECT_TRUE(empty.empty());
+  empty.CheckInvariants();
+
+  BTree tiny;
+  tiny.BulkLoad({{K(int64_t{2}), Rid{0, 0}}, {K(int64_t{1}), Rid{0, 0}}});
+  EXPECT_EQ(tiny.size(), 2u);
+  EXPECT_EQ(tiny.Height(), 1u);
+  tiny.CheckInvariants();
+}
+
+TEST(BTreeTest, BulkLoadThenMutate) {
+  std::vector<std::pair<Row, Rid>> items;
+  for (int i = 0; i < 5000; ++i) {
+    items.emplace_back(K(int64_t{i * 2}), Rid{0, 0});  // even keys
+  }
+  BTree bt;
+  bt.BulkLoad(std::move(items));
+  bt.CheckInvariants();
+  // Inserting into fully packed leaves forces splits; erasing forces
+  // borrows/merges against the packed layout.
+  for (int i = 0; i < 5000; ++i) bt.Insert(K(int64_t{i * 2 + 1}), Rid{0, 0});
+  bt.CheckInvariants();
+  EXPECT_EQ(bt.size(), 10000u);
+  for (int i = 0; i < 10000; i += 3) {
+    ASSERT_TRUE(bt.Erase(K(int64_t{i}), Rid{0, 0}));
+  }
+  bt.CheckInvariants();
+}
+
+// Satellite property test: ≥100k interleaved Insert/Erase/ScanFrom/
+// LookupEq calls checked against a std::multimap oracle. The multimap
+// orders duplicates by insertion, the tree by rid, so per-key slot sets
+// are compared as sorted vectors.
+TEST(BTreeTest, MultimapOracleHundredThousandOps) {
+  Rng rng(20060612);  // fixed seed: SIGMOD 2006 paper date
+  BTree bt;
+  std::multimap<int64_t, uint16_t> oracle;
+  constexpr int kOps = 120000;
+  constexpr int64_t kKeySpace = 3000;
+  constexpr uint16_t kSlots = 6;
+
+  auto oracle_slots = [&](int64_t key) {
+    std::vector<uint16_t> slots;
+    auto [lo, hi] = oracle.equal_range(key);
+    for (auto it = lo; it != hi; ++it) slots.push_back(it->second);
+    std::sort(slots.begin(), slots.end());
+    return slots;
+  };
+
+  for (int step = 0; step < kOps; ++step) {
+    int64_t key = static_cast<int64_t>(rng.NextBelow(kKeySpace));
+    uint16_t slot = static_cast<uint16_t>(rng.NextBelow(kSlots));
+    double dice = rng.NextDouble();
+    if (dice < 0.50) {
+      bt.Insert(K(key), Rid{0, slot});
+      std::vector<uint16_t> present = oracle_slots(key);
+      if (std::find(present.begin(), present.end(), slot) == present.end()) {
+        oracle.emplace(key, slot);
+      }
+    } else if (dice < 0.90) {
+      bool erased = bt.Erase(K(key), Rid{0, slot});
+      bool oracle_erased = false;
+      auto [lo, hi] = oracle.equal_range(key);
+      for (auto it = lo; it != hi; ++it) {
+        if (it->second == slot) {
+          oracle.erase(it);
+          oracle_erased = true;
+          break;
+        }
+      }
+      ASSERT_EQ(erased, oracle_erased) << "step " << step << " key " << key;
+    } else if (dice < 0.95) {
+      std::vector<uint16_t> got;
+      bt.LookupEq(K(key), [&](const Row&, const Rid& rid) {
+        got.push_back(rid.slot);
+        return true;
+      });
+      ASSERT_EQ(got, oracle_slots(key)) << "step " << step << " key " << key;
+    } else {
+      // Bounded ordered scan from a random lower bound.
+      std::vector<std::pair<int64_t, uint16_t>> got;
+      bt.ScanFrom(K(key), [&](const Row& k, const Rid& rid) {
+        got.emplace_back(k[0].AsInt(), rid.slot);
+        return got.size() < 64;
+      });
+      std::vector<std::pair<int64_t, uint16_t>> want;
+      for (auto it = oracle.lower_bound(key);
+           it != oracle.end() && want.size() < 64;) {
+        // Consume one key's slots in rid order, as the tree emits them.
+        int64_t k = it->first;
+        std::vector<uint16_t> slots;
+        for (; it != oracle.end() && it->first == k; ++it) {
+          slots.push_back(it->second);
+        }
+        std::sort(slots.begin(), slots.end());
+        for (uint16_t s : slots) {
+          if (want.size() < 64) want.emplace_back(k, s);
+        }
+      }
+      ASSERT_EQ(got, want) << "step " << step << " lo " << key;
+    }
+    if (step % 10000 == 0) {
+      bt.CheckInvariants();
+      ASSERT_EQ(bt.size(), oracle.size()) << "step " << step;
+    }
+  }
+  bt.CheckInvariants();
+  ASSERT_EQ(bt.size(), oracle.size());
+
+  // Final full-scan agreement.
+  std::vector<std::pair<int64_t, uint16_t>> scanned;
+  bt.ScanAll([&](const Row& k, const Rid& rid) {
+    scanned.emplace_back(k[0].AsInt(), rid.slot);
+    return true;
+  });
+  std::vector<std::pair<int64_t, uint16_t>> expected;
+  for (auto it = oracle.begin(); it != oracle.end();) {
+    int64_t k = it->first;
+    std::vector<uint16_t> slots;
+    for (; it != oracle.end() && it->first == k; ++it) {
+      slots.push_back(it->second);
+    }
+    std::sort(slots.begin(), slots.end());
+    for (uint16_t s : slots) expected.emplace_back(k, s);
+  }
+  ASSERT_EQ(scanned, expected);
 }
 
 }  // namespace

@@ -185,6 +185,99 @@ TEST(TableTest, InsertAndScan) {
   EXPECT_EQ(n, 2u);
 }
 
+TEST(TableTest, BulkLoadBuildsIndexesAndEnforcesUnique) {
+  Table t("Prov", ProvSchema());
+  ASSERT_TRUE(t.CreateIndex("pk", {0, 2}, IndexKind::kBTree, true).ok());
+  ASSERT_TRUE(t.CreateIndex("idx_loc", {2}, IndexKind::kBTree).ok());
+  ASSERT_TRUE(t.CreateIndex("idx_tid", {0}, IndexKind::kHash).ok());
+  std::vector<Row> rows;
+  for (int i = 199; i >= 0; --i) {  // unsorted on purpose
+    rows.push_back({Datum(int64_t{i}), Datum("I"),
+                    Datum("T/n" + std::to_string(i)), Datum()});
+  }
+  auto loaded = t.BulkLoad(rows);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value(), 200u);
+  EXPECT_EQ(t.RowCount(), 200u);
+  // All index kinds answer lookups after the bulk build.
+  size_t hits = 0;
+  auto count = [&](const Rid&, const Row&) {
+    ++hits;
+    return true;
+  };
+  ASSERT_TRUE(t.LookupEq("pk", {Datum(int64_t{42}), Datum("T/n42")}, count)
+                  .ok());
+  EXPECT_EQ(hits, 1u);
+  hits = 0;
+  ASSERT_TRUE(t.LookupEq("idx_loc", {Datum("T/n7")}, count).ok());
+  EXPECT_EQ(hits, 1u);
+  hits = 0;
+  ASSERT_TRUE(t.LookupEq("idx_tid", {Datum(int64_t{3})}, count).ok());
+  EXPECT_EQ(hits, 1u);
+  // The B+tree index scans in key order and stays mutable afterwards.
+  int64_t prev = -1;
+  ASSERT_TRUE(t.ScanIndex("pk", [&](const Rid&, const Row& row) {
+                 EXPECT_GT(row[0].AsInt(), prev);
+                 prev = row[0].AsInt();
+                 return true;
+               }).ok());
+  ASSERT_TRUE(
+      t.Insert({Datum(int64_t{500}), Datum("I"), Datum("T/x"), Datum()})
+          .ok());
+  EXPECT_EQ(t.RowCount(), 201u);
+}
+
+TEST(TableTest, BulkLoadRejectsBadBatchesAtomically) {
+  Table t("Prov", ProvSchema());
+  ASSERT_TRUE(t.CreateIndex("pk", {0, 2}, IndexKind::kBTree, true).ok());
+  // In-batch unique violation: same {Tid, Loc} twice.
+  auto dup = t.BulkLoad(
+      {{Datum(int64_t{1}), Datum("I"), Datum("T/a"), Datum()},
+       {Datum(int64_t{1}), Datum("D"), Datum("T/a"), Datum()}});
+  EXPECT_TRUE(dup.status().IsAlreadyExists());
+  EXPECT_EQ(t.RowCount(), 0u);  // nothing stored
+  // Schema violation anywhere in the batch rejects the whole batch.
+  auto bad = t.BulkLoad({{Datum(int64_t{1}), Datum("I"), Datum("T/a"),
+                          Datum()},
+                         {Datum("not-an-int"), Datum("I"), Datum("T/b"),
+                          Datum()}});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(t.RowCount(), 0u);
+  // A good batch then loads, and BulkLoad on a non-empty table fails.
+  ASSERT_TRUE(t.BulkLoad({{Datum(int64_t{1}), Datum("I"), Datum("T/a"),
+                           Datum()}})
+                  .ok());
+  auto refill = t.BulkLoad({{Datum(int64_t{2}), Datum("I"), Datum("T/b"),
+                             Datum()}});
+  EXPECT_TRUE(refill.status().IsFailedPrecondition());
+}
+
+TEST(TableTest, BulkLoadRollsBackOnHeapFailure) {
+  // Schema validation checks types, not encoded size; a record larger
+  // than a page fails inside the heap mid-batch. The rows stored before
+  // it must be un-stored so the table stays empty and reloadable.
+  Table t("Prov", ProvSchema());
+  ASSERT_TRUE(t.CreateIndex("pk", {0, 2}, IndexKind::kBTree, true).ok());
+  std::string huge(Page::kPageSize + 1, 'x');
+  auto bad = t.BulkLoad({{Datum(int64_t{1}), Datum("I"), Datum("T/a"),
+                          Datum()},
+                         {Datum(int64_t{2}), Datum("I"), Datum(huge),
+                          Datum()}});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(t.RowCount(), 0u);
+  size_t scanned = 0;
+  t.Scan([&](const Rid&, const Row&) {
+    ++scanned;
+    return true;
+  });
+  EXPECT_EQ(scanned, 0u);
+  // The table is still empty, so a fresh bulk load succeeds.
+  ASSERT_TRUE(t.BulkLoad({{Datum(int64_t{1}), Datum("I"), Datum("T/a"),
+                           Datum()}})
+                  .ok());
+  EXPECT_EQ(t.RowCount(), 1u);
+}
+
 TEST(TableTest, UniqueIndexRejectsDuplicates) {
   Table t("Prov", ProvSchema());
   ASSERT_TRUE(t.CreateIndex("pk", {0, 2}, IndexKind::kBTree, true).ok());
