@@ -21,6 +21,12 @@ int main(int argc, char** argv) {
   base.target_entries = 3000;
   base.source_entries = 6000;
 
+  JsonReport report("fig10_overhead");
+  report.config()
+      .Set("steps", base.steps)
+      .Set("txn_len", base.txn_len)
+      .Set("pattern", "mix");
+
   PrintHeader("Figure 10", "provenance overhead per op type (%)");
   std::printf("steps=%zu txn_len=%zu (overhead = prov time / dataset time)\n\n",
               base.steps, base.txn_len);
@@ -37,9 +43,21 @@ int main(int argc, char** argv) {
                 100.0 * st.add_prov.Avg() / base_us,
                 100.0 * st.del_prov.Avg() / base_us,
                 100.0 * st.copy_prov.Avg() / base_us);
+    report.AddRow()
+        .Set("method", provenance::StrategyShortName(strat))
+        .Set("ops", st.applied)
+        .Set("add_overhead_pct", 100.0 * st.add_prov.Avg() / base_us)
+        .Set("del_overhead_pct", 100.0 * st.del_prov.Avg() / base_us)
+        .Set("copy_overhead_pct", 100.0 * st.copy_prov.Avg() / base_us)
+        .Set("prov_wall_us", st.prov_us)
+        .Set("round_trips", st.prov_round_trips)
+        .Set("rows_moved", st.prov_rows_moved)
+        .Set("prov_bytes", st.prov_bytes)
+        .Set("real_ms", st.real_ms);
   }
   std::printf(
       "\nShape check vs paper: N <= ~30%% everywhere; H add > N add but\n"
       "H copy < N copy; T ~0%%; HT <= ~6%%.\n");
+  report.WriteTo(flags.GetString("json", ""));
   return 0;
 }

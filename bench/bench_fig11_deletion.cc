@@ -23,6 +23,12 @@ int main(int argc, char** argv) {
   base.target_entries = 3000;
   base.source_entries = 6000;
 
+  JsonReport report("fig11_deletion");
+  report.config()
+      .Set("steps", base.steps)
+      .Set("txn_len", base.txn_len)
+      .Set("pattern", "mix");
+
   PrintHeader("Figure 11", "effect of deletion patterns on storage (rows)");
   std::printf("steps=%zu txn_len=%zu\n\n", base.steps, base.txn_len);
 
@@ -45,6 +51,17 @@ int main(int argc, char** argv) {
         cfg.include_deletes = with_deletes;
         RunStats st = RunWorkload(cfg);
         std::printf("%12zu", st.prov_rows);
+        report.AddRow()
+            .Set("method", provenance::StrategyShortName(strat))
+            .Set("deletes", with_deletes)
+            .Set("policy", workload::DeletePolicyName(policy))
+            .Set("ops", st.applied)
+            .Set("prov_rows", st.prov_rows)
+            .Set("prov_bytes", st.prov_bytes)
+            .Set("round_trips", st.prov_round_trips)
+            .Set("rows_moved", st.prov_rows_moved)
+            .Set("prov_wall_us", st.prov_us)
+            .Set("real_ms", st.real_ms);
       }
       std::printf("\n");
     }
@@ -53,5 +70,6 @@ int main(int argc, char** argv) {
       "\nShape check vs paper: N/H rows grow (ac)->(acd); T shrinks under\n"
       "del-add/del-mix (same-txn insert+delete cancels); HT smallest and\n"
       "most stable.\n");
+  report.WriteTo(flags.GetString("json", ""));
   return 0;
 }

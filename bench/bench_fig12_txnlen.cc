@@ -22,6 +22,10 @@ int main(int argc, char** argv) {
   base.target_entries = 1500;
   base.source_entries = 3000;
 
+  JsonReport report("fig12_txnlen");
+  report.config().Set("steps", base.steps).Set("pattern", "real").Set(
+      "method", "HT");
+
   PrintHeader("Figure 12",
               "transaction length vs processing time (HT, 3500-real, us)");
   std::printf("steps=%zu\n\n", base.steps);
@@ -41,9 +45,23 @@ int main(int argc, char** argv) {
     std::printf("%-10zu %10.2f %10.2f %10.2f %12.1f %12.2f\n", txn_len,
                 st.add_prov.Avg(), st.del_prov.Avg(), st.copy_prov.Avg(),
                 st.commit_prov.Avg(), amortized);
+    report.AddRow()
+        .Set("txn_len", txn_len)
+        .Set("ops", st.applied)
+        .Set("add_us", st.add_prov.Avg())
+        .Set("del_us", st.del_prov.Avg())
+        .Set("copy_us", st.copy_prov.Avg())
+        .Set("commit_us", st.commit_prov.Avg())
+        .Set("amortized_us", amortized)
+        .Set("prov_wall_us", st.prov_us)
+        .Set("round_trips", st.prov_round_trips)
+        .Set("rows_moved", st.prov_rows_moved)
+        .Set("prov_bytes", st.prov_bytes)
+        .Set("real_ms", st.real_ms);
   }
   std::printf(
       "\nShape check vs paper: per-op times flat; commit grows ~linearly\n"
       "with transaction length; amortized per-op time ~constant.\n");
+  report.WriteTo(flags.GetString("json", ""));
   return 0;
 }

@@ -14,6 +14,7 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cpdb/cpdb.h"
@@ -21,6 +22,138 @@
 #include "util/sim_clock.h"
 
 namespace cpdb::bench {
+
+// ----- Machine-readable output ---------------------------------------------
+//
+// Every figure bench accepts `--json=<path>` and, when it is set, writes
+// one JSON document
+//
+//   {"bench": "<name>", "config": {...}, "rows": [{...}, ...]}
+//
+// with per-row counters (ops, simulated wall time, modelled round trips,
+// bytes) so BENCH_*.json perf-trajectory tracking can diff runs across
+// PRs. Keys are stable; values are JSON numbers or strings.
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Insertion-ordered string->value map rendered as one JSON object.
+class JsonDict {
+ public:
+  JsonDict& Set(const std::string& key, const std::string& v) {
+    items_.emplace_back(key, "\"" + JsonEscape(v) + "\"");
+    return *this;
+  }
+  JsonDict& Set(const std::string& key, const char* v) {
+    return Set(key, std::string(v));
+  }
+  JsonDict& Set(const std::string& key, double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    items_.emplace_back(key, buf);
+    return *this;
+  }
+  JsonDict& Set(const std::string& key, size_t v) {
+    items_.emplace_back(key, std::to_string(v));
+    return *this;
+  }
+  JsonDict& Set(const std::string& key, int64_t v) {
+    items_.emplace_back(key, std::to_string(v));
+    return *this;
+  }
+  JsonDict& Set(const std::string& key, int v) {
+    return Set(key, static_cast<int64_t>(v));
+  }
+  JsonDict& Set(const std::string& key, bool v) {
+    items_.emplace_back(key, v ? "true" : "false");
+    return *this;
+  }
+
+  std::string ToString() const {
+    std::string out = "{";
+    for (size_t i = 0; i < items_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "\"" + JsonEscape(items_[i].first) + "\":" + items_[i].second;
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> items_;
+};
+
+/// One bench's report: a config dict plus one dict per measured row.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench) : bench_(std::move(bench)) {}
+
+  JsonDict& config() { return config_; }
+  JsonDict& AddRow() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  std::string ToString() const {
+    std::string out = "{\"bench\":\"" + JsonEscape(bench_) + "\"";
+    out += ",\"config\":" + config_.ToString();
+    out += ",\"rows\":[";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += rows_[i].ToString();
+    }
+    out += "]}\n";
+    return out;
+  }
+
+  /// Writes the report to `path`; a no-op (returning true) when `path` is
+  /// empty, so benches can call it unconditionally.
+  bool WriteTo(const std::string& path) const {
+    if (path.empty()) return true;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::string body = ToString();
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    std::printf("\nJSON report written to %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string bench_;
+  JsonDict config_;
+  std::vector<JsonDict> rows_;
+};
 
 struct RunConfig {
   provenance::Strategy strategy = provenance::Strategy::kNaive;
@@ -46,6 +179,8 @@ struct RunStats {
   size_t adds = 0, deletes = 0, copies = 0, commits = 0;
   size_t prov_rows = 0;
   size_t prov_bytes = 0;
+  size_t prov_round_trips = 0;  ///< modelled provenance-store round trips
+  size_t prov_rows_moved = 0;   ///< rows transferred over those round trips
   double target_us = 0;   ///< simulated target-database interaction
   double prov_us = 0;     ///< simulated provenance-store interaction
   OpTiming add_prov, del_prov, copy_prov, commit_prov;
@@ -156,6 +291,8 @@ inline RunStats RunWorkload(const RunConfig& cfg) {
   st.copies = gen.copies();
   st.prov_rows = st.editor->store()->RecordCount();
   st.prov_bytes = st.editor->store()->PhysicalBytes();
+  st.prov_round_trips = st.prov_db->cost().Calls();
+  st.prov_rows_moved = st.prov_db->cost().RowsMoved();
   st.prov_us = prov_cost();
   st.target_us = tgt_cost();
   st.dataset_avg_us = st.applied == 0 ? 0 : st.target_us / st.applied;

@@ -82,6 +82,10 @@ int main() {
           std::printf(" %lld", static_cast<long long>(tid));
         }
       }
+      if (link.round_trips > 0) {
+        std::printf("  (%zu round trip%s)", link.round_trips,
+                    link.round_trips == 1 ? "" : "s");
+      }
       std::printf("\n");
     }
     if (registry.last_chain_truncated()) {

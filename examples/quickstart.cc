@@ -61,7 +61,7 @@ int main() {
 
   std::printf("\nProvenance store (%zu records):\n",
               ed.store()->RecordCount());
-  auto records = ed.store()->AllRecords();
+  auto records = ed.store()->backend()->GetAll();
   if (records.ok()) {
     std::printf("%s", provenance::RecordsToTable(records.value()).c_str());
   }

@@ -18,6 +18,29 @@
 ///                     Path::MustParse("T/c1/y"));
 ///   editor->Commit();
 ///   auto hist = editor->query()->GetHist(Path::MustParse("T/c1/y"));
+///
+/// Provenance reads are cursor- and batch-oriented (provenance/backend.h):
+///
+///   provenance::ProvCursor scan = backend.ScanUnder(p);   // subtree range
+///   std::vector<provenance::ProvRecord> batch;            // caller-owned
+///   while (scan.Next(&batch, 512) > 0) { ...consume batch... }
+///
+/// Each fetch is one modelled round trip; a result that fits one batch
+/// costs exactly one. Ordering guarantees: ScanAll/GetAll stream the
+/// table key order (Tid, Loc); ScanForTid orders by Loc; the Loc-side
+/// scans (ScanAtLoc, ScanUnder, ScanAtLocOrAncestors) order by
+/// (Loc, Tid). Consistency: a cursor borrows a position inside the
+/// store's indexes and is invalidated by any provenance write — drain
+/// cursors before the next tracked operation (the editor is the only
+/// writer, so reads between transactions are stable). Batched point
+/// lookups go through ProvBackend::LookupMany(tid, locs), one round trip
+/// for the whole batch.
+///
+/// Migration note: ProvStore's vector-returning read methods
+/// (RecordsUnder, RecordsAtAncestors, RecordsForTid, AllRecords) were
+/// removed with the cursor redesign; their one-shot equivalents live on
+/// ProvBackend (GetUnder, GetAtLocOrAncestors, GetForTid, GetAll), each
+/// costing exactly one round trip.
 
 #include "archive/archive.h"          // IWYU pragma: export
 #include "cpdb/editor.h"              // IWYU pragma: export

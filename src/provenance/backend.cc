@@ -1,5 +1,6 @@
 #include "provenance/backend.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace cpdb::provenance {
@@ -10,6 +11,7 @@ const char* ProvBackend::kMetaTable = "TxnMeta";
 using relstore::ColumnType;
 using relstore::Datum;
 using relstore::Row;
+using relstore::ScanSpec;
 using relstore::Schema;
 
 ProvBackend::ProvBackend(relstore::Database* db, bool use_indexes)
@@ -22,14 +24,14 @@ ProvBackend::ProvBackend(relstore::Database* db, bool use_indexes)
   assert(prov.ok());
   prov_ = prov.value();
   // {Tid, Loc} is the table key (paper Section 2.1); Loc and Tid are the
-  // "natural candidates for indexing" the paper names.
+  // "natural candidates for indexing" the paper names. Both indexes carry
+  // the full key so every cursor's ordering is deterministic: the primary
+  // yields (Tid, Loc), the secondary (Loc, Tid).
   Status st =
       prov_->CreateIndex("pk_tid_loc", {0, 2}, relstore::IndexKind::kBTree,
                          /*unique=*/true);
   assert(st.ok());
-  st = prov_->CreateIndex("idx_loc", {2}, relstore::IndexKind::kBTree);
-  assert(st.ok());
-  st = prov_->CreateIndex("idx_tid", {0}, relstore::IndexKind::kHash);
+  st = prov_->CreateIndex("idx_loc_tid", {2, 0}, relstore::IndexKind::kBTree);
   assert(st.ok());
 
   Schema meta_schema({{"Tid", ColumnType::kInt64, false},
@@ -67,18 +69,75 @@ Result<ProvRecord> ProvBackend::FromRow(const Row& row) {
   return rec;
 }
 
-void ProvBackend::ChargeQuery(size_t rows_returned) {
-  // Indexed: pay for the round trip and the rows actually returned.
-  // Unindexed: the server scans the whole table per query.
-  size_t rows = use_indexes_ ? rows_returned : prov_->RowCount();
-  db_->cost().ChargeCall(rows);
+size_t ProvBackend::ApproxBytes(const ProvRecord& rec) {
+  return rec.loc.ToString().size() + rec.src.ToString().size() + 16;
 }
+
+// ----- ProvCursor ----------------------------------------------------------
+
+void ProvCursor::AddSegment(relstore::ScanSpec spec) {
+  auto cur = prov_->OpenScan(std::move(spec));
+  if (!cur.ok()) {
+    status_ = cur.status();
+    return;
+  }
+  segments_.push_back(std::move(cur).value());
+}
+
+size_t ProvCursor::Next(std::vector<ProvRecord>* batch, size_t max) {
+  batch->clear();
+  if (exhausted_ || !status_.ok() || max == 0) return 0;
+  Row row;
+  while (batch->size() < max && seg_ < segments_.size()) {
+    relstore::Table::Cursor& cur = segments_[seg_];
+    if (!cur.Next(&row)) {
+      if (!cur.status().ok()) {
+        status_ = cur.status();
+        break;
+      }
+      ++seg_;  // segment drained; the statement continues with the next
+      continue;
+    }
+    auto rec = ProvBackend::FromRow(row);
+    if (!rec.ok()) {
+      status_ = rec.status();
+      break;
+    }
+    batch->push_back(std::move(rec).value());
+  }
+  if (seg_ >= segments_.size() || !status_.ok()) exhausted_ = true;
+  // One round trip per fetch that reaches the server. An empty statement
+  // (no segments — e.g. an ancestor scan of a too-shallow path) is never
+  // sent and costs nothing. In unindexed mode the first fetch pays the
+  // server-side full-table scan.
+  if (!segments_.empty()) {
+    size_t rows = batch->size();
+    if (first_fetch_ && !use_indexes_) rows = prov_->RowCount();
+    db_->cost().ChargeCall(rows);
+    ++round_trips_;
+    first_fetch_ = false;
+  }
+  return batch->size();
+}
+
+bool ProvCursor::Next(ProvRecord* rec) {
+  if (buf_pos_ >= buf_.size()) {
+    if (exhausted_ || !status_.ok()) return false;
+    Next(&buf_, kDefaultBatch);
+    buf_pos_ = 0;
+    if (buf_.empty()) return false;
+  }
+  *rec = std::move(buf_[buf_pos_++]);
+  return true;
+}
+
+// ----- Writes --------------------------------------------------------------
 
 Status ProvBackend::WriteRecords(const std::vector<ProvRecord>& records) {
   size_t bytes = 0;
   for (const ProvRecord& rec : records) {
     CPDB_RETURN_IF_ERROR(prov_->Insert(ToRow(rec)).status());
-    bytes += rec.loc.ToString().size() + rec.src.ToString().size() + 16;
+    bytes += ApproxBytes(rec);
   }
   db_->cost().ChargeCall(records.size(), bytes);
   return Status::OK();
@@ -94,13 +153,95 @@ Status ProvBackend::WriteTxnMeta(const TxnMeta& meta) {
   return Status::OK();
 }
 
-Result<std::vector<ProvRecord>> ProvBackend::GetExact(int64_t tid,
-                                                      const tree::Path& loc) {
+// ----- Streaming reads -----------------------------------------------------
+
+ProvCursor ProvBackend::ScanAll() {
+  ProvCursor cur = MakeCursor();
+  ScanSpec spec;
+  spec.index = "pk_tid_loc";
+  cur.AddSegment(std::move(spec));
+  return cur;
+}
+
+ProvCursor ProvBackend::ScanForTid(int64_t tid) {
+  ProvCursor cur = MakeCursor();
+  ScanSpec spec;
+  spec.index = "pk_tid_loc";
+  spec.eq = Row{Datum(tid)};
+  cur.AddSegment(std::move(spec));
+  return cur;
+}
+
+ProvCursor ProvBackend::ScanAtLoc(const tree::Path& loc) {
+  ProvCursor cur = MakeCursor();
+  ScanSpec spec;
+  spec.index = "idx_loc_tid";
+  spec.eq = Row{Datum(loc.ToString())};
+  cur.AddSegment(std::move(spec));
+  return cur;
+}
+
+ProvCursor ProvBackend::ScanUnder(const tree::Path& loc) {
+  ProvCursor cur = MakeCursor();
+  if (loc.IsRoot()) {
+    // Everything is under the universe root.
+    ScanSpec spec;
+    spec.index = "idx_loc_tid";
+    cur.AddSegment(std::move(spec));
+    return cur;
+  }
+  // The node itself plus everything strictly below it. The two ranges are
+  // separately contiguous in the index ("loc" and "loc/..."; labels may
+  // contain characters sorting before '/', so one string range would
+  // admit strangers like "loc!x"). Both ride on the same statement.
+  ScanSpec self;
+  self.index = "idx_loc_tid";
+  self.eq = Row{Datum(loc.ToString())};
+  cur.AddSegment(std::move(self));
+  ScanSpec below;
+  below.index = "idx_loc_tid";
+  below.prefix = loc.ToString() + "/";
+  cur.AddSegment(std::move(below));
+  return cur;
+}
+
+ProvCursor ProvBackend::ScanAtLocOrAncestors(const tree::Path& loc,
+                                             bool include_self) {
+  std::vector<tree::Path> targets;
+  if (include_self) targets.push_back(loc);
+  tree::Path a = loc;
+  while (a.Depth() > 2) {
+    a = a.Parent();
+    targets.push_back(a);
+  }
+  // Shallowest first, so the merged stream is (Loc, Tid)-ordered (an
+  // ancestor's rendering is a string prefix of its descendants').
+  std::sort(targets.begin(), targets.end());
+  ProvCursor cur = MakeCursor();
+  for (const tree::Path& t : targets) {
+    ScanSpec spec;
+    spec.index = "idx_loc_tid";
+    spec.eq = Row{Datum(t.ToString())};
+    cur.AddSegment(std::move(spec));
+  }
+  return cur;
+}
+
+// ----- Batched point lookups -----------------------------------------------
+
+Result<std::vector<ProvRecord>> ProvBackend::LookupMany(
+    int64_t tid, const std::vector<tree::Path>& locs) {
   std::vector<ProvRecord> out;
+  if (locs.empty()) return out;  // empty statement: nothing to send
+  std::vector<Row> keys;
+  keys.reserve(locs.size());
+  for (const tree::Path& loc : locs) {
+    keys.push_back(Row{Datum(tid), Datum(loc.ToString())});
+  }
   Status inner = Status::OK();
-  CPDB_RETURN_IF_ERROR(prov_->LookupEq(
-      "pk_tid_loc", Row{Datum(tid), Datum(loc.ToString())},
-      [&](const relstore::Rid&, const Row& row) {
+  CPDB_RETURN_IF_ERROR(prov_->MultiGet(
+      "pk_tid_loc", keys,
+      [&](size_t, const relstore::Rid&, const Row& row) {
         auto rec = FromRow(row);
         if (!rec.ok()) {
           inner = rec.status();
@@ -110,112 +251,43 @@ Result<std::vector<ProvRecord>> ProvBackend::GetExact(int64_t tid,
         return true;
       }));
   CPDB_RETURN_IF_ERROR(inner);
-  ChargeQuery(out.size());
+  db_->cost().ChargeCall(use_indexes_ ? out.size() : prov_->RowCount());
   return out;
+}
+
+// ----- One-shot shims ------------------------------------------------------
+
+Result<std::vector<ProvRecord>> ProvBackend::Drain(ProvCursor cursor) {
+  std::vector<ProvRecord> out;
+  cursor.Next(&out, ProvCursor::kNoLimit);
+  CPDB_RETURN_IF_ERROR(cursor.status());
+  return out;
+}
+
+Result<std::vector<ProvRecord>> ProvBackend::GetExact(int64_t tid,
+                                                      const tree::Path& loc) {
+  return LookupMany(tid, {loc});
 }
 
 Result<std::vector<ProvRecord>> ProvBackend::GetAtLoc(const tree::Path& loc) {
-  std::vector<ProvRecord> out;
-  Status inner = Status::OK();
-  CPDB_RETURN_IF_ERROR(prov_->LookupEq(
-      "idx_loc", Row{Datum(loc.ToString())},
-      [&](const relstore::Rid&, const Row& row) {
-        auto rec = FromRow(row);
-        if (!rec.ok()) {
-          inner = rec.status();
-          return false;
-        }
-        out.push_back(std::move(rec).value());
-        return true;
-      }));
-  CPDB_RETURN_IF_ERROR(inner);
-  ChargeQuery(out.size());
-  return out;
+  return Drain(ScanAtLoc(loc));
 }
 
 Result<std::vector<ProvRecord>> ProvBackend::GetUnder(const tree::Path& loc) {
-  std::vector<ProvRecord> out;
-  Status inner = Status::OK();
-  auto emit = [&](const relstore::Rid&, const Row& row) {
-    auto rec = FromRow(row);
-    if (!rec.ok()) {
-      inner = rec.status();
-      return false;
-    }
-    out.push_back(std::move(rec).value());
-    return true;
-  };
-  // The node itself plus everything strictly below it. Scanning the
-  // string prefix "loc/" is exact (labels cannot contain '/').
-  CPDB_RETURN_IF_ERROR(
-      prov_->LookupEq("idx_loc", Row{Datum(loc.ToString())}, emit));
-  CPDB_RETURN_IF_ERROR(inner);
-  CPDB_RETURN_IF_ERROR(
-      prov_->ScanPrefix("idx_loc", loc.ToString() + "/", emit));
-  CPDB_RETURN_IF_ERROR(inner);
-  ChargeQuery(out.size());
-  return out;
+  return Drain(ScanUnder(loc));
 }
 
 Result<std::vector<ProvRecord>> ProvBackend::GetAtLocOrAncestors(
     const tree::Path& loc) {
-  std::vector<ProvRecord> out;
-  Status inner = Status::OK();
-  auto emit = [&](const relstore::Rid&, const Row& row) {
-    auto rec = FromRow(row);
-    if (!rec.ok()) {
-      inner = rec.status();
-      return false;
-    }
-    out.push_back(std::move(rec).value());
-    return true;
-  };
-  tree::Path a = loc;
-  for (;;) {
-    CPDB_RETURN_IF_ERROR(
-        prov_->LookupEq("idx_loc", Row{Datum(a.ToString())}, emit));
-    CPDB_RETURN_IF_ERROR(inner);
-    if (a.IsRoot()) break;
-    a = a.Parent();
-  }
-  ChargeQuery(out.size());
-  return out;
+  return Drain(ScanAtLocOrAncestors(loc, /*include_self=*/true));
 }
 
 Result<std::vector<ProvRecord>> ProvBackend::GetForTid(int64_t tid) {
-  std::vector<ProvRecord> out;
-  Status inner = Status::OK();
-  CPDB_RETURN_IF_ERROR(prov_->LookupEq(
-      "idx_tid", Row{Datum(tid)}, [&](const relstore::Rid&, const Row& row) {
-        auto rec = FromRow(row);
-        if (!rec.ok()) {
-          inner = rec.status();
-          return false;
-        }
-        out.push_back(std::move(rec).value());
-        return true;
-      }));
-  CPDB_RETURN_IF_ERROR(inner);
-  ChargeQuery(out.size());
-  return out;
+  return Drain(ScanForTid(tid));
 }
 
 Result<std::vector<ProvRecord>> ProvBackend::GetAll() {
-  std::vector<ProvRecord> out;
-  Status inner = Status::OK();
-  CPDB_RETURN_IF_ERROR(prov_->ScanIndex(
-      "pk_tid_loc", [&](const relstore::Rid&, const Row& row) {
-        auto rec = FromRow(row);
-        if (!rec.ok()) {
-          inner = rec.status();
-          return false;
-        }
-        out.push_back(std::move(rec).value());
-        return true;
-      }));
-  CPDB_RETURN_IF_ERROR(inner);
-  ChargeQuery(out.size());
-  return out;
+  return Drain(ScanAll());
 }
 
 size_t ProvBackend::RowCount() const { return prov_->RowCount(); }

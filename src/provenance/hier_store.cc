@@ -11,7 +11,9 @@ Status HierStore::TrackInsert(const update::ApplyEffect& effect) {
   // Probe whether an ancestor record in this transaction would make the
   // new record inferable. With per-operation transactions the probe never
   // hits, but it is a real provenance-store round trip — the cause of the
-  // hierarchical method's higher insert cost in Figure 10.
+  // hierarchical method's higher insert cost in Figure 10. Deliberately
+  // kept as a single point lookup (not folded into a batch) so that cost
+  // survives the cursor/batch read redesign.
   if (!p.IsRoot()) {
     CPDB_ASSIGN_OR_RETURN(auto existing, backend_->GetExact(tid, p.Parent()));
     if (!existing.empty() && existing.front().op == ProvOp::kInsert) {

@@ -36,49 +36,47 @@ const char* StrategyShortName(Strategy s) {
 
 Result<std::optional<ProvRecord>> ProvStore::Lookup(int64_t tid,
                                                     const tree::Path& loc) {
-  CPDB_ASSIGN_OR_RETURN(auto exact, backend_->GetExact(tid, loc));
-  if (!exact.empty()) return std::optional<ProvRecord>(exact.front());
-  if (!IsHierarchical()) return std::optional<ProvRecord>();
-
-  // Closest-ancestor inference (Section 2.1.3): walk up until the first
-  // explicit record in this transaction; nodes in between have none, so
-  // the Infer side-condition holds by construction. Each probe is a
-  // provenance-store round trip, as in the paper's on-the-fly expansion.
-  tree::Path a = loc;
-  while (!a.IsRoot()) {
-    a = a.Parent();
-    CPDB_ASSIGN_OR_RETURN(auto recs, backend_->GetExact(tid, a));
-    if (recs.empty()) continue;
-    const ProvRecord& r = recs.front();
-    switch (r.op) {
-      case ProvOp::kCopy:
-        // If p came from q, then p/x came from q/x.
-        return std::optional<ProvRecord>(
-            ProvRecord::Copy(tid, loc, loc.Rebase(a, r.src)));
-      case ProvOp::kInsert:
-        // Children of inserted nodes are assumed inserted.
-        return std::optional<ProvRecord>(ProvRecord::Insert(tid, loc));
-      case ProvOp::kDelete:
-        // Children of deleted nodes (in the input version) are deleted.
-        return std::optional<ProvRecord>(ProvRecord::Delete(tid, loc));
-    }
+  if (!IsHierarchical()) {
+    CPDB_ASSIGN_OR_RETURN(auto exact, backend_->GetExact(tid, loc));
+    if (exact.empty()) return std::optional<ProvRecord>();
+    return std::optional<ProvRecord>(exact.front());
   }
-  return std::optional<ProvRecord>();
-}
 
-Result<std::vector<ProvRecord>> ProvStore::RecordsAtAncestors(
-    const tree::Path& loc) {
-  std::vector<ProvRecord> out;
-  // Ancestors down to depth 2: updates target locations strictly inside a
-  // database, so neither the universe root nor a database root (depth 1)
-  // can ever be a record's Loc — probing them would be wasted round trips.
-  tree::Path a = loc;
-  while (a.Depth() > 2) {
+  // Closest-ancestor inference (Section 2.1.3): the deepest explicit
+  // record on the ancestor chain in this transaction governs `loc`; nodes
+  // between it and `loc` have none, so the Infer side-condition holds by
+  // construction. The whole chain is resolved in ONE batched lookup —
+  // "(Tid, Loc) IN (loc, parent(loc), ...)" — where the pre-cursor walk
+  // paid one round trip per level.
+  // The chain stops at depth 2: update targets sit strictly inside a
+  // database, so a database root or the universe root can never be a
+  // record's Loc (same cutoff as ScanAtLocOrAncestors).
+  std::vector<tree::Path> chain;
+  chain.push_back(loc);
+  for (tree::Path a = loc; a.Depth() > 2;) {
     a = a.Parent();
-    CPDB_ASSIGN_OR_RETURN(auto recs, backend_->GetAtLoc(a));
-    out.insert(out.end(), recs.begin(), recs.end());
+    chain.push_back(a);
   }
-  return out;
+  CPDB_ASSIGN_OR_RETURN(auto recs, backend_->LookupMany(tid, chain));
+  const ProvRecord* best = nullptr;
+  for (const ProvRecord& r : recs) {
+    if (best == nullptr || best->loc.Depth() < r.loc.Depth()) best = &r;
+  }
+  if (best == nullptr) return std::optional<ProvRecord>();
+  if (best->loc == loc) return std::optional<ProvRecord>(*best);
+  switch (best->op) {
+    case ProvOp::kCopy:
+      // If p came from q, then p/x came from q/x.
+      return std::optional<ProvRecord>(
+          ProvRecord::Copy(tid, loc, loc.Rebase(best->loc, best->src)));
+    case ProvOp::kInsert:
+      // Children of inserted nodes are assumed inserted.
+      return std::optional<ProvRecord>(ProvRecord::Insert(tid, loc));
+    case ProvOp::kDelete:
+      // Children of deleted nodes (in the input version) are deleted.
+      return std::optional<ProvRecord>(ProvRecord::Delete(tid, loc));
+  }
+  return Status::Internal("unknown provenance op");
 }
 
 std::unique_ptr<ProvStore> MakeStore(Strategy strategy, ProvBackend* backend,

@@ -69,30 +69,25 @@ class ProvStore {
   virtual void AbortPending() {}
 
   // ----- Read interface (query-facing) -------------------------------------
+  //
+  // Reads go through the backend's cursor/batch API: stream ranges with
+  // backend()->ScanUnder / ScanAtLoc / ScanAtLocOrAncestors / ScanAll,
+  // and resolve point batches with backend()->LookupMany. The store layer
+  // only keeps Lookup(), which layers hierarchical inference on top.
+  //
+  // Migration note: the vector-returning RecordsUnder / RecordsAtAncestors
+  // / RecordsForTid / AllRecords methods were removed with the cursor
+  // redesign; their one-shot equivalents live on ProvBackend (GetUnder,
+  // GetAtLocOrAncestors, GetForTid, GetAll), each costing exactly one
+  // round trip.
 
   /// Effective provenance of `loc` in transaction `tid`, applying the
   /// hierarchical inference rules where the strategy requires it
   /// (closest-ancestor rule, Section 2.1.3). std::nullopt = unchanged.
+  /// One backend round trip: a point lookup for the flat strategies, a
+  /// batched (tid, ancestor-chain) LookupMany for the hierarchical ones.
   virtual Result<std::optional<ProvRecord>> Lookup(int64_t tid,
                                                    const tree::Path& loc);
-
-  /// Explicit records stored at or under `loc`, all transactions.
-  Result<std::vector<ProvRecord>> RecordsUnder(const tree::Path& loc) {
-    return backend_->GetUnder(loc);
-  }
-
-  /// Explicit records stored at proper ancestors of `loc` (one backend
-  /// query per ancestor level — this is what makes getMod slower for the
-  /// hierarchical strategies, Section 4.2).
-  Result<std::vector<ProvRecord>> RecordsAtAncestors(const tree::Path& loc);
-
-  /// Explicit records of one transaction.
-  Result<std::vector<ProvRecord>> RecordsForTid(int64_t tid) {
-    return backend_->GetForTid(tid);
-  }
-
-  /// All explicit records.
-  Result<std::vector<ProvRecord>> AllRecords() { return backend_->GetAll(); }
 
   /// Whether Lookup must apply hierarchical inference.
   virtual bool IsHierarchical() const { return false; }

@@ -35,11 +35,17 @@ Result<std::vector<OwnLink>> OwnRegistry::OwnChain(const tree::Path& p) {
       return chain;
     }
     QueryEngine* engine = it->second;
+    // The trace consumes streaming cursors underneath; bracket it with
+    // cost snapshots so every link reports what its hops cost.
+    const relstore::CostModel& cost =
+        engine->store()->backend()->db()->cost();
+    relstore::CostSnapshot before = cost.Snap();
     CPDB_ASSIGN_OR_RETURN(TraceResult trace, engine->TraceBack(cur));
     OwnLink link;
     link.database = db;
     link.path = cur;
     link.origin_tid = trace.origin_tid;
+    link.round_trips = cost.Snap().calls - before.calls;
     for (const TraceStep& s : trace.steps) {
       if (s.op == provenance::ProvOp::kCopy) link.copy_tids.push_back(s.tid);
     }

@@ -17,6 +17,10 @@ struct OwnLink {
   tree::Path path;
   std::optional<int64_t> origin_tid;
   std::vector<int64_t> copy_tids;  ///< copy transactions within this db
+  /// Provenance-store round trips this database's trace cost (CostModel
+  /// call-count delta around the cursor-backed TraceBack). Zero for
+  /// untracked databases.
+  size_t round_trips = 0;
 };
 
 /// Cross-database ownership queries (the paper's Own, Section 2.2:

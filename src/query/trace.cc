@@ -10,27 +10,29 @@ using provenance::ProvRecord;
 
 Result<std::optional<ProvRecord>> QueryEngine::NewestApplicable(
     const tree::Path& loc, int64_t t_max) {
-  std::vector<ProvRecord> candidates;
-  if (store_->IsHierarchical()) {
-    // One combined statement: records at loc or any ancestor. An ancestor
-    // record governs loc only through the closest-ancestor inference, so
-    // at equal tids the deepest location wins.
-    CPDB_ASSIGN_OR_RETURN(candidates,
-                          store_->backend()->GetAtLocOrAncestors(loc));
-  } else {
-    CPDB_ASSIGN_OR_RETURN(candidates, store_->backend()->GetAtLoc(loc));
-  }
-  const ProvRecord* best = nullptr;
-  for (const ProvRecord& r : candidates) {
+  // One streaming statement: records at loc (flat strategies) or at loc
+  // and its ancestors (hierarchical — an ancestor record governs loc only
+  // through the closest-ancestor inference, so at equal tids the deepest
+  // location wins). The best candidate is tracked while the cursor
+  // streams; nothing is materialized.
+  provenance::ProvCursor cursor =
+      store_->IsHierarchical()
+          ? store_->backend()->ScanAtLocOrAncestors(loc,
+                                                    /*include_self=*/true)
+          : store_->backend()->ScanAtLoc(loc);
+  std::optional<ProvRecord> best;
+  ProvRecord r;
+  while (cursor.Next(&r)) {
     if (r.tid > t_max) continue;
     if (!r.loc.IsPrefixOf(loc)) continue;  // ancestors only (incl. self)
-    if (best == nullptr || r.tid > best->tid ||
+    if (!best.has_value() || r.tid > best->tid ||
         (r.tid == best->tid && best->loc.Depth() < r.loc.Depth())) {
-      best = &r;
+      best = std::move(r);
     }
   }
-  if (best == nullptr) return std::optional<ProvRecord>();
-  if (best->loc == loc) return std::optional<ProvRecord>(*best);
+  CPDB_RETURN_IF_ERROR(cursor.status());
+  if (!best.has_value()) return std::optional<ProvRecord>();
+  if (best->loc == loc) return best;
   // Closest-ancestor inference, rebased onto loc.
   switch (best->op) {
     case ProvOp::kCopy:
@@ -99,35 +101,27 @@ Result<std::vector<int64_t>> QueryEngine::GetMod(
     const tree::Path& p, const provenance::VersionFn& versions) {
   std::set<int64_t> tids;
 
-  // Records at or under p: every strategy stores the subtree root of each
-  // touched region explicitly, and the naive strategies store every
-  // touched node, so one descendant scan covers all "modifications whose
-  // root lies in p's subtree".
-  CPDB_ASSIGN_OR_RETURN(auto under, store_->RecordsUnder(p));
-  std::set<tree::Path> locs;
-  for (const ProvRecord& r : under) {
-    tids.insert(r.tid);
-    locs.insert(r.loc);
-  }
-
-  // Per-descendant processing (Section 4.2: getMod "must process all the
-  // descendants of a node"): the engine fetches each descendant
-  // location's record history to assemble per-location modification
-  // lists. Hierarchical stores must also cover current descendants that
-  // carry no records of their own; their modification evidence lives at
-  // ancestors and is collected below, so only the subtree roots present
-  // in the store are re-queried here.
-  for (const tree::Path& loc : locs) {
-    CPDB_ASSIGN_OR_RETURN(auto at, store_->backend()->GetAtLoc(loc));
-    for (const ProvRecord& r : at) tids.insert(r.tid);
-  }
+  // ONE subtree range scan covers every record at or under p: each
+  // strategy stores the subtree root of every touched region explicitly
+  // (the naive strategies store every touched node), so the streamed
+  // range is the complete per-descendant evidence. The pre-cursor path
+  // re-queried each descendant location found here individually — the
+  // paper's "must process all the descendants of a node" cost (Section
+  // 4.2), one round trip per descendant; the leaf-chain scan delivers
+  // the same rows in ceil(rows / batch) trips.
+  provenance::ProvCursor under = store_->backend()->ScanUnder(p);
+  ProvRecord r;
+  while (under.Next(&r)) tids.insert(r.tid);
+  CPDB_RETURN_IF_ERROR(under.status());
 
   if (store_->IsHierarchical()) {
     // Modifications recorded at an ancestor a of p (subtree copy, insert,
     // or delete at a) touch p's subtree without leaving records under p.
-    // One point query per ancestor level.
-    CPDB_ASSIGN_OR_RETURN(auto above, store_->RecordsAtAncestors(p));
-    for (const ProvRecord& r : above) {
+    // The whole ancestor chain is one batched statement (shallowest
+    // first) instead of one point query per level.
+    provenance::ProvCursor above =
+        store_->backend()->ScanAtLocOrAncestors(p, /*include_self=*/false);
+    while (above.Next(&r)) {
       if (versions != nullptr) {
         // Exact check: did the operation's subtree reach p? For I/C the
         // affected subtree is the post-state at r.loc; for D the
@@ -138,6 +132,7 @@ Result<std::vector<int64_t>> QueryEngine::GetMod(
       }
       tids.insert(r.tid);
     }
+    CPDB_RETURN_IF_ERROR(above.status());
   }
   return std::vector<int64_t>(tids.begin(), tids.end());
 }

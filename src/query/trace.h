@@ -55,11 +55,12 @@ class QueryEngine {
   /// Full backwards walk from the data currently at `p`.
   ///
   /// Implementation follows the paper's stored procedures (Section 3.3):
-  /// per chain location one store query fetches that location's records
-  /// across all transactions (for hierarchical stores, one combined query
-  /// covering the location and its ancestors), and the walk follows the
-  /// newest applicable record backwards. Cost is proportional to the
-  /// number of copy hops, not the number of transactions.
+  /// per chain location one streaming store statement (a ProvCursor)
+  /// fetches that location's records across all transactions — for
+  /// hierarchical stores a combined location-plus-ancestors scan — and
+  /// the walk follows the newest applicable record backwards. Cost is
+  /// proportional to the number of copy hops, not the number of
+  /// transactions.
   Result<TraceResult> TraceBack(const tree::Path& p);
 
   /// Src(p): the transaction that first created (inserted) the data at p,
@@ -72,12 +73,18 @@ class QueryEngine {
   Result<std::vector<int64_t>> GetHist(const tree::Path& p);
 
   /// Mod(p): all transactions that created or modified data in the
-  /// subtree under p (including p). For hierarchical stores this needs
-  /// one extra store query per ancestor level — the cause of the ~20%
-  /// getMod slowdown in Figure 13. When `versions` is provided, ancestor
-  /// records are checked against the version trees for exact answers;
-  /// without it the result may over-approximate (may-semantics), which is
-  /// also what a store-only implementation can honestly deliver.
+  /// subtree under p (including p). Round-trip budget after the cursor
+  /// redesign: ONE subtree range scan off the leaf chain (ceil(rows /
+  /// batch) trips) plus, for hierarchical stores, ONE batched
+  /// ancestor-chain statement — O(depth + 1) backend round trips in
+  /// total, where the per-descendant path the paper measures (and this
+  /// engine used to take) paid one trip per descendant location, O(n).
+  /// The extra ancestor statement is still the cause of the hierarchical
+  /// getMod penalty in Figure 13, just batched. When `versions` is
+  /// provided, ancestor records are checked against the version trees for
+  /// exact answers; without it the result may over-approximate
+  /// (may-semantics), which is also what a store-only implementation can
+  /// honestly deliver.
   Result<std::vector<int64_t>> GetMod(
       const tree::Path& p,
       const provenance::VersionFn& versions = nullptr);

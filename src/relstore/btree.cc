@@ -319,6 +319,49 @@ void BTree::BulkLoad(std::vector<std::pair<Row, Rid>> items) {
   root_ = std::move(level.front().node);
 }
 
+const Row& BTree::Cursor::key() const { return leaf_->entries[idx_].key; }
+
+const Rid& BTree::Cursor::rid() const { return leaf_->entries[idx_].rid; }
+
+void BTree::Cursor::Advance() {
+  ++idx_;
+  while (leaf_ != nullptr && idx_ >= leaf_->entries.size()) {
+    leaf_ = leaf_->next;
+    idx_ = 0;
+  }
+}
+
+BTree::Cursor BTree::SeekFirst() const {
+  const Node* leaf = root_.get();
+  while (!leaf->leaf) leaf = leaf->children.front().get();
+  Cursor cur;
+  cur.leaf_ = leaf;
+  cur.idx_ = 0;
+  // An empty tree is a single empty leaf; normalize to invalid.
+  while (cur.leaf_ != nullptr && cur.idx_ >= cur.leaf_->entries.size()) {
+    cur.leaf_ = cur.leaf_->next;
+    cur.idx_ = 0;
+  }
+  return cur;
+}
+
+BTree::Cursor BTree::Seek(const Row& lo) const {
+  const Node* leaf = FindLeaf(lo, Rid{0, 0});
+  Entry probe{lo, Rid{0, 0}};
+  auto it = std::lower_bound(leaf->entries.begin(), leaf->entries.end(),
+                             probe, EntryLess);
+  Cursor cur;
+  cur.leaf_ = leaf;
+  cur.idx_ = static_cast<size_t>(it - leaf->entries.begin());
+  // Only the landing leaf can position past its last entry; later leaves
+  // hold entries >= lo by the separator invariant.
+  while (cur.leaf_ != nullptr && cur.idx_ >= cur.leaf_->entries.size()) {
+    cur.leaf_ = cur.leaf_->next;
+    cur.idx_ = 0;
+  }
+  return cur;
+}
+
 void BTree::LookupEq(
     const Row& key,
     const std::function<bool(const Row&, const Rid&)>& fn) const {
@@ -331,29 +374,15 @@ void BTree::LookupEq(
 void BTree::ScanFrom(
     const Row& lo,
     const std::function<bool(const Row&, const Rid&)>& fn) const {
-  const Node* leaf = FindLeaf(lo, Rid{0, 0});
-  Entry probe{lo, Rid{0, 0}};
-  // Only the first leaf can contain entries below `lo`.
-  auto it = std::lower_bound(leaf->entries.begin(), leaf->entries.end(),
-                             probe, EntryLess);
-  while (leaf != nullptr) {
-    for (; it != leaf->entries.end(); ++it) {
-      if (!fn(it->key, it->rid)) return;
-    }
-    leaf = leaf->next;
-    if (leaf != nullptr) it = leaf->entries.begin();
+  for (Cursor cur = Seek(lo); cur.Valid(); cur.Advance()) {
+    if (!fn(cur.key(), cur.rid())) return;
   }
 }
 
 void BTree::ScanAll(
     const std::function<bool(const Row&, const Rid&)>& fn) const {
-  const Node* leaf = root_.get();
-  while (!leaf->leaf) leaf = leaf->children.front().get();
-  while (leaf != nullptr) {
-    for (const Entry& e : leaf->entries) {
-      if (!fn(e.key, e.rid)) return;
-    }
-    leaf = leaf->next;
+  for (Cursor cur = SeekFirst(); cur.Valid(); cur.Advance()) {
+    if (!fn(cur.key(), cur.rid())) return;
   }
 }
 

@@ -25,6 +25,9 @@ namespace cpdb::relstore {
 /// verifies the full structural contract and stays armed in release
 /// builds (it does not rely on `assert`).
 class BTree {
+ private:
+  struct Node;  // declared up front so Cursor can hold a leaf position
+
  public:
   BTree();
   ~BTree();
@@ -44,6 +47,41 @@ class BTree {
   /// (key, rid) pairs are dropped, matching Insert semantics. Leaves are
   /// packed full, so the result is the minimum-height tree for the data.
   void BulkLoad(std::vector<std::pair<Row, Rid>> items);
+
+  /// Read cursor positioned on one entry of the leaf chain. Obtained from
+  /// Seek()/SeekFirst(); stepping follows the doubly-linked leaves, so a
+  /// full traversal touches each leaf exactly once with no re-descent.
+  ///
+  /// Consistency contract: a cursor is a borrowed position inside the
+  /// tree. Any mutation (Insert, Erase, BulkLoad) invalidates every
+  /// outstanding cursor; advancing or dereferencing one afterwards is
+  /// undefined. Scans in this codebase never interleave with writes to
+  /// the same index (single-writer, read-then-write phases), which is the
+  /// contract the provenance cursors document upward.
+  class Cursor {
+   public:
+    Cursor() = default;
+
+    bool Valid() const { return leaf_ != nullptr; }
+    /// Precondition for key()/rid()/Advance(): Valid().
+    const Row& key() const;
+    const Rid& rid() const;
+    /// Steps to the next entry in (key, rid) order; becomes invalid past
+    /// the last entry.
+    void Advance();
+
+   private:
+    friend class BTree;
+    const Node* leaf_ = nullptr;
+    size_t idx_ = 0;
+  };
+
+  /// Cursor on the smallest entry (invalid if the tree is empty).
+  Cursor SeekFirst() const;
+
+  /// Cursor on the first entry with key >= `lo` (ties resolved to the
+  /// smallest rid); invalid if no such entry exists.
+  Cursor Seek(const Row& lo) const;
 
   /// Calls `fn(key, rid)` for all entries with key == `key`.
   void LookupEq(const Row& key,
@@ -70,7 +108,6 @@ class BTree {
   void CheckInvariants() const;
 
  private:
-  struct Node;
   struct Entry {
     Row key;
     Rid rid;

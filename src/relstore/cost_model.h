@@ -26,7 +26,24 @@ struct CostParams {
   double per_kb_us = 1.0;
 };
 
+/// Point-in-time reading of a CostModel's counters. Queries and benches
+/// measure a code path by taking a snapshot before and after and
+/// differencing: `calls` is the modelled round-trip count (the paper's
+/// unit of query cost), `rows` the transferred-row count.
+struct CostSnapshot {
+  double micros = 0;
+  size_t calls = 0;
+  size_t rows = 0;
+};
+
 /// Accumulates simulated interaction time for one store.
+///
+/// Accounting contract (matching the paper's "one SQL statement is one
+/// round trip"): every ChargeCall is one client/server round trip, no
+/// matter how many rows ride on it. Cursor-based reads charge one round
+/// trip per *batch fetched*, not per materialized result vector — a scan
+/// drained in a single batch costs exactly one call, like the one-shot
+/// queries it replaced, while a huge result streamed in k batches costs k.
 class CostModel {
  public:
   CostModel() = default;
@@ -48,6 +65,10 @@ class CostModel {
   double ElapsedMillis() const { return clock_.ElapsedMillis(); }
   size_t Calls() const { return calls_; }
   size_t RowsMoved() const { return rows_; }
+
+  CostSnapshot Snap() const {
+    return {clock_.ElapsedMicros(), calls_, rows_};
+  }
 
   void Reset() {
     clock_.Reset();

@@ -53,6 +53,17 @@ class SeqScanIterator : public RowIterator {
   size_t pos_ = 0;
 };
 
+class CursorScanIterator : public RowIterator {
+ public:
+  explicit CursorScanIterator(Table::Cursor cursor)
+      : cursor_(std::move(cursor)) {}
+
+  bool Next(Row* out) override { return cursor_.Next(out); }
+
+ private:
+  Table::Cursor cursor_;
+};
+
 class FilterIterator : public RowIterator {
  public:
   FilterIterator(RowIteratorPtr child, std::function<bool(const Row&)> pred)
@@ -209,11 +220,29 @@ RowIteratorPtr MakeSeqScan(const Table* table) {
   return std::make_unique<SeqScanIterator>(table);
 }
 
+RowIteratorPtr MakeCursorScan(const Table* table, ScanSpec spec) {
+  auto cursor = table->OpenScan(std::move(spec));
+  // Errors (missing/unsuitable index, bad bounds) yield an empty stream;
+  // callers that care open the cursor via Table::OpenScan directly.
+  if (!cursor.ok()) {
+    return std::make_unique<MaterializedIterator>(std::vector<Row>{});
+  }
+  return std::make_unique<CursorScanIterator>(std::move(cursor).value());
+}
+
 RowIteratorPtr MakeIndexScan(const Table* table, std::string index_name,
                              Row key) {
-  std::vector<Row> rows;
-  // Errors (missing index) yield an empty stream; callers that care use
+  ScanSpec spec;
+  spec.index = index_name;
+  spec.eq = key;
+  auto cursor = table->OpenScan(std::move(spec));
+  if (cursor.ok()) {
+    return std::make_unique<CursorScanIterator>(std::move(cursor).value());
+  }
+  // Hash indexes have no cursor; fall back to a one-shot lookup. Errors
+  // (missing index) yield an empty stream; callers that care use
   // Table::LookupEq directly.
+  std::vector<Row> rows;
   (void)table->LookupEq(index_name, key, [&](const Rid&, const Row& row) {
     rows.push_back(row);
     return true;
@@ -223,13 +252,10 @@ RowIteratorPtr MakeIndexScan(const Table* table, std::string index_name,
 
 RowIteratorPtr MakePrefixScan(const Table* table, std::string index_name,
                               std::string prefix) {
-  std::vector<Row> rows;
-  (void)table->ScanPrefix(index_name, prefix,
-                          [&](const Rid&, const Row& row) {
-                            rows.push_back(row);
-                            return true;
-                          });
-  return std::make_unique<MaterializedIterator>(std::move(rows));
+  ScanSpec spec;
+  spec.index = std::move(index_name);
+  spec.prefix = std::move(prefix);
+  return MakeCursorScan(table, std::move(spec));
 }
 
 RowIteratorPtr MakeFilter(RowIteratorPtr child,

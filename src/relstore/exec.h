@@ -30,11 +30,17 @@ using RowIteratorPtr = std::unique_ptr<RowIterator>;
 /// Sequential scan of a table (storage order).
 RowIteratorPtr MakeSeqScan(const Table* table);
 
-/// Equality index scan.
+/// Streaming scan over a ScanSpec (see table.h): rows are pulled from a
+/// Table::Cursor one at a time, never materialized. The general access
+/// path; the index/prefix scans below are conveniences over it.
+RowIteratorPtr MakeCursorScan(const Table* table, ScanSpec spec);
+
+/// Equality index scan (cursor-backed for B+-tree indexes; one-shot for
+/// hash indexes).
 RowIteratorPtr MakeIndexScan(const Table* table, std::string index_name,
                              Row key);
 
-/// Prefix index scan on a string-first btree index.
+/// Prefix index scan on a string-first btree index (cursor-backed).
 RowIteratorPtr MakePrefixScan(const Table* table, std::string index_name,
                               std::string prefix);
 

@@ -208,6 +208,125 @@ void Table::Scan(
   });
 }
 
+Result<Table::Cursor> Table::OpenScan(ScanSpec spec) const {
+  const Index* idx = FindIndex(spec.index);
+  if (idx == nullptr) {
+    return Status::NotFound("no index '" + spec.index + "'");
+  }
+  if (idx->kind != IndexKind::kBTree) {
+    return Status::NotSupported("cursor scan requires a btree index");
+  }
+  if (spec.lower.size() > idx->columns.size() ||
+      spec.eq.size() > idx->columns.size()) {
+    return Status::InvalidArgument("scan bound exceeds key arity of '" +
+                                   spec.index + "'");
+  }
+  Cursor cur;
+  cur.table_ = this;
+  // Derive the start position: an explicit lower bound wins; otherwise an
+  // equality prefix or string prefix names the first possible key. A
+  // partial-arity bound compares as a prefix row, which sorts before
+  // every full key extending it.
+  const Row* start = nullptr;
+  Row derived;
+  if (!spec.lower.empty()) {
+    start = &spec.lower;
+  } else if (!spec.eq.empty()) {
+    start = &spec.eq;
+  } else if (!spec.prefix.empty()) {
+    derived = Row{Datum(spec.prefix)};
+    start = &derived;
+  }
+  cur.pos_ = start == nullptr ? idx->btree->SeekFirst()
+                              : idx->btree->Seek(*start);
+  cur.spec_ = std::move(spec);
+  cur.done_ = !cur.pos_.Valid();
+  return cur;
+}
+
+bool Table::Cursor::Next(Row* row, Rid* rid) {
+  if (done_) return false;
+  while (pos_.Valid()) {
+    const Row& key = pos_.key();
+    if (spec_.limit > 0 && produced_ >= spec_.limit) break;
+    if (!spec_.eq.empty()) {
+      Row head(key.begin(),
+               key.begin() + static_cast<ptrdiff_t>(spec_.eq.size()));
+      if (head != spec_.eq) break;  // ordered: past the eq range
+    }
+    if (!spec_.prefix.empty()) {
+      if (key.empty() || !key[0].is_string() ||
+          !StartsWith(key[0].AsString(), spec_.prefix)) {
+        break;  // ordered: past the prefix range
+      }
+    }
+    auto fetched = table_->Get(pos_.rid());
+    if (!fetched.ok()) {
+      status_ = fetched.status();
+      done_ = true;
+      return false;
+    }
+    if (spec_.predicate != nullptr && !spec_.predicate(fetched.value())) {
+      pos_.Advance();
+      continue;
+    }
+    if (rid != nullptr) *rid = pos_.rid();
+    *row = std::move(fetched).value();
+    pos_.Advance();
+    ++produced_;
+    return true;
+  }
+  done_ = true;
+  return false;
+}
+
+size_t Table::Cursor::Next(std::vector<Row>* batch, size_t max) {
+  batch->clear();
+  Row row;
+  while (batch->size() < max && Next(&row)) {
+    batch->push_back(std::move(row));
+  }
+  return batch->size();
+}
+
+Status Table::MultiGet(
+    const std::string& index_name, const std::vector<Row>& keys,
+    const std::function<bool(size_t, const Rid&, const Row&)>& fn) const {
+  const Index* idx = FindIndex(index_name);
+  if (idx == nullptr) {
+    return Status::NotFound("no index '" + index_name + "'");
+  }
+  Status inner = Status::OK();
+  bool stop = false;
+  for (size_t i = 0; i < keys.size() && !stop; ++i) {
+    if (keys[i].size() != idx->columns.size()) {
+      return Status::InvalidArgument("key arity mismatch for index '" +
+                                     index_name + "'");
+    }
+    auto emit = [&](const Rid& rid) {
+      auto row = Get(rid);
+      if (!row.ok()) {
+        inner = row.status();
+        return false;
+      }
+      if (!fn(i, rid, row.value())) {
+        stop = true;
+        return false;
+      }
+      return true;
+    };
+    if (idx->kind == IndexKind::kBTree) {
+      idx->btree->LookupEq(keys[i], [&](const Row&, const Rid& rid) {
+        return emit(rid);
+      });
+    } else {
+      idx->hash->LookupEq(keys[i], emit);
+    }
+    CPDB_RETURN_IF_ERROR(inner);
+  }
+  return Status::OK();
+}
+
 Status Table::LookupEq(
     const std::string& index_name, const Row& key,
     const std::function<bool(const Rid&, const Row&)>& fn) const {

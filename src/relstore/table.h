@@ -17,6 +17,32 @@ namespace cpdb::relstore {
 
 enum class IndexKind { kBTree, kHash };
 
+/// Declarative description of an index-backed ordered scan, evaluated
+/// server-side by Table::OpenScan. The scan starts at the smallest index
+/// entry >= the derived lower bound and streams rows in index-key order
+/// until a stop condition fires:
+///
+///  - `eq`: stop once the leading eq.size() key columns differ from `eq`
+///    (equality on a key prefix — point/dup lookups and composite-key
+///    range restriction);
+///  - `prefix`: stop once the (string) first key column no longer starts
+///    with `prefix` (path-descendant scans);
+///  - `limit`: stop after `limit` rows (0 = unlimited).
+///
+/// `lower` (inclusive, may name only a prefix of the key columns)
+/// overrides the start position; when empty it is derived from `eq` /
+/// `prefix`. `predicate` is a residual row filter pushed down into the
+/// scan: rejected rows are never surfaced to the client (and never
+/// charged as transferred rows by callers that model transfer cost).
+struct ScanSpec {
+  std::string index;
+  Row lower;
+  Row eq;
+  std::string prefix;
+  std::function<bool(const Row&)> predicate;
+  size_t limit = 0;
+};
+
 /// A heap-backed table with optional unique constraint and secondary
 /// indexes. Rows live in slotted pages (HeapFile); indexes map extracted
 /// key columns to Rids and are maintained on every insert/delete.
@@ -55,6 +81,56 @@ class Table {
 
   /// Full scan in storage order; stops early when `fn` returns false.
   void Scan(const std::function<bool(const Rid&, const Row&)>& fn) const;
+
+  /// Streaming cursor over one ScanSpec, pulling rows straight off the
+  /// B+-tree leaf chain (no materialized result set). Obtained from
+  /// OpenScan().
+  ///
+  /// Consistency: the cursor borrows a position inside the index; any
+  /// mutation of the table invalidates it (same single-writer contract as
+  /// BTree::Cursor). Rows are produced in index-key order.
+  class Cursor {
+   public:
+    /// An exhausted cursor; OpenScan returns a live one.
+    Cursor() = default;
+
+    /// Fills `*batch` (cleared first; caller-owned, capacity reused
+    /// across calls) with up to `max` rows. Returns the number of rows
+    /// produced; 0 means the scan is over (or failed — check status()).
+    size_t Next(std::vector<Row>* batch, size_t max);
+
+    /// Single-row variant; `rid` is optional.
+    bool Next(Row* row, Rid* rid = nullptr);
+
+    /// True once the scan has produced its last row.
+    bool done() const { return done_; }
+
+    /// First row-decode error hit by the scan, if any (the cursor stops
+    /// there).
+    const Status& status() const { return status_; }
+
+   private:
+    friend class Table;
+    const Table* table_ = nullptr;
+    ScanSpec spec_;
+    BTree::Cursor pos_;
+    size_t produced_ = 0;
+    bool done_ = true;
+    Status status_;
+  };
+
+  /// Opens a streaming scan. Fails if the named index is missing, is not
+  /// a B+-tree, or the spec's bounds exceed the index key arity.
+  Result<Cursor> OpenScan(ScanSpec spec) const;
+
+  /// Batched point lookups: one logical client call resolving every key
+  /// (arity must match the index) through the named index. Emits
+  /// fn(key_index, rid, row) for each match, grouped by key in the order
+  /// given; stops early when `fn` returns false. Works on both B+-tree
+  /// and hash indexes.
+  Status MultiGet(const std::string& index_name, const std::vector<Row>& keys,
+                  const std::function<bool(size_t, const Rid&, const Row&)>&
+                      fn) const;
 
   /// Equality lookup through the named index.
   Status LookupEq(const std::string& index_name, const Row& key,

@@ -373,5 +373,63 @@ TEST(BTreeTest, MultimapOracleHundredThousandOps) {
   ASSERT_EQ(scanned, expected);
 }
 
+// ----- Cursors ---------------------------------------------------------------
+
+TEST(BTreeCursorTest, EmptyTreeYieldsInvalidCursors) {
+  BTree bt;
+  EXPECT_FALSE(bt.SeekFirst().Valid());
+  EXPECT_FALSE(bt.Seek(K("a")).Valid());
+}
+
+TEST(BTreeCursorTest, FullTraversalMatchesScanAll) {
+  BTree bt;
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    bt.Insert(K(static_cast<int64_t>(rng.NextIndex(2000))),
+              Rid{0, static_cast<uint16_t>(i)});
+  }
+  std::vector<std::pair<int64_t, uint16_t>> scanned;
+  bt.ScanAll([&](const Row& k, const Rid& rid) {
+    scanned.emplace_back(k[0].AsInt(), rid.slot);
+    return true;
+  });
+  std::vector<std::pair<int64_t, uint16_t>> walked;
+  for (BTree::Cursor cur = bt.SeekFirst(); cur.Valid(); cur.Advance()) {
+    walked.emplace_back(cur.key()[0].AsInt(), cur.rid().slot);
+  }
+  EXPECT_EQ(walked, scanned);
+  EXPECT_EQ(walked.size(), bt.size());
+}
+
+TEST(BTreeCursorTest, SeekLandsOnFirstEntryAtOrAboveKey) {
+  BTree bt;
+  for (int64_t i = 0; i < 1000; i += 2) {  // even keys only
+    bt.Insert(K(i), Rid{0, 0});
+  }
+  // Present key.
+  BTree::Cursor cur = bt.Seek(K(int64_t{40}));
+  ASSERT_TRUE(cur.Valid());
+  EXPECT_EQ(cur.key()[0].AsInt(), 40);
+  // Absent key lands on the next larger one, possibly in a later leaf.
+  cur = bt.Seek(K(int64_t{41}));
+  ASSERT_TRUE(cur.Valid());
+  EXPECT_EQ(cur.key()[0].AsInt(), 42);
+  // Past the end.
+  EXPECT_FALSE(bt.Seek(K(int64_t{999})).Valid());
+}
+
+TEST(BTreeCursorTest, AdvanceCrossesLeafBoundaries) {
+  BTree bt;
+  const int64_t n = 3000;  // several leaves at fanout 64
+  for (int64_t i = 0; i < n; ++i) bt.Insert(K(i), Rid{0, 0});
+  ASSERT_GT(bt.Height(), 1u);
+  int64_t expect = 0;
+  for (BTree::Cursor cur = bt.SeekFirst(); cur.Valid(); cur.Advance()) {
+    ASSERT_EQ(cur.key()[0].AsInt(), expect);
+    ++expect;
+  }
+  EXPECT_EQ(expect, n);
+}
+
 }  // namespace
 }  // namespace cpdb::relstore

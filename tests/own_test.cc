@@ -127,7 +127,7 @@ TEST(OwnTest, PartialReconstructionOfLostSource) {
   // "S disappears": reconstruct what we can from T1+T2 provenance.
   tree::Tree reconstructed;
   for (Db* db : {t1.get(), t2.get()}) {
-    auto records = db->editor->store()->AllRecords();
+    auto records = db->editor->store()->backend()->GetAll();
     ASSERT_TRUE(records.ok());
     for (const auto& r : *records) {
       if (r.op != provenance::ProvOp::kCopy) continue;

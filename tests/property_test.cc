@@ -97,8 +97,8 @@ TEST_P(RandomWorkloadTest, HierarchicalExpandsToNaive) {
   auto h = RunPattern(Strategy::kHierarchical, pattern, seed, 100, 5);
   ASSERT_EQ(n.applied, h.applied);
 
-  auto naive_records = n.session->editor->store()->AllRecords();
-  auto hier_records = h.session->editor->store()->AllRecords();
+  auto naive_records = n.session->editor->store()->backend()->GetAll();
+  auto hier_records = h.session->editor->store()->backend()->GetAll();
   ASSERT_TRUE(naive_records.ok());
   ASSERT_TRUE(hier_records.ok());
 
@@ -239,7 +239,7 @@ TEST(RecoverabilityTest, NaiveRecordsRecoverScriptShape) {
   auto s = MakeFigureSession(Strategy::kNaive);
   ASSERT_NE(s, nullptr);
   ASSERT_TRUE(s->editor->ApplyScriptText(testutil::Figure3ScriptText()).ok());
-  auto records = s->editor->store()->AllRecords();
+  auto records = s->editor->store()->backend()->GetAll();
   ASSERT_TRUE(records.ok());
 
   // Reconstruct per-tid ops: the root record of each tid gives the op.

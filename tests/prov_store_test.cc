@@ -62,7 +62,7 @@ TEST(TxnStoreTest, DeleteThenReinsertBecomesInsert) {
   ASSERT_TRUE(store.TrackDelete(DeleteEffect({"T/a"})).ok());
   ASSERT_TRUE(store.TrackInsert(InsertEffect("T/a")).ok());
   ASSERT_TRUE(store.Commit().ok());
-  auto records = store.AllRecords();
+  auto records = store.backend()->GetAll();
   ASSERT_TRUE(records.ok());
   ASSERT_EQ(records->size(), 1u);
   EXPECT_EQ((*records)[0].op, ProvOp::kInsert);
@@ -76,7 +76,7 @@ TEST(TxnStoreTest, DeleteOfPreexistingChildrenSurvivesReinsertOfRoot) {
   ASSERT_TRUE(store.TrackDelete(DeleteEffect({"T/a", "T/a/x"})).ok());
   ASSERT_TRUE(store.TrackInsert(InsertEffect("T/a")).ok());
   ASSERT_TRUE(store.Commit().ok());
-  auto records = store.AllRecords();
+  auto records = store.backend()->GetAll();
   ASSERT_TRUE(records.ok());
   ASSERT_EQ(records->size(), 2u);
   // a: net replaced (I); a/x: net deleted (D).
@@ -101,7 +101,7 @@ TEST(TxnStoreTest, CopyOverwriteDropsOverwrittenLinks) {
                                         {"T/e", "T/e/x"}))
                   .ok());
   ASSERT_TRUE(store.Commit().ok());
-  auto records = store.AllRecords();
+  auto records = store.backend()->GetAll();
   ASSERT_TRUE(records.ok());
   ASSERT_EQ(records->size(), 2u);
   for (const auto& r : *records) {
@@ -168,7 +168,7 @@ TEST(HtStoreTest, HierarchicalDeleteStoresOnlyRoot) {
   ASSERT_TRUE(
       store.TrackDelete(DeleteEffect({"T/a", "T/a/x", "T/a/y"})).ok());
   ASSERT_TRUE(store.Commit().ok());
-  auto records = store.AllRecords();
+  auto records = store.backend()->GetAll();
   ASSERT_TRUE(records.ok());
   ASSERT_EQ(records->size(), 1u);
   EXPECT_EQ((*records)[0].op, ProvOp::kDelete);
@@ -180,7 +180,7 @@ TEST(NaiveStoreTest, PerOpTransactionNumbers) {
   NaiveStore store(&fx.backend, /*first_tid=*/121);
   ASSERT_TRUE(store.TrackInsert(InsertEffect("T/a")).ok());
   ASSERT_TRUE(store.TrackDelete(DeleteEffect({"T/b", "T/b/x"})).ok());
-  auto records = store.AllRecords();
+  auto records = store.backend()->GetAll();
   ASSERT_TRUE(records.ok());
   ASSERT_EQ(records->size(), 3u);
   EXPECT_EQ((*records)[0].tid, 121);
@@ -247,6 +247,111 @@ TEST(BackendTest, GetAtLocOrAncestorsWalksUp) {
   ASSERT_TRUE(recs.ok());
   EXPECT_EQ(fx.db.cost().Calls() - calls0, 1u);  // ONE client call
   ASSERT_EQ(recs->size(), 2u);  // T/a and T/a/b/c, not T/zz
+}
+
+// Regression for the documented ordering contract: GetAll yields
+// (tid, loc) order, and the streaming cursors guarantee the same orders
+// as their one-shot shims.
+TEST(BackendTest, GetAllIsTidLocOrderedAndCursorsAgree) {
+  Fixture fx;
+  // Written deliberately out of (tid, loc) order.
+  ASSERT_TRUE(fx.backend
+                  .WriteRecords({ProvRecord::Insert(3, P("T/b")),
+                                 ProvRecord::Insert(1, P("T/c")),
+                                 ProvRecord::Insert(2, P("T/a/x")),
+                                 ProvRecord::Insert(1, P("T/a")),
+                                 ProvRecord::Insert(2, P("T/a")),
+                                 ProvRecord::Insert(3, P("T/a/x"))})
+                  .ok());
+  auto all = fx.backend.GetAll();
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 6u);
+  for (size_t i = 0; i + 1 < all->size(); ++i) {
+    const ProvRecord& a = (*all)[i];
+    const ProvRecord& b = (*all)[i + 1];
+    // Loc ordering is the index's: the slash-joined string rendering.
+    EXPECT_TRUE(a.tid < b.tid ||
+                (a.tid == b.tid && a.loc.ToString() < b.loc.ToString()))
+        << a.ToString() << " !< " << b.ToString();
+  }
+  // ScanAll streams the identical sequence.
+  std::vector<ProvRecord> streamed;
+  ProvCursor cur = fx.backend.ScanAll();
+  ProvRecord r;
+  while (cur.Next(&r)) streamed.push_back(r);
+  ASSERT_TRUE(cur.status().ok());
+  EXPECT_EQ(streamed, *all);
+  // ScanUnder is (Loc, Tid)-ordered.
+  std::vector<std::pair<std::string, int64_t>> under;
+  ProvCursor uc = fx.backend.ScanUnder(P("T/a"));
+  while (uc.Next(&r)) under.emplace_back(r.loc.ToString(), r.tid);
+  EXPECT_EQ(under, (std::vector<std::pair<std::string, int64_t>>{
+                       {"T/a", 1}, {"T/a", 2}, {"T/a/x", 2}, {"T/a/x", 3}}));
+}
+
+TEST(BackendTest, CursorChargesOneRoundTripPerBatchFetched) {
+  Fixture fx;
+  std::vector<ProvRecord> recs;
+  for (int i = 0; i < 10; ++i) {
+    recs.push_back(ProvRecord::Insert(1, P("T/n" + std::to_string(i))));
+  }
+  ASSERT_TRUE(fx.backend.WriteRecords(recs).ok());
+
+  // Drained in one big fetch: one round trip, like the old one-shot read.
+  size_t calls0 = fx.db.cost().Calls();
+  ProvCursor one = fx.backend.ScanAll();
+  std::vector<ProvRecord> batch;
+  EXPECT_EQ(one.Next(&batch, ProvCursor::kNoLimit), 10u);
+  EXPECT_EQ(fx.db.cost().Calls() - calls0, 1u);
+  EXPECT_EQ(one.RoundTrips(), 1u);
+
+  // Streamed in batches of 4: 3 fetches (4 + 4 + 2).
+  calls0 = fx.db.cost().Calls();
+  ProvCursor many = fx.backend.ScanAll();
+  size_t total = 0;
+  while (many.Next(&batch, 4) > 0) total += batch.size();
+  EXPECT_EQ(total, 10u);
+  EXPECT_EQ(fx.db.cost().Calls() - calls0, 3u);
+  EXPECT_EQ(many.RoundTrips(), 3u);
+}
+
+TEST(BackendTest, LookupManyResolvesBatchInOneRoundTrip) {
+  Fixture fx;
+  ASSERT_TRUE(fx.backend
+                  .WriteRecords({ProvRecord::Insert(1, P("T/a")),
+                                 ProvRecord::Copy(1, P("T/b"), P("S/q")),
+                                 ProvRecord::Insert(2, P("T/a"))})
+                  .ok());
+  size_t calls0 = fx.db.cost().Calls();
+  auto got = fx.backend.LookupMany(
+      1, {P("T/a"), P("T/b"), P("T/missing")});
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(fx.db.cost().Calls() - calls0, 1u);
+  ASSERT_EQ(got->size(), 2u);
+  EXPECT_EQ((*got)[0].loc, P("T/a"));
+  EXPECT_EQ((*got)[1].loc, P("T/b"));
+  // An empty batch is an empty statement: nothing sent, nothing charged.
+  calls0 = fx.db.cost().Calls();
+  auto none = fx.backend.LookupMany(1, {});
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+  EXPECT_EQ(fx.db.cost().Calls() - calls0, 0u);
+}
+
+TEST(BackendTest, AncestorScanExcludesSelfWhenAsked) {
+  Fixture fx;
+  ASSERT_TRUE(fx.backend
+                  .WriteRecords({ProvRecord::Copy(1, P("T/a"), P("S/x")),
+                                 ProvRecord::Insert(2, P("T/a/b")),
+                                 ProvRecord::Insert(3, P("T/a/b/c"))})
+                  .ok());
+  std::vector<std::string> locs;
+  ProvCursor cur =
+      fx.backend.ScanAtLocOrAncestors(P("T/a/b/c"), /*include_self=*/false);
+  ProvRecord r;
+  while (cur.Next(&r)) locs.push_back(r.loc.ToString());
+  // Shallowest first, self excluded.
+  EXPECT_EQ(locs, (std::vector<std::string>{"T/a", "T/a/b"}));
 }
 
 }  // namespace

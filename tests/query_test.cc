@@ -163,6 +163,34 @@ TEST(QueryTest, MultiHopTraceWithinTarget) {
   EXPECT_EQ(trace->steps[1].tid, 127);
 }
 
+TEST(QueryTest, GetModRoundTripsAreDepthBoundNotDescendantBound) {
+  // Acceptance check for the cursor redesign: getMod on a hierarchical
+  // store is ONE subtree scan plus ONE batched ancestor statement —
+  // O(depth + 1) backend round trips — where the per-descendant path paid
+  // one trip per descendant location.
+  for (Strategy strat : {Strategy::kHierarchical,
+                         Strategy::kHierarchicalTransactional}) {
+    auto s = RunFigure3Session(strat);
+    for (const char* loc : {"T", "T/c2", "T/c2/y", "T/c3/x"}) {
+      tree::Path p = Path::MustParse(loc);
+      relstore::CostSnapshot before = s->prov_db->cost().Snap();
+      auto mod = s->editor->query()->GetMod(p);
+      relstore::CostSnapshot after = s->prov_db->cost().Snap();
+      ASSERT_TRUE(mod.ok());
+      // All of Figure 3's records fit one batch: the subtree scan is one
+      // trip and the ancestor batch (present only at depth > 2) one more.
+      size_t ancestor_trips = p.Depth() > 2 ? 1u : 0u;
+      EXPECT_EQ(after.calls - before.calls, 1u + ancestor_trips)
+          << provenance::StrategyName(strat) << " " << loc;
+    }
+  }
+  // Flat strategies never pay the ancestor statement at all.
+  auto s = RunFigure3Session(Strategy::kNaive);
+  relstore::CostSnapshot before = s->prov_db->cost().Snap();
+  ASSERT_TRUE(s->editor->query()->GetMod(Path::MustParse("T")).ok());
+  EXPECT_EQ(s->prov_db->cost().Snap().calls - before.calls, 1u);
+}
+
 TEST(QueryTest, QueriesChargeTheCostModel) {
   auto s = RunFigure3Session(Strategy::kNaive);
   double before = s->prov_db->cost().ElapsedMicros();

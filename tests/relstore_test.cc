@@ -444,6 +444,148 @@ TEST(ExecTest, SortDistinctLimit) {
   EXPECT_EQ(out[1][0].AsInt(), 2);
 }
 
+// ----- Cursor scans / batched lookups ---------------------------------------
+
+/// A Prov-shaped table with a composite {Loc, Tid} index, as the
+/// provenance backend builds it.
+Table MakeScanTable() {
+  Table t("Prov", ProvSchema());
+  EXPECT_TRUE(t.CreateIndex("pk", {0, 2}, IndexKind::kBTree, true).ok());
+  EXPECT_TRUE(t.CreateIndex("loc_tid", {2, 0}, IndexKind::kBTree).ok());
+  for (int64_t tid = 1; tid <= 3; ++tid) {
+    for (const char* loc : {"T/a", "T/a/x", "T/a/y", "T/ab", "T/b"}) {
+      EXPECT_TRUE(
+          t.Insert({Datum(tid), Datum("I"), Datum(loc), Datum()}).ok());
+    }
+  }
+  return t;
+}
+
+TEST(TableCursorTest, EqPrefixScanStreamsInKeyOrder) {
+  Table t = MakeScanTable();
+  ScanSpec spec;
+  spec.index = "loc_tid";
+  spec.eq = {Datum("T/a")};
+  auto cur = t.OpenScan(std::move(spec));
+  ASSERT_TRUE(cur.ok());
+  Row row;
+  std::vector<int64_t> tids;
+  while (cur->Next(&row)) {
+    EXPECT_EQ(row[2].AsString(), "T/a");
+    tids.push_back(row[0].AsInt());
+  }
+  EXPECT_TRUE(cur->status().ok());
+  EXPECT_TRUE(cur->done());
+  EXPECT_EQ(tids, (std::vector<int64_t>{1, 2, 3}));  // (Loc, Tid) order
+}
+
+TEST(TableCursorTest, StringPrefixScanExcludesSiblingsAndStrangers) {
+  Table t = MakeScanTable();
+  ScanSpec spec;
+  spec.index = "loc_tid";
+  spec.prefix = "T/a/";
+  auto cur = t.OpenScan(std::move(spec));
+  ASSERT_TRUE(cur.ok());
+  Row row;
+  size_t n = 0;
+  while (cur->Next(&row)) {
+    EXPECT_TRUE(row[2].AsString() == "T/a/x" || row[2].AsString() == "T/a/y");
+    ++n;
+  }
+  EXPECT_EQ(n, 6u);  // 2 locs x 3 tids; neither "T/a" nor "T/ab"
+}
+
+TEST(TableCursorTest, BatchNextHonoursCallerBufferAndLimit) {
+  Table t = MakeScanTable();
+  ScanSpec spec;
+  spec.index = "pk";
+  spec.limit = 7;
+  auto cur = t.OpenScan(std::move(spec));
+  ASSERT_TRUE(cur.ok());
+  std::vector<Row> batch;
+  EXPECT_EQ(cur->Next(&batch, 5), 5u);
+  EXPECT_EQ(batch.size(), 5u);
+  EXPECT_EQ(cur->Next(&batch, 5), 2u);  // limit 7 cuts the second batch
+  EXPECT_EQ(cur->Next(&batch, 5), 0u);
+  EXPECT_TRUE(cur->done());
+}
+
+TEST(TableCursorTest, PredicatePushdownFiltersServerSide) {
+  Table t = MakeScanTable();
+  ScanSpec spec;
+  spec.index = "pk";
+  spec.predicate = [](const Row& row) { return row[0].AsInt() == 2; };
+  auto cur = t.OpenScan(std::move(spec));
+  ASSERT_TRUE(cur.ok());
+  Row row;
+  size_t n = 0;
+  while (cur->Next(&row)) {
+    EXPECT_EQ(row[0].AsInt(), 2);
+    ++n;
+  }
+  EXPECT_EQ(n, 5u);
+}
+
+TEST(TableCursorTest, LowerBoundStartsMidRange) {
+  Table t = MakeScanTable();
+  ScanSpec spec;
+  spec.index = "pk";
+  spec.lower = {Datum(int64_t{3})};  // partial-arity bound
+  auto cur = t.OpenScan(std::move(spec));
+  ASSERT_TRUE(cur.ok());
+  Row row;
+  size_t n = 0;
+  while (cur->Next(&row)) {
+    EXPECT_EQ(row[0].AsInt(), 3);
+    ++n;
+  }
+  EXPECT_EQ(n, 5u);
+}
+
+TEST(TableCursorTest, RejectsBadSpecs) {
+  Table t = MakeScanTable();
+  ScanSpec missing;
+  missing.index = "nope";
+  EXPECT_FALSE(t.OpenScan(std::move(missing)).ok());
+  ScanSpec fat;
+  fat.index = "pk";
+  fat.eq = {Datum(int64_t{1}), Datum("T/a"), Datum("x")};
+  EXPECT_FALSE(t.OpenScan(std::move(fat)).ok());
+}
+
+TEST(TableMultiGetTest, ResolvesBatchGroupedByKeyOrder) {
+  Table t = MakeScanTable();
+  std::vector<Row> keys = {{Datum(int64_t{2}), Datum("T/b")},
+                           {Datum(int64_t{9}), Datum("T/zz")},  // miss
+                           {Datum(int64_t{1}), Datum("T/a")}};
+  std::vector<std::pair<size_t, std::string>> hits;
+  ASSERT_TRUE(t.MultiGet("pk", keys,
+                         [&](size_t i, const Rid&, const Row& row) {
+                           hits.emplace_back(i, row[2].AsString());
+                           return true;
+                         })
+                  .ok());
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0], (std::pair<size_t, std::string>{0, "T/b"}));
+  EXPECT_EQ(hits[1], (std::pair<size_t, std::string>{2, "T/a"}));
+  // Arity mismatch is refused.
+  EXPECT_FALSE(t.MultiGet("pk", {{Datum(int64_t{1})}},
+                          [](size_t, const Rid&, const Row&) { return true; })
+                   .ok());
+}
+
+TEST(CostModelTest, SnapshotDeltasCountRoundTrips) {
+  CostModel cost;
+  cost.ChargeCall(3);
+  CostSnapshot before = cost.Snap();
+  cost.ChargeCall(2);
+  cost.ChargeCall(0);
+  CostSnapshot after = cost.Snap();
+  EXPECT_EQ(after.calls - before.calls, 2u);
+  EXPECT_EQ(after.rows - before.rows, 2u);
+  EXPECT_GT(after.micros, before.micros);
+}
+
 TEST(CostModelTest, ChargesRoundTripsAndRows) {
   CostModel cost(CostParams{100.0, 10.0, 0.0});
   cost.ChargeCall(0);

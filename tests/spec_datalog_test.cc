@@ -24,7 +24,7 @@ std::unique_ptr<SpecFixture> BuildFigure3Spec(Strategy strategy) {
   Status st =
       fx->session->editor->ApplyScriptText(testutil::Figure3ScriptText());
   EXPECT_TRUE(st.ok()) << st;
-  auto records = fx->session->editor->store()->AllRecords();
+  auto records = fx->session->editor->store()->backend()->GetAll();
   EXPECT_TRUE(records.ok());
   auto* store = fx->session->editor->store();
   auto versions = fx->session->editor->archive()->MakeVersionFn();
@@ -53,7 +53,7 @@ TEST(SpecTest, DatalogProvExpansionMatchesNaiveStore) {
   ASSERT_TRUE(naive_session->editor
                   ->ApplyScriptText(testutil::Figure3ScriptText())
                   .ok());
-  auto naive = naive_session->editor->store()->AllRecords();
+  auto naive = naive_session->editor->store()->backend()->GetAll();
   ASSERT_TRUE(naive.ok());
 
   const auto& prov = hier->eval.Get("Prov");
