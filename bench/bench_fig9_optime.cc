@@ -5,9 +5,16 @@
 // Expected shape (paper Section 4.2): dataset update dominates; naive
 // per-op provenance costs are a modest fraction of it; transactional
 // adds/copies are essentially instantaneous with commits costing ~25% of
-// a dataset update every txn_len ops; hierarchical copies are cheap but
-// inserts pay an extra existence-probe round trip; HT per-op costs stay
-// tiny.
+// a per-op dataset update every txn_len ops; hierarchical copies are
+// cheap but inserts pay an extra existence-probe round trip; HT per-op
+// costs stay tiny.
+//
+// Batched write path: for T/HT the committed transaction's native target
+// writes ride ONE ApplyBatch round trip per commit instead of one per
+// op, so their dataset-update average sits well below N/H's per-op
+// figure — the write-side analogue of the paper's "reduced number of
+// round-trips" win. The JSON report carries the measured write round
+// trips/rows for both stores so the reduction can be differenced.
 
 #include <cstdio>
 
@@ -55,13 +62,19 @@ int main(int argc, char** argv) {
         .Set("prov_wall_us", st.prov_us)
         .Set("round_trips", st.prov_round_trips)
         .Set("rows_moved", st.prov_rows_moved)
+        .Set("write_round_trips", st.prov_write_trips)
+        .Set("write_rows", st.prov_write_rows)
+        .Set("target_write_round_trips", st.target_write_trips)
+        .Set("target_write_rows", st.target_write_rows)
         .Set("prov_bytes", st.prov_bytes)
         .Set("real_ms", st.real_ms);
   }
   std::printf(
-      "\nShape check vs paper: T per-op ~0 with a commit ~25%% of a dataset\n"
-      "update; H copies cheaper than N but inserts dearer (probe); HT\n"
-      "per-op costs small.\n");
+      "\nShape check vs paper: T per-op ~0 with a commit ~25%% of a per-op\n"
+      "dataset update; H copies cheaper than N but inserts dearer (probe);\n"
+      "HT per-op costs small. T/HT dataset-upd is amortized over batched\n"
+      "commit-time native writes (one ApplyBatch round trip per commit),\n"
+      "so it sits below N/H's per-op figure.\n");
   report.WriteTo(flags.GetString("json", ""));
   return 0;
 }

@@ -32,7 +32,12 @@ namespace cpdb::bench {
 //
 // with per-row counters (ops, simulated wall time, modelled round trips,
 // bytes) so BENCH_*.json perf-trajectory tracking can diff runs across
-// PRs. Keys are stable; values are JSON numbers or strings.
+// PRs. Keys are stable; values are JSON numbers or strings. Since the
+// batched write path, the op-time benches (fig9/fig10/fig12) additionally
+// report measured write round trips and write rows (the CostModel's
+// write-side counters) for the provenance store and the target database,
+// so write batching can be differenced across runs the same way fig13
+// differences read round trips.
 
 inline std::string JsonEscape(const std::string& s) {
   std::string out;
@@ -181,6 +186,10 @@ struct RunStats {
   size_t prov_bytes = 0;
   size_t prov_round_trips = 0;  ///< modelled provenance-store round trips
   size_t prov_rows_moved = 0;   ///< rows transferred over those round trips
+  size_t prov_write_trips = 0;  ///< write-side subset (WriteRecords etc.)
+  size_t prov_write_rows = 0;   ///< rows carried by those write trips
+  size_t target_write_trips = 0;  ///< target ApplyNative/ApplyBatch calls
+  size_t target_write_rows = 0;   ///< rows/nodes carried by target writes
   double target_us = 0;   ///< simulated target-database interaction
   double prov_us = 0;     ///< simulated provenance-store interaction
   OpTiming add_prov, del_prov, copy_prov, commit_prov;
@@ -293,6 +302,10 @@ inline RunStats RunWorkload(const RunConfig& cfg) {
   st.prov_bytes = st.editor->store()->PhysicalBytes();
   st.prov_round_trips = st.prov_db->cost().Calls();
   st.prov_rows_moved = st.prov_db->cost().RowsMoved();
+  st.prov_write_trips = st.prov_db->cost().WriteCalls();
+  st.prov_write_rows = st.prov_db->cost().WriteRows();
+  st.target_write_trips = st.target->cost().WriteCalls();
+  st.target_write_rows = st.target->cost().WriteRows();
   st.prov_us = prov_cost();
   st.target_us = tgt_cost();
   st.dataset_avg_us = st.applied == 0 ? 0 : st.target_us / st.applied;

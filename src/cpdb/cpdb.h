@@ -41,6 +41,29 @@
 /// removed with the cursor redesign; their one-shot equivalents live on
 /// ProvBackend (GetUnder, GetAtLocOrAncestors, GetForTid, GetAll), each
 /// costing exactly one round trip.
+///
+/// Writes are batched and group-committed, symmetric with the reads
+/// (README "Write path"):
+///
+///   editor->ApplyScriptText(script);   // N/H: ONE WriteRecords +
+///                                      // ONE target ApplyBatch flush
+///   editor->Commit();                  // T/HT: same, per transaction
+///
+/// relstore::WriteBatch + Table::ApplyBatch is the storage statement
+/// (validated up front, indexes fed one sorted run per batch via
+/// BTree::BulkUpsert); wrap::TargetDb::ApplyBatch ships a committed
+/// transaction's native writes in one modelled call; provenance::
+/// ProvStore::TrackBatch group-commits a staged script with per-op
+/// semantics (tids, records, and H's per-insert probe) unchanged.
+///
+/// Migration note (write path): TargetDb implementations may override
+/// ApplyBatch to charge one call per transaction — the default delegates
+/// to per-op ApplyNative, so existing wrappers compile and behave as
+/// before, just without the batching win. ProvBackend::WriteRecords is
+/// now atomic: a duplicate {Tid, Loc} rejects the whole batch instead of
+/// leaving a partial insert prefix. Write round trips are counted on
+/// CostModel's write-side counters (WriteCalls/WriteRows, also in
+/// CostSnapshot), which ChargeWrite bumps alongside the totals.
 
 #include "archive/archive.h"          // IWYU pragma: export
 #include "cpdb/editor.h"              // IWYU pragma: export

@@ -61,17 +61,52 @@ Status Editor::ValidateUpdate(const Update& u) const {
   return Status::OK();
 }
 
-Status Editor::PushNative(const Update& u, const tree::Tree* pasted) {
+void Editor::StagePasted(
+    const Update& u, std::vector<std::optional<tree::Tree>>* out) const {
+  if (u.kind == OpKind::kCopy) {
+    const tree::Tree* pasted = universe_.Find(u.target);
+    out->emplace_back(pasted == nullptr
+                          ? std::optional<tree::Tree>()
+                          : std::optional<tree::Tree>(pasted->Clone()));
+  } else {
+    out->emplace_back(std::nullopt);
+  }
+}
+
+Result<std::vector<wrap::NativeOp>> Editor::BuildNativeOps(
+    const update::Script& script,
+    const std::vector<std::optional<tree::Tree>>& pasted) const {
+  std::vector<wrap::NativeOp> native;
+  native.reserve(script.size());
+  for (size_t i = 0; i < script.size(); ++i) {
+    const tree::Tree* payload =
+        i < pasted.size() && pasted[i].has_value() ? &*pasted[i] : nullptr;
+    CPDB_ASSIGN_OR_RETURN(wrap::NativeOp op,
+                          MakeNativeOp(script[i], payload));
+    native.push_back(std::move(op));
+  }
+  return native;
+}
+
+Result<wrap::NativeOp> Editor::MakeNativeOp(const Update& u,
+                                            const tree::Tree* pasted) const {
   // Rebase universe-absolute paths to target-relative ones.
-  Update native = u;
-  CPDB_ASSIGN_OR_RETURN(native.target, u.target.RelativeTo(target_root_));
+  wrap::NativeOp op;
+  op.update = u;
+  CPDB_ASSIGN_OR_RETURN(op.update.target, u.target.RelativeTo(target_root_));
   if (u.kind == OpKind::kCopy) {
     if (pasted == nullptr) {
       return Status::Internal("pasted subtree missing for native push");
     }
-    native.source = tree::Path();  // native stores only receive the data
+    op.update.source = tree::Path();  // native stores only receive the data
+    op.pasted = pasted;
   }
-  return target_->ApplyNative(native, pasted);
+  return op;
+}
+
+Status Editor::PushNative(const Update& u, const tree::Tree* pasted) {
+  CPDB_ASSIGN_OR_RETURN(wrap::NativeOp op, MakeNativeOp(u, pasted));
+  return target_->ApplyNative(op.update, op.pasted);
 }
 
 Status Editor::RecordMetaIfEnabled(int64_t tid, const std::string& note) {
@@ -98,6 +133,18 @@ Status Editor::ApplyUpdate(const Update& u) {
 
   update::ApplyEffect effect;
   CPDB_RETURN_IF_ERROR(undo_.ApplyTracked(&universe_, u, &effect));
+
+  if (batching_) {
+    // Per-op strategy inside ApplyScript/BulkCopy: stage the effect and
+    // the native replay payload; FlushBatch ships them as one group
+    // commit. The undo log keeps accumulating so a failed flush can
+    // unwind the whole staged batch.
+    StagePasted(u, &batch_pasted_);
+    batch_script_.push_back(u);
+    batch_ops_.push_back({u.kind, std::move(effect)});
+    return Status::OK();
+  }
+
   Status tracked;
   switch (u.kind) {
     case OpKind::kInsert:
@@ -135,15 +182,7 @@ Status Editor::ApplyUpdate(const Update& u) {
     undo_.Clear();
   } else {
     // Deferred native push at Commit() needs the op-time paste payload.
-    if (u.kind == OpKind::kCopy) {
-      const tree::Tree* pasted = universe_.Find(u.target);
-      txn_pasted_.emplace_back(pasted == nullptr
-                                   ? std::optional<tree::Tree>()
-                                   : std::optional<tree::Tree>(
-                                         pasted->Clone()));
-    } else {
-      txn_pasted_.emplace_back(std::nullopt);
-    }
+    StagePasted(u, &txn_pasted_);
   }
   return Status::OK();
 }
@@ -161,18 +200,84 @@ Status Editor::CopyPaste(const tree::Path& src, const tree::Path& dst) {
   return ApplyUpdate(Update::Copy(src, dst));
 }
 
+Status Editor::FlushBatch(size_t* flushed) {
+  if (flushed != nullptr) *flushed = 0;
+  std::vector<provenance::TrackedOp> ops = std::move(batch_ops_);
+  update::Script script = std::move(batch_script_);
+  std::vector<std::optional<tree::Tree>> pasted = std::move(batch_pasted_);
+  batch_ops_.clear();
+  batch_script_.clear();
+  batch_pasted_.clear();
+  if (ops.empty()) return Status::OK();
+
+  // Group commit: the whole staged batch reaches the provenance backend
+  // in one WriteRecords (via TrackBatch) and the target in one native
+  // ApplyBatch. Per-op tids/records are preserved by the store.
+  std::vector<int64_t> tids;
+  Status tracked = store_->TrackBatch(ops, &tids);
+  if (!tracked.ok()) {
+    // Nothing was written (TrackBatch is atomic on the backend); unwind
+    // the staged updates so universe and stores stay consistent.
+    Status revert = undo_.RevertAll(&universe_);
+    return revert.ok() ? tracked : revert;
+  }
+  // The batch is committed in the provenance store: from here on it must
+  // never be unwound from the universe, so retire the undo entries now —
+  // a later single-op tracking failure would otherwise RevertAll straight
+  // through this committed batch.
+  undo_.Clear();
+  total_ops_ += ops.size();
+  if (flushed != nullptr) *flushed = ops.size();
+  // A failure from here on is a native replay of already-committed
+  // updates going wrong: like a failed commit replay, the native store
+  // then needs a reload (universe and provenance remain consistent).
+  CPDB_ASSIGN_OR_RETURN(std::vector<wrap::NativeOp> native,
+                        BuildNativeOps(script, pasted));
+  CPDB_RETURN_IF_ERROR(target_->ApplyBatch(native));
+  if (options_.record_txn_meta) {
+    for (size_t i = 0; i < script.size() && i < tids.size(); ++i) {
+      CPDB_RETURN_IF_ERROR(
+          RecordMetaIfEnabled(tids[i], script[i].ToString()));
+    }
+  }
+  return Status::OK();
+}
+
 Status Editor::ApplyScript(const update::Script& script, size_t* applied) {
   size_t n = 0;
-  for (const Update& u : script) {
-    Status st = ApplyUpdate(u);
-    if (!st.ok()) {
-      if (applied != nullptr) *applied = n;
-      return st;
+  // The archive needs every version's post-state, which group commit does
+  // not materialize per op; archived per-op sessions keep the per-op path.
+  const bool batch = PerOpStrategy() && !options_.enable_archive;
+  if (!batch) {
+    for (const Update& u : script) {
+      Status st = ApplyUpdate(u);
+      if (!st.ok()) {
+        if (applied != nullptr) *applied = n;
+        return st;
+      }
+      ++n;
     }
+    if (applied != nullptr) *applied = n;
+    return Status::OK();
+  }
+
+  batching_ = true;
+  Status op_status = Status::OK();
+  for (const Update& u : script) {
+    op_status = ApplyUpdate(u);
+    if (!op_status.ok()) break;
     ++n;
   }
-  if (applied != nullptr) *applied = n;
-  return Status::OK();
+  batching_ = false;
+  // Per-op transactions: a later op's failure does not unwind committed
+  // predecessors, so the applied prefix still flushes. `flushed` is 0
+  // only when tracking failed and the batch was unwound; a native-replay
+  // failure reports its error with the ops still applied.
+  size_t flushed = 0;
+  Status flush_status = FlushBatch(&flushed);
+  if (applied != nullptr) *applied = flushed < n ? flushed : n;
+  if (!flush_status.ok()) return flush_status;
+  return op_status;
 }
 
 Status Editor::ApplyScriptText(const std::string& text) {
@@ -206,11 +311,11 @@ Status Editor::Commit() {
   txn_pasted_.clear();
   CPDB_RETURN_IF_ERROR(store_->Commit());
   if (!PerOpStrategy()) {
-    for (size_t i = 0; i < script.size(); ++i) {
-      const tree::Tree* payload =
-          i < pasted.size() && pasted[i].has_value() ? &*pasted[i] : nullptr;
-      CPDB_RETURN_IF_ERROR(PushNative(script[i], payload));
-    }
+    // The committed transaction's native writes ride one modelled client
+    // call, matching the provenance store's one-WriteRecords commit.
+    CPDB_ASSIGN_OR_RETURN(std::vector<wrap::NativeOp> native,
+                          BuildNativeOps(script, pasted));
+    CPDB_RETURN_IF_ERROR(target_->ApplyBatch(native));
     int64_t tid = store_->LastCommittedTid();
     if (archive_ != nullptr && started_) {
       CPDB_RETURN_IF_ERROR(archive_->Record(tid, std::move(script),

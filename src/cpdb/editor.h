@@ -80,22 +80,42 @@ class Editor {
 
   /// Applies a whole script; stops at the first failure and returns the
   /// number of operations applied via `applied`.
+  ///
+  /// Batched write path: for the per-operation strategies (N, H) the
+  /// script's effects are *staged* and flushed as one group commit — one
+  /// TrackBatch (a single WriteRecords round trip; H's per-insert probes
+  /// excepted) and one TargetDb::ApplyBatch (a single native round trip)
+  /// — while per-op semantics (one tid per op, identical records) are
+  /// preserved. A mid-script failure flushes the applied prefix, matching
+  /// the per-op contract; a tracking failure in the flush itself unwinds
+  /// the whole staged batch from the universe (nothing was written) and
+  /// reports 0 applied, while a native-replay failure after a successful
+  /// flush reports its error with `applied` ops committed. Sessions with
+  /// the archive enabled fall back to per-op application (the archive
+  /// needs each version's post-state). For T/HT the ops stage in the
+  /// transaction as always and batch at Commit().
   Status ApplyScript(const update::Script& script, size_t* applied = nullptr);
 
-  /// Parses and applies a script in the paper's concrete syntax.
+  /// Parses and applies a script in the paper's concrete syntax
+  /// (batched like ApplyScript).
   Status ApplyScriptText(const std::string& text);
 
-  /// Expands and applies a bulk copy; records one approximate glob record
-  /// if the approximate store is enabled. Returns the number of atomic
-  /// copies performed.
+  /// Expands and applies a bulk copy (batched like ApplyScript); records
+  /// one approximate glob record if the approximate store is enabled.
+  /// Returns the number of atomic copies performed.
   Result<size_t> BulkCopy(const update::BulkCopySpec& spec);
 
   /// Ends the current transaction (meaningful for T/HT; harmless no-op
-  /// transaction boundary for N/H).
+  /// transaction boundary for N/H). A committed transaction's provenance
+  /// flushes in one WriteRecords and its native target writes in one
+  /// TargetDb::ApplyBatch call, whatever its length.
   Status Commit();
 
-  /// Reverts all uncommitted operations (universe + provlist). Fails for
-  /// per-operation strategies, which have nothing pending.
+  /// Reverts all uncommitted operations (universe + provlist) atomically:
+  /// nothing of the discarded transaction is observable in the target
+  /// database or the provenance store afterwards (staged batches never
+  /// touch either before their flush). Fails for per-operation
+  /// strategies, which have nothing pending.
   Status Abort();
 
   // ----- Introspection ------------------------------------------------------
@@ -131,9 +151,35 @@ class Editor {
   /// Checks the target-only write restriction.
   Status ValidateUpdate(const update::Update& u) const;
 
+  /// Appends the op-time paste payload for `u` to `out` (a clone of the
+  /// current subtree at the destination for copies, nullopt otherwise).
+  /// Must run right after the op is applied, while the universe still
+  /// shows exactly what the op pasted.
+  void StagePasted(const update::Update& u,
+                   std::vector<std::optional<tree::Tree>>* out) const;
+
+  /// Rebases `u` onto the target's root and attaches the paste payload
+  /// (which must be the subtree as of the op's application, and outlive
+  /// the returned value).
+  Result<wrap::NativeOp> MakeNativeOp(const update::Update& u,
+                                      const tree::Tree* pasted) const;
+
+  /// Builds the native replay of a whole staged script (payloads borrowed
+  /// from `pasted`, which must outlive the result).
+  Result<std::vector<wrap::NativeOp>> BuildNativeOps(
+      const update::Script& script,
+      const std::vector<std::optional<tree::Tree>>& pasted) const;
+
   /// Pushes one update into the native target store (paths rebased).
-  /// `pasted` must be the subtree as of the op's application for copies.
   Status PushNative(const update::Update& u, const tree::Tree* pasted);
+
+  /// Flushes the staged per-op-strategy batch: one TrackBatch, one native
+  /// ApplyBatch. On a tracking failure the whole staged batch is unwound
+  /// from the universe (nothing was written) and `flushed` is 0; once
+  /// tracking succeeds the batch is committed (`flushed` = batch size)
+  /// and a native-replay failure is reported without unwinding, like a
+  /// failed commit replay. Resets the staging state.
+  Status FlushBatch(size_t* flushed = nullptr);
 
   Status RecordMetaIfEnabled(int64_t tid, const std::string& note);
 
@@ -154,6 +200,16 @@ class Editor {
   /// (nullopt for non-copies). Needed because commit-time native replay
   /// must paste what the op pasted, not the end-of-transaction state.
   std::vector<std::optional<tree::Tree>> txn_pasted_;
+
+  /// Script staging for the per-op strategies (N, H): while `batching_`,
+  /// ApplyUpdate defers tracking and native pushes into these, and
+  /// FlushBatch ships them as one group commit. Always empty outside
+  /// ApplyScript/BulkCopy.
+  bool batching_ = false;
+  std::vector<provenance::TrackedOp> batch_ops_;
+  update::Script batch_script_;
+  std::vector<std::optional<tree::Tree>> batch_pasted_;
+
   size_t total_ops_ = 0;
   bool started_ = false;
 };

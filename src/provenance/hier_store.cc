@@ -2,45 +2,107 @@
 
 namespace cpdb::provenance {
 
-Status HierStore::TrackInsert(const update::ApplyEffect& effect) {
-  if (effect.inserted.empty()) {
-    return Status::InvalidArgument("insert effect with no inserted node");
+Status HierStore::CheckEffect(update::OpKind kind,
+                              const update::ApplyEffect& effect) {
+  switch (kind) {
+    case update::OpKind::kInsert:
+      if (effect.inserted.empty()) {
+        return Status::InvalidArgument("insert effect with no inserted node");
+      }
+      return Status::OK();
+    case update::OpKind::kDelete:
+      if (effect.deleted.empty()) {
+        return Status::InvalidArgument("delete effect with no deleted nodes");
+      }
+      return Status::OK();
+    case update::OpKind::kCopy:
+      if (effect.copied.empty()) {
+        return Status::InvalidArgument("copy effect with no copied nodes");
+      }
+      return Status::OK();
   }
-  const tree::Path& p = effect.inserted.front();
-  int64_t tid = BumpTid();
-  // Probe whether an ancestor record in this transaction would make the
-  // new record inferable. With per-operation transactions the probe never
-  // hits, but it is a real provenance-store round trip — the cause of the
-  // hierarchical method's higher insert cost in Figure 10. Deliberately
-  // kept as a single point lookup (not folded into a batch) so that cost
-  // survives the cursor/batch read redesign.
-  if (!p.IsRoot()) {
-    CPDB_ASSIGN_OR_RETURN(auto existing, backend_->GetExact(tid, p.Parent()));
-    if (!existing.empty() && existing.front().op == ProvOp::kInsert) {
-      return Status::OK();  // inferable from the parent's insert
+  return Status::Internal("unknown update kind");
+}
+
+Status HierStore::AppendRecord(int64_t tid, update::OpKind kind,
+                               const update::ApplyEffect& effect,
+                               std::vector<ProvRecord>* out) {
+  switch (kind) {
+    case update::OpKind::kInsert: {
+      const tree::Path& p = effect.inserted.front();
+      // Probe whether an ancestor record in this transaction would make
+      // the new record inferable. With per-operation transactions the
+      // probe never hits, but it is a real provenance-store round trip —
+      // the cause of the hierarchical method's higher insert cost in
+      // Figure 10. Deliberately kept as a single point lookup per insert
+      // (not folded into the group commit) so that cost survives both the
+      // cursor read redesign and the batched write path.
+      if (!p.IsRoot()) {
+        CPDB_ASSIGN_OR_RETURN(auto existing,
+                              backend_->GetExact(tid, p.Parent()));
+        if (!existing.empty() && existing.front().op == ProvOp::kInsert) {
+          return Status::OK();  // inferable from the parent's insert
+        }
+      }
+      out->push_back(ProvRecord::Insert(tid, p));
+      return Status::OK();
+    }
+    case update::OpKind::kDelete:
+      // Only the subtree root is recorded; descendants (in the pre-state)
+      // are inferred as deleted.
+      out->push_back(ProvRecord::Delete(tid, effect.deleted.front()));
+      return Status::OK();
+    case update::OpKind::kCopy: {
+      const auto& [loc, src] = effect.copied.front();
+      out->push_back(ProvRecord::Copy(tid, loc, src));
+      return Status::OK();
     }
   }
-  return backend_->WriteRecords({ProvRecord::Insert(tid, p)});
+  return Status::Internal("unknown update kind");
+}
+
+Status HierStore::TrackInsert(const update::ApplyEffect& effect) {
+  CPDB_RETURN_IF_ERROR(CheckEffect(update::OpKind::kInsert, effect));
+  std::vector<ProvRecord> records;
+  CPDB_RETURN_IF_ERROR(
+      AppendRecord(BumpTid(), update::OpKind::kInsert, effect, &records));
+  if (records.empty()) return Status::OK();  // inferable: nothing to write
+  return backend_->WriteRecords(records);
 }
 
 Status HierStore::TrackDelete(const update::ApplyEffect& effect) {
-  if (effect.deleted.empty()) {
-    return Status::InvalidArgument("delete effect with no deleted nodes");
-  }
-  // Only the subtree root is recorded; descendants (in the pre-state)
-  // are inferred as deleted.
-  int64_t tid = BumpTid();
-  return backend_->WriteRecords(
-      {ProvRecord::Delete(tid, effect.deleted.front())});
+  CPDB_RETURN_IF_ERROR(CheckEffect(update::OpKind::kDelete, effect));
+  std::vector<ProvRecord> records;
+  CPDB_RETURN_IF_ERROR(
+      AppendRecord(BumpTid(), update::OpKind::kDelete, effect, &records));
+  return backend_->WriteRecords(records);
 }
 
 Status HierStore::TrackCopy(const update::ApplyEffect& effect) {
-  if (effect.copied.empty()) {
-    return Status::InvalidArgument("copy effect with no copied nodes");
+  CPDB_RETURN_IF_ERROR(CheckEffect(update::OpKind::kCopy, effect));
+  std::vector<ProvRecord> records;
+  CPDB_RETURN_IF_ERROR(
+      AppendRecord(BumpTid(), update::OpKind::kCopy, effect, &records));
+  return backend_->WriteRecords(records);
+}
+
+Status HierStore::TrackBatch(const std::vector<TrackedOp>& ops,
+                             std::vector<int64_t>* tids) {
+  if (ops.empty()) return Status::OK();
+  // Validate every effect before consuming any tid, so a malformed batch
+  // neither advances the version sequence nor writes anything.
+  for (const TrackedOp& op : ops) {
+    CPDB_RETURN_IF_ERROR(CheckEffect(op.kind, op.effect));
   }
-  int64_t tid = BumpTid();
-  const auto& [loc, src] = effect.copied.front();
-  return backend_->WriteRecords({ProvRecord::Copy(tid, loc, src)});
+  std::vector<ProvRecord> records;
+  records.reserve(ops.size());
+  for (const TrackedOp& op : ops) {
+    int64_t tid = BumpTid();  // each op is still its own transaction
+    CPDB_RETURN_IF_ERROR(AppendRecord(tid, op.kind, op.effect, &records));
+    if (tids != nullptr) tids->push_back(tid);
+  }
+  if (records.empty()) return Status::OK();
+  return backend_->WriteRecords(records);
 }
 
 }  // namespace cpdb::provenance

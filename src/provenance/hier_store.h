@@ -25,9 +25,30 @@ class HierStore : public ProvStore {
   Status TrackDelete(const update::ApplyEffect& effect) override;
   Status TrackCopy(const update::ApplyEffect& effect) override;
 
+  /// Group commit: per-op tids and records identical to the Track*
+  /// calls — including the per-insert existence probe, which remains one
+  /// real provenance-store round trip per insert (the Figure 10 cost) —
+  /// but all surviving records flush in one WriteRecords round trip.
+  Status TrackBatch(const std::vector<TrackedOp>& ops,
+                    std::vector<int64_t>* tids = nullptr) override;
+
   Status Commit() override { return Status::OK(); }
 
   bool IsHierarchical() const override { return true; }
+
+ private:
+  /// Rejects malformed effects (empty touched-node lists) — checked
+  /// before any tid is consumed, so a rejected call never advances the
+  /// version sequence.
+  static Status CheckEffect(update::OpKind kind,
+                            const update::ApplyEffect& effect);
+
+  /// Builds op's (at most one) record under `tid`, probing the backend
+  /// for insert inferability; appends nothing when inferable. The effect
+  /// must have passed CheckEffect.
+  Status AppendRecord(int64_t tid, update::OpKind kind,
+                      const update::ApplyEffect& effect,
+                      std::vector<ProvRecord>* out);
 };
 
 }  // namespace cpdb::provenance

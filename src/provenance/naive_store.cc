@@ -2,32 +2,61 @@
 
 namespace cpdb::provenance {
 
+Status NaiveStore::AppendRecords(int64_t tid, update::OpKind kind,
+                                 const update::ApplyEffect& effect,
+                                 std::vector<ProvRecord>* out) {
+  switch (kind) {
+    case update::OpKind::kInsert:
+      for (const tree::Path& p : effect.inserted) {
+        out->push_back(ProvRecord::Insert(tid, p));
+      }
+      return Status::OK();
+    case update::OpKind::kDelete:
+      for (const tree::Path& p : effect.deleted) {
+        out->push_back(ProvRecord::Delete(tid, p));
+      }
+      return Status::OK();
+    case update::OpKind::kCopy:
+      for (const auto& [loc, src] : effect.copied) {
+        out->push_back(ProvRecord::Copy(tid, loc, src));
+      }
+      return Status::OK();
+  }
+  return Status::Internal("unknown update kind");
+}
+
 Status NaiveStore::TrackInsert(const update::ApplyEffect& effect) {
-  int64_t tid = BumpTid();
   std::vector<ProvRecord> records;
   records.reserve(effect.inserted.size());
-  for (const tree::Path& p : effect.inserted) {
-    records.push_back(ProvRecord::Insert(tid, p));
-  }
+  CPDB_RETURN_IF_ERROR(
+      AppendRecords(BumpTid(), update::OpKind::kInsert, effect, &records));
   return backend_->WriteRecords(records);
 }
 
 Status NaiveStore::TrackDelete(const update::ApplyEffect& effect) {
-  int64_t tid = BumpTid();
   std::vector<ProvRecord> records;
   records.reserve(effect.deleted.size());
-  for (const tree::Path& p : effect.deleted) {
-    records.push_back(ProvRecord::Delete(tid, p));
-  }
+  CPDB_RETURN_IF_ERROR(
+      AppendRecords(BumpTid(), update::OpKind::kDelete, effect, &records));
   return backend_->WriteRecords(records);
 }
 
 Status NaiveStore::TrackCopy(const update::ApplyEffect& effect) {
-  int64_t tid = BumpTid();
   std::vector<ProvRecord> records;
   records.reserve(effect.copied.size());
-  for (const auto& [loc, src] : effect.copied) {
-    records.push_back(ProvRecord::Copy(tid, loc, src));
+  CPDB_RETURN_IF_ERROR(
+      AppendRecords(BumpTid(), update::OpKind::kCopy, effect, &records));
+  return backend_->WriteRecords(records);
+}
+
+Status NaiveStore::TrackBatch(const std::vector<TrackedOp>& ops,
+                              std::vector<int64_t>* tids) {
+  if (ops.empty()) return Status::OK();
+  std::vector<ProvRecord> records;
+  for (const TrackedOp& op : ops) {
+    int64_t tid = BumpTid();  // each op is still its own transaction
+    CPDB_RETURN_IF_ERROR(AppendRecords(tid, op.kind, op.effect, &records));
+    if (tids != nullptr) tids->push_back(tid);
   }
   return backend_->WriteRecords(records);
 }

@@ -19,8 +19,20 @@ class NaiveStore : public ProvStore {
   Status TrackDelete(const update::ApplyEffect& effect) override;
   Status TrackCopy(const update::ApplyEffect& effect) override;
 
+  /// Group commit: same per-op records and per-op tids as the Track*
+  /// calls, but the whole batch reaches the backend in one WriteRecords
+  /// round trip. A failed batch writes nothing.
+  Status TrackBatch(const std::vector<TrackedOp>& ops,
+                    std::vector<int64_t>* tids = nullptr) override;
+
   /// Per-operation transactions: nothing is pending, so Commit is a no-op.
   Status Commit() override { return Status::OK(); }
+
+ private:
+  /// Appends one op's records (one per touched node) under `tid`.
+  static Status AppendRecords(int64_t tid, update::OpKind kind,
+                              const update::ApplyEffect& effect,
+                              std::vector<ProvRecord>* out);
 };
 
 }  // namespace cpdb::provenance

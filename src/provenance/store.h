@@ -24,15 +24,34 @@ enum class Strategy {
 const char* StrategyName(Strategy s);       // "naive", ...
 const char* StrategyShortName(Strategy s);  // "N", "H", "T", "HT"
 
+/// One tracked operation of a staged batch: the update's kind plus the
+/// effect it had on the universe. The editor collects these while
+/// applying a script or bulk copy and hands the whole sequence to
+/// ProvStore::TrackBatch.
+struct TrackedOp {
+  update::OpKind kind;
+  update::ApplyEffect effect;
+};
+
 /// Abstract provenance store: tracking calls invoked by the
 /// provenance-aware editor, transaction control, and the read interface
 /// used by provenance queries.
 ///
 /// Tracking contract: the editor applies an update to the target database,
-/// obtains its ApplyEffect, and calls exactly one Track* method. For the
-/// per-operation strategies (N, H) each operation is its own transaction;
-/// Commit() is a no-op for them. For the transactional strategies (T, HT)
-/// records accumulate in an in-memory provlist until Commit().
+/// obtains its ApplyEffect, and calls exactly one Track* method — or, for
+/// a whole script/bulk copy, one TrackBatch covering every operation. For
+/// the per-operation strategies (N, H) each operation is its own
+/// transaction; Commit() is a no-op for them. For the transactional
+/// strategies (T, HT) records accumulate in an in-memory provlist until
+/// Commit().
+///
+/// Group commit: TrackBatch preserves per-operation semantics exactly —
+/// N/H still consume one tid per operation and produce the same records —
+/// but moves the flush boundary so the whole batch reaches the backend in
+/// ONE WriteRecords round trip instead of one per op (the paper's
+/// "reduced number of round-trips" win, applied to the per-op
+/// strategies' bulk paths). T/HT's provlist commit already rides one
+/// flush per transaction; their TrackBatch just feeds the provlist.
 ///
 /// Transaction numbering: sequential tids double as version numbers of the
 /// target database, so Trace's "t-1" step (Section 2.2) is tid arithmetic.
@@ -57,6 +76,19 @@ class ProvStore {
   /// (target, source) pairs in preorder (root first) and
   /// `effect.overwritten` the displaced nodes.
   virtual Status TrackCopy(const update::ApplyEffect& effect) = 0;
+
+  /// Tracks a whole staged batch (script / bulk copy) with group commit.
+  /// Per-op semantics (record contents, per-op tids for N/H, the
+  /// {Tid, Loc} key) are identical to calling Track* once per op; only
+  /// the flush boundary moves — N/H override this to issue ONE
+  /// WriteRecords for the batch (plus H's per-insert existence probes,
+  /// which stay individual round trips by design). The default loops
+  /// Track*, which is exactly right for T/HT: records land in the
+  /// provlist and flush once at Commit(). If `tids` is non-null it
+  /// receives the tid each op committed under (0 for T/HT, whose tid is
+  /// assigned at Commit). A failure writes nothing to the backend.
+  virtual Status TrackBatch(const std::vector<TrackedOp>& ops,
+                            std::vector<int64_t>* tids = nullptr);
 
   /// Ends the current transaction. For N/H this is implicit per op and
   /// calling it explicitly is a harmless no-op.

@@ -37,6 +37,11 @@ struct TxnStoreOptions {
 /// Temporary data created and destroyed within the transaction leaves no
 /// trace, and {Tid, Loc} remains a key of the committed table.
 ///
+/// TrackBatch rides the base-class default: batched tracking feeds the
+/// provlist exactly like per-op tracking (no backend traffic either way),
+/// and the single WriteRecords at Commit() is the group-commit flush the
+/// per-op strategies emulate per batch.
+///
 /// With options.hierarchical, the provlist holds hierarchical records
 /// (subtree roots only) and Lookup() applies closest-ancestor inference.
 class TxnStore : public ProvStore {

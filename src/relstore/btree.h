@@ -48,6 +48,15 @@ class BTree {
   /// packed full, so the result is the minimum-height tree for the data.
   void BulkLoad(std::vector<std::pair<Row, Rid>> items);
 
+  /// Sorted-run bulk insert into a possibly non-empty tree; (key, rid)
+  /// pairs already present are ignored (Insert semantics). Returns the
+  /// number of entries actually added. Input need not be sorted. The
+  /// batched write path (Table::ApplyBatch) feeds each index exactly one
+  /// run per batch: small runs take ordered per-key descents, runs large
+  /// relative to the tree take a single leaf-chain merge + rebuild
+  /// (O(n + k) instead of k descents). Invalidates all cursors.
+  size_t BulkUpsert(std::vector<std::pair<Row, Rid>> items);
+
   /// Read cursor positioned on one entry of the leaf chain. Obtained from
   /// Seek()/SeekFirst(); stepping follows the doubly-linked leaves, so a
   /// full traversal touches each leaf exactly once with no re-descent.
@@ -114,9 +123,11 @@ class BTree {
   };
 
   static bool EntryLess(const Entry& a, const Entry& b);
+  static bool EntryEq(const Entry& a, const Entry& b);
   static size_t ChildIndex(const Node& node, const Entry& probe);
 
   Node* FindLeaf(const Row& key, const Rid& rid) const;
+  void BuildFromSorted(std::vector<Entry> entries);
   void SplitChild(Node* parent, size_t child_idx);
   bool EraseRec(Node* node, const Entry& probe);
   void FixUnderflow(Node* parent, size_t child_idx);

@@ -29,11 +29,16 @@ struct CostParams {
 /// Point-in-time reading of a CostModel's counters. Queries and benches
 /// measure a code path by taking a snapshot before and after and
 /// differencing: `calls` is the modelled round-trip count (the paper's
-/// unit of query cost), `rows` the transferred-row count.
+/// unit of query cost), `rows` the transferred-row count. `write_calls`
+/// and `write_rows` are the write-side subset — round trips issued by
+/// ChargeWrite (WriteRecords, target ApplyBatch/ApplyNative) — so benches
+/// can difference write round trips the same way reads do.
 struct CostSnapshot {
   double micros = 0;
   size_t calls = 0;
   size_t rows = 0;
+  size_t write_calls = 0;
+  size_t write_rows = 0;
 };
 
 /// Accumulates simulated interaction time for one store.
@@ -58,6 +63,17 @@ class CostModel {
                    static_cast<double>(bytes) / 1024.0 * params_.per_kb_us);
   }
 
+  /// Charges one client round trip that *writes* `rows` rows. Identical
+  /// timing/accounting to ChargeCall (write calls are counted in Calls()
+  /// too), but additionally bumps the write-side counters so callers can
+  /// difference write round trips separately from reads — the quantity
+  /// the batched write path reduces.
+  void ChargeWrite(size_t rows = 0, size_t bytes = 0) {
+    ++write_calls_;
+    write_rows_ += rows;
+    ChargeCall(rows, bytes);
+  }
+
   /// Charges pure local CPU work (no round trip), e.g. provlist upkeep.
   void ChargeLocal(double micros) { clock_.Advance(micros); }
 
@@ -65,15 +81,20 @@ class CostModel {
   double ElapsedMillis() const { return clock_.ElapsedMillis(); }
   size_t Calls() const { return calls_; }
   size_t RowsMoved() const { return rows_; }
+  size_t WriteCalls() const { return write_calls_; }
+  size_t WriteRows() const { return write_rows_; }
 
   CostSnapshot Snap() const {
-    return {clock_.ElapsedMicros(), calls_, rows_};
+    return {clock_.ElapsedMicros(), calls_, rows_, write_calls_,
+            write_rows_};
   }
 
   void Reset() {
     clock_.Reset();
     calls_ = 0;
     rows_ = 0;
+    write_calls_ = 0;
+    write_rows_ = 0;
   }
 
   const CostParams& params() const { return params_; }
@@ -84,6 +105,8 @@ class CostModel {
   SimClock clock_;
   size_t calls_ = 0;
   size_t rows_ = 0;
+  size_t write_calls_ = 0;
+  size_t write_rows_ = 0;
 };
 
 }  // namespace cpdb::relstore

@@ -198,6 +198,192 @@ size_t Table::DeleteWhere(const std::function<bool(const Row&)>& pred) {
   return n;
 }
 
+Result<size_t> Table::DeleteWhere(
+    const std::string& index_name, const Row& key,
+    const std::function<bool(const Row&)>& pred) {
+  const Index* idx = FindIndex(index_name);
+  if (idx == nullptr) {
+    return Status::NotFound("no index '" + index_name + "'");
+  }
+  if (key.size() != idx->columns.size()) {
+    return Status::InvalidArgument("key arity mismatch for index '" +
+                                   index_name + "'");
+  }
+  // Collect first, delete after: Delete() mutates the index being probed.
+  std::vector<Rid> doomed;
+  Status inner = Status::OK();
+  auto match = [&](const Rid& rid) {
+    if (pred != nullptr) {
+      auto row = Get(rid);
+      if (!row.ok()) {
+        inner = row.status();
+        return false;
+      }
+      if (!pred(row.value())) return true;
+    }
+    doomed.push_back(rid);
+    return true;
+  };
+  if (idx->kind == IndexKind::kBTree) {
+    idx->btree->LookupEq(key, [&](const Row&, const Rid& rid) {
+      return match(rid);
+    });
+  } else {
+    idx->hash->LookupEq(key, match);
+  }
+  CPDB_RETURN_IF_ERROR(inner);
+  size_t n = 0;
+  for (const Rid& rid : doomed) {
+    if (Delete(rid).ok()) ++n;
+  }
+  return n;
+}
+
+Result<size_t> Table::ApplyBatch(const WriteBatch& batch) {
+  // ---- Validation phase: nothing below may mutate until it all passes.
+  for (const WriteBatch::InsertOp& op : batch.inserts()) {
+    CPDB_RETURN_IF_ERROR(schema_.Validate(op.row));
+  }
+  std::vector<Row> doomed_rows;
+  doomed_rows.reserve(batch.deletes().size());
+  {
+    std::vector<Rid> rids;
+    rids.reserve(batch.deletes().size());
+    for (const WriteBatch::DeleteOp& op : batch.deletes()) {
+      rids.push_back(op.rid);
+    }
+    std::sort(rids.begin(), rids.end());
+    for (size_t i = 0; i + 1 < rids.size(); ++i) {
+      if (rids[i] == rids[i + 1]) {
+        return Status::InvalidArgument("rid " + rids[i].ToString() +
+                                       " deleted twice in one batch");
+      }
+    }
+    for (const WriteBatch::DeleteOp& op : batch.deletes()) {
+      CPDB_ASSIGN_OR_RETURN(Row row, Get(op.rid));
+      doomed_rows.push_back(std::move(row));
+    }
+  }
+  // Unique constraints, evaluated against the post-batch state: a key is
+  // free if absent from the index or freed by one of the batch's deletes.
+  for (const auto& idx : indexes_) {
+    if (!idx.unique) continue;
+    // Sorted with a consumed mark, so each delete frees its key exactly
+    // once and lookups stay logarithmic.
+    std::vector<std::pair<Row, bool>> freed;
+    freed.reserve(doomed_rows.size());
+    for (const Row& row : doomed_rows) {
+      freed.emplace_back(ExtractKey(idx, row), false);
+    }
+    std::sort(freed.begin(), freed.end(),
+              [](const std::pair<Row, bool>& a,
+                 const std::pair<Row, bool>& b) {
+                return RowLess(a.first, b.first);
+              });
+    std::vector<Row> batch_keys;
+    batch_keys.reserve(batch.inserts().size());
+    for (const WriteBatch::InsertOp& op : batch.inserts()) {
+      batch_keys.push_back(ExtractKey(idx, op.row));
+    }
+    {
+      // In-batch duplicates: sort pointers, check adjacency (as BulkLoad).
+      std::vector<const Row*> sorted;
+      sorted.reserve(batch_keys.size());
+      for (const Row& key : batch_keys) sorted.push_back(&key);
+      std::sort(sorted.begin(), sorted.end(),
+                [](const Row* a, const Row* b) { return RowLess(*a, *b); });
+      for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+        if (!RowLess(*sorted[i], *sorted[i + 1])) {
+          return Status::AlreadyExists(
+              "duplicate key " + RowToString(*sorted[i]) +
+              " in unique index '" + idx.name + "' within one batch");
+        }
+      }
+    }
+    for (const Row& key : batch_keys) {
+      bool taken = false;
+      if (idx.kind == IndexKind::kBTree) {
+        idx.btree->LookupEq(key, [&](const Row&, const Rid&) {
+          taken = true;
+          return false;
+        });
+      } else {
+        idx.hash->LookupEq(key, [&](const Rid&) {
+          taken = true;
+          return false;
+        });
+      }
+      if (taken) {
+        auto it = std::lower_bound(
+            freed.begin(), freed.end(), key,
+            [](const std::pair<Row, bool>& f, const Row& k) {
+              return RowLess(f.first, k);
+            });
+        bool consumed = false;
+        for (; it != freed.end() && !RowLess(key, it->first); ++it) {
+          if (!it->second) {
+            it->second = true;  // each delete frees its key once
+            consumed = true;
+            break;
+          }
+        }
+        if (!consumed) {
+          return Status::AlreadyExists("duplicate key " + RowToString(key) +
+                                       " in unique index '" + idx.name +
+                                       "'");
+        }
+      }
+    }
+  }
+
+  // ---- Execution phase. Heap inserts first (the only step that can
+  // still fail, on an oversized record) so a failure needs only the new
+  // rows un-stored; deletes and index maintenance follow.
+  std::vector<Rid> new_rids;
+  new_rids.reserve(batch.inserts().size());
+  std::string encoded;
+  for (const WriteBatch::InsertOp& op : batch.inserts()) {
+    encoded.clear();
+    EncodeRow(op.row, &encoded);
+    auto rid = heap_.Insert(encoded);
+    if (!rid.ok()) {
+      for (const Rid& stored : new_rids) (void)heap_.Delete(stored);
+      return rid.status();
+    }
+    new_rids.push_back(rid.value());
+  }
+  for (const WriteBatch::DeleteOp& op : batch.deletes()) {
+    CPDB_RETURN_IF_ERROR(heap_.Delete(op.rid));  // validated above
+  }
+  // Index maintenance, once per index: erase the doomed entries, then
+  // feed the new entries as one sorted run.
+  for (auto& idx : indexes_) {
+    if (idx.kind == IndexKind::kBTree) {
+      for (size_t i = 0; i < doomed_rows.size(); ++i) {
+        idx.btree->Erase(ExtractKey(idx, doomed_rows[i]),
+                         batch.deletes()[i].rid);
+      }
+      std::vector<std::pair<Row, Rid>> run;
+      run.reserve(batch.inserts().size());
+      for (size_t i = 0; i < batch.inserts().size(); ++i) {
+        run.emplace_back(ExtractKey(idx, batch.inserts()[i].row),
+                         new_rids[i]);
+      }
+      idx.btree->BulkUpsert(std::move(run));
+    } else {
+      for (size_t i = 0; i < doomed_rows.size(); ++i) {
+        idx.hash->Erase(ExtractKey(idx, doomed_rows[i]),
+                        batch.deletes()[i].rid);
+      }
+      for (size_t i = 0; i < batch.inserts().size(); ++i) {
+        idx.hash->Insert(ExtractKey(idx, batch.inserts()[i].row),
+                         new_rids[i]);
+      }
+    }
+  }
+  return batch.size();
+}
+
 void Table::Scan(
     const std::function<bool(const Rid&, const Row&)>& fn) const {
   heap_.Scan([&](const Rid& rid, const std::string& rec) {

@@ -11,6 +11,7 @@
 #include "relstore/hash_index.h"
 #include "relstore/heap_file.h"
 #include "relstore/schema.h"
+#include "relstore/write_batch.h"
 #include "util/result.h"
 
 namespace cpdb::relstore {
@@ -70,14 +71,37 @@ class Table {
   /// detected within the batch). Returns the number of rows stored.
   Result<size_t> BulkLoad(const std::vector<Row>& rows);
 
+  /// Applies a mixed insert/delete batch as one logical client statement.
+  /// The whole batch is validated up front — schema of every insert,
+  /// existence and uniqueness of every delete Rid, and unique-key
+  /// constraints evaluated against the table state net of the batch's own
+  /// deletes — so a failing batch leaves the table completely untouched.
+  /// Each index is then maintained once per batch: B+-trees take the
+  /// batch's erases followed by one sorted-run BulkUpsert of the new
+  /// keys. Returns the number of rows written + removed. Cost accounting
+  /// stays with the caller (one ChargeWrite per ApplyBatch), like every
+  /// other Table method.
+  Result<size_t> ApplyBatch(const WriteBatch& batch);
+
   /// Reads the row at `rid`.
   Result<Row> Get(const Rid& rid) const;
 
   /// Deletes the row at `rid`, maintaining all indexes.
   Status Delete(const Rid& rid);
 
-  /// Deletes every row matching `pred`; returns the count removed.
+  /// Deletes every row matching `pred`; returns the count removed. Scans
+  /// the full heap — when the predicate includes an equality on an
+  /// indexed key, prefer the index-routed overload below.
   size_t DeleteWhere(const std::function<bool(const Row&)>& pred);
+
+  /// Index-routed DeleteWhere: deletes every row whose `index_name` key
+  /// equals `key` (full key arity) and that passes the residual `pred`
+  /// (nullptr = delete all matches). Only the matching rows are ever
+  /// read — no heap scan — so the row cost is O(matches), not O(table).
+  /// Returns the count removed.
+  Result<size_t> DeleteWhere(const std::string& index_name, const Row& key,
+                             const std::function<bool(const Row&)>& pred =
+                                 nullptr);
 
   /// Full scan in storage order; stops early when `fn` returns false.
   void Scan(const std::function<bool(const Rid&, const Row&)>& fn) const;

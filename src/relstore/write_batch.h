@@ -1,0 +1,54 @@
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "relstore/datum.h"
+#include "relstore/page.h"
+
+namespace cpdb::relstore {
+
+/// A staged set of writes against one table — the unit the batched write
+/// path ships in a single modelled client round trip, the write-side
+/// counterpart of the cursor/batch read API.
+///
+/// A batch mixes inserts (full rows) and deletes (by Rid) freely. Order
+/// within the batch is not significant: Table::ApplyBatch validates the
+/// whole batch up front against the table state *minus* the batch's
+/// deletes, so deleting a row and inserting its unique-key replacement in
+/// one batch is legal regardless of staging order. Inserting the same
+/// unique key twice, deleting the same Rid twice, or deleting a missing
+/// Rid fails validation and leaves the table untouched.
+class WriteBatch {
+ public:
+  struct InsertOp {
+    Row row;
+  };
+  struct DeleteOp {
+    Rid rid;
+  };
+
+  /// Stages a full row for insertion.
+  void Insert(Row row) { inserts_.push_back({std::move(row)}); }
+
+  /// Stages the row at `rid` for deletion.
+  void Delete(const Rid& rid) { deletes_.push_back({rid}); }
+
+  const std::vector<InsertOp>& inserts() const { return inserts_; }
+  const std::vector<DeleteOp>& deletes() const { return deletes_; }
+
+  size_t size() const { return inserts_.size() + deletes_.size(); }
+  bool empty() const { return inserts_.empty() && deletes_.empty(); }
+
+  /// Discards all staged writes (abort of an unsent batch).
+  void Clear() {
+    inserts_.clear();
+    deletes_.clear();
+  }
+
+ private:
+  std::vector<InsertOp> inserts_;
+  std::vector<DeleteOp> deletes_;
+};
+
+}  // namespace cpdb::relstore

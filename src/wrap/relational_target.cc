@@ -70,7 +70,21 @@ Result<Datum> RelationalTargetDb::ValueToDatum(const tree::Value& v,
 
 Status RelationalTargetDb::ApplyNative(const update::Update& u,
                                        const tree::Tree* copied_subtree) {
-  cost().ChargeCall(1);
+  cost().ChargeWrite(1);
+  return ApplyOne(u, copied_subtree);
+}
+
+Status RelationalTargetDb::ApplyBatch(const std::vector<NativeOp>& ops) {
+  if (ops.empty()) return Status::OK();
+  cost().ChargeWrite(ops.size());
+  for (const NativeOp& op : ops) {
+    CPDB_RETURN_IF_ERROR(ApplyOne(op.update, op.pasted));
+  }
+  return Status::OK();
+}
+
+Status RelationalTargetDb::ApplyOne(const update::Update& u,
+                                    const tree::Tree* copied_subtree) {
   const tree::Path& p = u.target;
 
   switch (u.kind) {

@@ -38,9 +38,16 @@ class RelationalTargetDb : public TargetDb {
   Status ApplyNative(const update::Update& u,
                      const tree::Tree* copied_subtree) override;
 
+  /// One modelled SQL batch statement for the whole transaction: each
+  /// op's SQL mechanics run in order, one round trip charged in total.
+  Status ApplyBatch(const std::vector<NativeOp>& ops) override;
+
   relstore::CostModel& cost() override { return db_->cost(); }
 
  private:
+  /// The path-to-SQL mechanics of one update, with no cost charged.
+  Status ApplyOne(const update::Update& u, const tree::Tree* copied_subtree);
+
   Result<relstore::Table*> TableFor(const std::string& name);
 
   /// Finds the row with identifier `tid_label` (first-column rendering).

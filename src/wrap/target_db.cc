@@ -2,20 +2,21 @@
 
 namespace cpdb::wrap {
 
-Status TreeTargetDb::ApplyNative(const update::Update& u,
-                                 const tree::Tree* copied_subtree) {
+Status TreeTargetDb::ApplyOne(const update::Update& u,
+                              const tree::Tree* copied_subtree,
+                              size_t* rows) {
   switch (u.kind) {
     case update::OpKind::kInsert: {
       tree::Tree payload;
       if (u.value.has_value()) payload = tree::Tree(*u.value);
       CPDB_RETURN_IF_ERROR(
           content_.InsertAt(u.target, u.label, std::move(payload)));
-      cost_.ChargeCall(1);
+      *rows = 1;
       return Status::OK();
     }
     case update::OpKind::kDelete: {
       CPDB_RETURN_IF_ERROR(content_.DeleteAt(u.target, u.label));
-      cost_.ChargeCall(1);
+      *rows = 1;
       return Status::OK();
     }
     case update::OpKind::kCopy: {
@@ -25,11 +26,30 @@ Status TreeTargetDb::ApplyNative(const update::Update& u,
       }
       CPDB_RETURN_IF_ERROR(
           content_.ReplaceAt(u.target, copied_subtree->Clone()));
-      cost_.ChargeCall(copied_subtree->NodeCount());
+      *rows = copied_subtree->NodeCount();
       return Status::OK();
     }
   }
   return Status::Internal("unknown update kind");
+}
+
+Status TreeTargetDb::ApplyNative(const update::Update& u,
+                                 const tree::Tree* copied_subtree) {
+  size_t rows = 0;
+  CPDB_RETURN_IF_ERROR(ApplyOne(u, copied_subtree, &rows));
+  cost_.ChargeWrite(rows);
+  return Status::OK();
+}
+
+Status TreeTargetDb::ApplyBatch(const std::vector<NativeOp>& ops) {
+  size_t total_rows = 0;
+  for (const NativeOp& op : ops) {
+    size_t rows = 0;
+    CPDB_RETURN_IF_ERROR(ApplyOne(op.update, op.pasted, &rows));
+    total_rows += rows;
+  }
+  if (!ops.empty()) cost_.ChargeWrite(total_rows);
+  return Status::OK();
 }
 
 }  // namespace cpdb::wrap

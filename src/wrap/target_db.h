@@ -1,6 +1,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "relstore/cost_model.h"
 #include "tree/tree.h"
@@ -8,6 +9,15 @@
 #include "util/result.h"
 
 namespace cpdb::wrap {
+
+/// One update of a committed transaction, ready for the native store:
+/// paths already rebased to the target's root, and for copies the
+/// materialised subtree (borrowed; must outlive the call it is passed
+/// to), because the native store cannot see the editor's universe.
+struct NativeOp {
+  update::Update update;
+  const tree::Tree* pasted = nullptr;
+};
 
 /// Wrapper a target database must implement (paper Figure 6): initial
 /// tree view plus the update methods addNode / deleteNode / pasteNode,
@@ -18,6 +28,13 @@ namespace cpdb::wrap {
 /// each applied update through to the native store so it stays in sync,
 /// and charges the target's interaction cost (the dominant "dataset
 /// update" time of Figure 9 — Timber-over-SOAP in the paper).
+///
+/// Batched write path: a committed transaction's (or applied script's)
+/// updates arrive together via ApplyBatch, which concrete wrappers charge
+/// as ONE modelled client call carrying all the rows — the write-side
+/// analogue of the cursor read API's one-round-trip-per-batch contract.
+/// The base implementation falls back to per-op ApplyNative calls (and
+/// their per-op cost), so third-party wrappers stay correct unmodified.
 class TargetDb {
  public:
   virtual ~TargetDb() = default;
@@ -34,6 +51,18 @@ class TargetDb {
   /// native store cannot see the editor's universe.
   virtual Status ApplyNative(const update::Update& u,
                              const tree::Tree* copied_subtree) = 0;
+
+  /// Mirrors a whole transaction's updates, in order, in one modelled
+  /// round trip (overrides; the default delegates per op). `ops` must be
+  /// a replay of updates already validated against the editor's universe;
+  /// a mid-batch failure aborts the remainder and is reported — like a
+  /// failed commit replay today, the native store then needs a reload.
+  virtual Status ApplyBatch(const std::vector<NativeOp>& ops) {
+    for (const NativeOp& op : ops) {
+      CPDB_RETURN_IF_ERROR(ApplyNative(op.update, op.pasted));
+    }
+    return Status::OK();
+  }
 
   /// Accumulated simulated interaction cost.
   virtual relstore::CostModel& cost() = 0;
@@ -65,11 +94,18 @@ class TreeTargetDb : public TargetDb {
   Result<tree::Tree> TreeFromDb() override { return content_.Clone(); }
   Status ApplyNative(const update::Update& u,
                      const tree::Tree* copied_subtree) override;
+  /// Applies every update, charging one round trip for the whole batch
+  /// (rows = total nodes moved) instead of one per op.
+  Status ApplyBatch(const std::vector<NativeOp>& ops) override;
   relstore::CostModel& cost() override { return cost_; }
 
   const tree::Tree& content() const { return content_; }
 
  private:
+  /// The shared update mechanics, with no cost charged.
+  Status ApplyOne(const update::Update& u, const tree::Tree* copied_subtree,
+                  size_t* rows);
+
   std::string name_;
   tree::Tree content_;
   relstore::CostModel cost_;

@@ -242,6 +242,68 @@ TEST(BTreeTest, BulkLoadMatchesIncremental) {
   EXPECT_EQ(expect, 10000);
 }
 
+TEST(BTreeTest, BulkUpsertMergesIntoLiveTree) {
+  // Seed a live tree, then upsert runs of every interesting size: empty,
+  // small (per-key insert path), and large relative to the tree (the
+  // leaf-chain merge-rebuild path). A multimap oracle checks contents.
+  BTree bt;
+  std::multimap<int64_t, uint16_t> oracle;
+  for (int64_t i = 0; i < 3000; i += 3) {
+    bt.Insert(K(i), Rid{0, 0});
+    oracle.emplace(i, 0);
+  }
+  EXPECT_EQ(bt.BulkUpsert({}), 0u);
+  bt.CheckInvariants();
+
+  // Small run: a handful of new keys plus one exact duplicate.
+  std::vector<std::pair<Row, Rid>> small;
+  small.emplace_back(K(int64_t{1}), Rid{0, 0});
+  small.emplace_back(K(int64_t{4}), Rid{0, 0});
+  small.emplace_back(K(int64_t{0}), Rid{0, 0});  // already present
+  EXPECT_EQ(bt.BulkUpsert(small), 2u);
+  oracle.emplace(1, 0);
+  oracle.emplace(4, 0);
+  bt.CheckInvariants();
+
+  // Large run (same order of magnitude as the tree): merge-rebuild path.
+  std::vector<std::pair<Row, Rid>> large;
+  for (int64_t i = 0; i < 3000; i += 3) {
+    large.emplace_back(K(i + 2), Rid{0, 7});  // new keys
+    large.emplace_back(K(i), Rid{0, 0});      // duplicates, all dropped
+  }
+  EXPECT_EQ(bt.BulkUpsert(large), 1000u);
+  for (int64_t i = 0; i < 3000; i += 3) oracle.emplace(i + 2, 7);
+  bt.CheckInvariants();
+
+  EXPECT_EQ(bt.size(), oracle.size());
+  auto it = oracle.begin();
+  bt.ScanAll([&](const Row& k, const Rid& rid) {
+    EXPECT_EQ(k[0].AsInt(), it->first);
+    EXPECT_EQ(rid.slot, it->second);
+    ++it;
+    return true;
+  });
+  EXPECT_TRUE(it == oracle.end());
+
+  // The rebuilt tree still supports ordinary mutation.
+  EXPECT_TRUE(bt.Erase(K(int64_t{4}), Rid{0, 0}));
+  bt.Insert(K(int64_t{4}), Rid{0, 9});
+  bt.CheckInvariants();
+}
+
+TEST(BTreeTest, BulkUpsertIntoEmptyTreeMatchesBulkLoad) {
+  std::vector<std::pair<Row, Rid>> items;
+  for (int i = 999; i >= 0; --i) {
+    items.emplace_back(K(int64_t{i}), Rid{0, 0});
+  }
+  BTree upserted, loaded;
+  EXPECT_EQ(upserted.BulkUpsert(items), 1000u);
+  loaded.BulkLoad(items);
+  upserted.CheckInvariants();
+  EXPECT_EQ(upserted.size(), loaded.size());
+  EXPECT_EQ(upserted.Height(), loaded.Height());
+}
+
 TEST(BTreeTest, BulkLoadEmptyAndTiny) {
   BTree empty;
   empty.BulkLoad({});

@@ -368,6 +368,56 @@ TEST(TableTest, DeleteWhere) {
   EXPECT_EQ(t.RowCount(), 10u);
 }
 
+TEST(TableTest, IndexedDeleteWhereRoutesThroughIndex) {
+  // Regression: with an equality predicate on an indexed column, the
+  // index-routed DeleteWhere must touch only the matching rows, not run
+  // the predicate over the whole heap (the old full-scan behavior).
+  Table t("Prov", ProvSchema());
+  ASSERT_TRUE(t.CreateIndex("idx_loc", {2}, IndexKind::kBTree).ok());
+  constexpr size_t kRows = 2000;
+  constexpr size_t kMatches = 5;
+  for (size_t i = 0; i < kRows; ++i) {
+    std::string loc =
+        i < kMatches ? "T/victim" : "T/other/n" + std::to_string(i);
+    ASSERT_TRUE(t.Insert({Datum(static_cast<int64_t>(i)), Datum("I"),
+                          Datum(loc), Datum()})
+                    .ok());
+  }
+  // Row cost pin: the residual predicate sees only the index matches —
+  // kMatches row fetches instead of a kRows-row heap scan.
+  size_t rows_examined = 0;
+  auto removed = t.DeleteWhere("idx_loc", {Datum("T/victim")},
+                               [&](const Row& row) {
+                                 ++rows_examined;
+                                 return row[1].AsString() == "I";
+                               });
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(removed.value(), kMatches);
+  EXPECT_EQ(rows_examined, kMatches);
+  EXPECT_EQ(t.RowCount(), kRows - kMatches);
+  // The key is gone from the index, and non-matching rows survived.
+  size_t hits = 0;
+  ASSERT_TRUE(t.LookupEq("idx_loc", {Datum("T/victim")},
+                         [&](const Rid&, const Row&) {
+                           ++hits;
+                           return true;
+                         })
+                  .ok());
+  EXPECT_EQ(hits, 0u);
+
+  // No-predicate form deletes all matches of the key outright.
+  ASSERT_TRUE(t.Insert({Datum(int64_t{90001}), Datum("I"),
+                        Datum("T/victim"), Datum()})
+                  .ok());
+  auto removed2 = t.DeleteWhere("idx_loc", {Datum("T/victim")});
+  ASSERT_TRUE(removed2.ok());
+  EXPECT_EQ(removed2.value(), 1u);
+
+  // Bad index name / key arity are reported, not silently scanned.
+  EXPECT_FALSE(t.DeleteWhere("no_such_index", {Datum("x")}).ok());
+  EXPECT_FALSE(t.DeleteWhere("idx_loc", {Datum("x"), Datum("y")}).ok());
+}
+
 TEST(TableTest, PhysicalBytesArePageMultiples) {
   Table t("Prov", ProvSchema());
   for (int i = 0; i < 200; ++i) {

@@ -1,0 +1,366 @@
+// Tests of the batched, group-committed write path: Table::ApplyBatch
+// mechanics, per-op-vs-batched equivalence across all four strategies,
+// abort-mid-batch atomicity, and the O(1)-flush acceptance criteria
+// asserted through the CostModel's write-side counters.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "cpdb/cpdb.h"
+#include "relstore/write_batch.h"
+#include "test_util.h"
+
+namespace cpdb {
+namespace {
+
+using provenance::ProvRecord;
+using provenance::Strategy;
+using relstore::ColumnType;
+using relstore::Datum;
+using relstore::Rid;
+using relstore::Row;
+using relstore::Schema;
+using relstore::Table;
+using relstore::WriteBatch;
+using testutil::Session;
+
+// ---------------------------------------------------------------------------
+// Table::ApplyBatch mechanics
+// ---------------------------------------------------------------------------
+
+Table MakeKvTable() {
+  Table t("kv", Schema({{"K", ColumnType::kInt64, false},
+                        {"V", ColumnType::kString, true}}));
+  EXPECT_TRUE(
+      t.CreateIndex("pk", {0}, relstore::IndexKind::kBTree, true).ok());
+  return t;
+}
+
+TEST(TableApplyBatchTest, MixedInsertsAndDeletes) {
+  Table t = MakeKvTable();
+  std::vector<Rid> rids;
+  for (int64_t k = 0; k < 10; ++k) {
+    auto rid = t.Insert(Row{Datum(k), Datum("v" + std::to_string(k))});
+    ASSERT_TRUE(rid.ok());
+    rids.push_back(rid.value());
+  }
+  WriteBatch batch;
+  batch.Delete(rids[3]);
+  batch.Delete(rids[7]);
+  for (int64_t k = 10; k < 15; ++k) {
+    batch.Insert(Row{Datum(k), Datum("v" + std::to_string(k))});
+  }
+  auto applied = t.ApplyBatch(batch);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  EXPECT_EQ(applied.value(), 7u);
+  EXPECT_EQ(t.RowCount(), 13u);
+  // Index is consistent: deleted keys gone, new keys present, in order.
+  std::vector<int64_t> keys;
+  ASSERT_TRUE(t.ScanIndex("pk", [&](const Rid&, const Row& row) {
+                 keys.push_back(row[0].AsInt());
+                 return true;
+               }).ok());
+  EXPECT_EQ(keys, (std::vector<int64_t>{0, 1, 2, 4, 5, 6, 8, 9, 10, 11, 12,
+                                        13, 14}));
+}
+
+TEST(TableApplyBatchTest, ReinsertingDeletedUniqueKeyInOneBatchIsLegal) {
+  Table t = MakeKvTable();
+  auto rid = t.Insert(Row{Datum(int64_t{1}), Datum("old")});
+  ASSERT_TRUE(rid.ok());
+  WriteBatch batch;
+  batch.Delete(rid.value());
+  batch.Insert(Row{Datum(int64_t{1}), Datum("new")});
+  ASSERT_TRUE(t.ApplyBatch(batch).ok());
+  EXPECT_EQ(t.RowCount(), 1u);
+  std::string v;
+  ASSERT_TRUE(t.LookupEq("pk", Row{Datum(int64_t{1})},
+                         [&](const Rid&, const Row& row) {
+                           v = row[1].AsString();
+                           return true;
+                         })
+                  .ok());
+  EXPECT_EQ(v, "new");
+}
+
+TEST(TableApplyBatchTest, FailedBatchLeavesTableUntouched) {
+  Table t = MakeKvTable();
+  ASSERT_TRUE(t.Insert(Row{Datum(int64_t{5}), Datum("keep")}).ok());
+
+  // Duplicate unique key against the table.
+  WriteBatch clash;
+  clash.Insert(Row{Datum(int64_t{6}), Datum("a")});
+  clash.Insert(Row{Datum(int64_t{5}), Datum("dup")});
+  EXPECT_FALSE(t.ApplyBatch(clash).ok());
+  EXPECT_EQ(t.RowCount(), 1u);
+
+  // Duplicate unique key within the batch.
+  WriteBatch twin;
+  twin.Insert(Row{Datum(int64_t{7}), Datum("a")});
+  twin.Insert(Row{Datum(int64_t{7}), Datum("b")});
+  EXPECT_FALSE(t.ApplyBatch(twin).ok());
+  EXPECT_EQ(t.RowCount(), 1u);
+
+  // Deleting a missing rid.
+  WriteBatch ghost;
+  ghost.Insert(Row{Datum(int64_t{8}), Datum("a")});
+  ghost.Delete(Rid{999, 0});
+  EXPECT_FALSE(t.ApplyBatch(ghost).ok());
+  EXPECT_EQ(t.RowCount(), 1u);
+
+  // Schema violation.
+  WriteBatch bad;
+  bad.Insert(Row{Datum("not-an-int"), Datum("a")});
+  EXPECT_FALSE(t.ApplyBatch(bad).ok());
+  EXPECT_EQ(t.RowCount(), 1u);
+
+  // The surviving row is still indexed.
+  size_t hits = 0;
+  ASSERT_TRUE(t.LookupEq("pk", Row{Datum(int64_t{5})},
+                         [&](const Rid&, const Row&) {
+                           ++hits;
+                           return true;
+                         })
+                  .ok());
+  EXPECT_EQ(hits, 1u);
+}
+
+TEST(TableApplyBatchTest, LargeBatchMatchesPerRowInserts) {
+  // The sorted-run/bulk-upsert fast path must produce the same index
+  // contents as per-row insertion.
+  Table batched = MakeKvTable();
+  Table perrow = MakeKvTable();
+  WriteBatch batch;
+  for (int64_t k = 0; k < 2000; ++k) {
+    Row row{Datum((k * 7919) % 65536), Datum("v" + std::to_string(k))};
+    batch.Insert(row);
+    ASSERT_TRUE(perrow.Insert(row).ok());
+  }
+  ASSERT_TRUE(batched.ApplyBatch(batch).ok());
+  EXPECT_EQ(batched.RowCount(), perrow.RowCount());
+  std::vector<int64_t> a, b;
+  ASSERT_TRUE(batched.ScanIndex("pk", [&](const Rid&, const Row& row) {
+                 a.push_back(row[0].AsInt());
+                 return true;
+               }).ok());
+  ASSERT_TRUE(perrow.ScanIndex("pk", [&](const Rid&, const Row& row) {
+                 b.push_back(row[0].AsInt());
+                 return true;
+               }).ok());
+  EXPECT_EQ(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// Per-op vs batched equivalence (property test)
+// ---------------------------------------------------------------------------
+
+struct WorkloadSession {
+  std::unique_ptr<relstore::Database> prov_db;
+  std::unique_ptr<provenance::ProvBackend> backend;
+  std::unique_ptr<wrap::TreeTargetDb> target;
+  std::unique_ptr<wrap::TreeSourceDb> source;
+  std::unique_ptr<Editor> editor;
+};
+
+std::unique_ptr<WorkloadSession> MakeWorkloadSession(Strategy strategy,
+                                                     uint64_t seed) {
+  auto s = std::make_unique<WorkloadSession>();
+  s->prov_db = std::make_unique<relstore::Database>("provdb");
+  s->backend = std::make_unique<provenance::ProvBackend>(s->prov_db.get());
+  s->target = std::make_unique<wrap::TreeTargetDb>(
+      "T", workload::GenMimiLike(120, seed * 31 + 1));
+  s->source = std::make_unique<wrap::TreeSourceDb>(
+      "S1", workload::GenOrganelleLike(240, seed * 31 + 2));
+  EditorOptions opts;
+  opts.strategy = strategy;
+  opts.enable_archive = false;  // group commit requires no archive
+  auto editor = Editor::Create(s->target.get(), s->backend.get(), opts);
+  EXPECT_TRUE(editor.ok());
+  s->editor = std::move(editor).value();
+  EXPECT_TRUE(s->editor->MountSource(s->source.get()).ok());
+  return s;
+}
+
+/// Generates a random script by driving session A per-op; returns the
+/// applied updates so the identical twin session can replay them batched.
+update::Script DriveRandomPerOp(WorkloadSession* a, uint64_t seed,
+                                size_t steps) {
+  workload::GenOptions gen_opts;
+  gen_opts.seed = seed;
+  workload::UpdateGenerator gen(&a->editor->universe(), gen_opts);
+  update::Script script;
+  for (size_t i = 0; i < steps; ++i) {
+    bool skipped = false;
+    auto u = gen.Next(&skipped);
+    if (!u.has_value()) {
+      if (skipped) continue;
+      break;
+    }
+    if (!a->editor->ApplyUpdate(*u).ok()) continue;
+    update::ApplyEffect effect;
+    if (u->kind == update::OpKind::kInsert) {
+      effect.inserted.push_back(u->AffectedPath());
+    } else if (u->kind == update::OpKind::kCopy) {
+      const tree::Tree* pasted = a->editor->universe().Find(u->target);
+      if (pasted != nullptr) {
+        pasted->Visit([&](const tree::Path& rel, const tree::Tree&) {
+          effect.copied.emplace_back(u->target.Concat(rel),
+                                     u->source.Concat(rel));
+        });
+      }
+    }
+    gen.OnApplied(*u, effect);
+    script.push_back(*u);
+  }
+  return script;
+}
+
+TEST(WriteBatchEquivalenceTest, PerOpAndBatchedPathsAgreeAcrossStrategies) {
+  constexpr Strategy kStrategies[] = {
+      Strategy::kNaive, Strategy::kHierarchical, Strategy::kTransactional,
+      Strategy::kHierarchicalTransactional};
+  for (Strategy strategy : kStrategies) {
+    for (uint64_t seed : {uint64_t{3}, uint64_t{17}}) {
+      SCOPED_TRACE(std::string("strategy=") +
+                   provenance::StrategyShortName(strategy) +
+                   " seed=" + std::to_string(seed));
+      auto a = MakeWorkloadSession(strategy, seed);
+      auto b = MakeWorkloadSession(strategy, seed);
+
+      update::Script script = DriveRandomPerOp(a.get(), seed, 200);
+      ASSERT_GT(script.size(), 20u);
+      ASSERT_TRUE(a->editor->Commit().ok());
+      relstore::CostSnapshot a_prov = a->prov_db->cost().Snap();
+      relstore::CostSnapshot a_tgt = a->target->cost().Snap();
+
+      size_t applied = 0;
+      ASSERT_TRUE(b->editor->ApplyScript(script, &applied).ok());
+      EXPECT_EQ(applied, script.size());
+      ASSERT_TRUE(b->editor->Commit().ok());
+      relstore::CostSnapshot b_prov = b->prov_db->cost().Snap();
+      relstore::CostSnapshot b_tgt = b->target->cost().Snap();
+
+      // Identical universe trees, native target contents, and tids.
+      EXPECT_TRUE(a->editor->universe().Equals(b->editor->universe()));
+      EXPECT_TRUE(a->target->content().Equals(b->target->content()));
+      EXPECT_EQ(a->editor->store()->LastCommittedTid(),
+                b->editor->store()->LastCommittedTid());
+
+      // Identical provenance tables, row for row.
+      auto a_recs = a->backend->GetAll();
+      auto b_recs = b->backend->GetAll();
+      ASSERT_TRUE(a_recs.ok());
+      ASSERT_TRUE(b_recs.ok());
+      EXPECT_EQ(a_recs.value(), b_recs.value());
+
+      // Group commit can only reduce write round trips.
+      EXPECT_LE(b_prov.write_calls, a_prov.write_calls);
+      EXPECT_LE(b_tgt.write_calls, a_tgt.write_calls);
+      // The batched path flushes per script/commit, not per op.
+      EXPECT_LE(b_prov.write_calls, 1u);
+      EXPECT_LE(b_tgt.write_calls, 1u);
+      // Same rows move either way.
+      EXPECT_EQ(b_prov.write_rows, a_prov.write_rows);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// O(1)-flush acceptance criteria (CostModel write counters)
+// ---------------------------------------------------------------------------
+
+TEST(WriteBatchRoundTripTest, CommittedHtTransactionFlushesInOneCallEach) {
+  auto s = testutil::MakeFigureSession(
+      Strategy::kHierarchicalTransactional, 1, /*enable_archive=*/false);
+  ASSERT_NE(s, nullptr);
+  relstore::CostSnapshot prov0 = s->prov_db->cost().Snap();
+  relstore::CostSnapshot tgt0 = s->target->cost().Snap();
+  ASSERT_TRUE(s->editor->ApplyScriptText(testutil::Figure3ScriptText()).ok());
+  ASSERT_TRUE(s->editor->Commit().ok());
+  relstore::CostSnapshot prov1 = s->prov_db->cost().Snap();
+  relstore::CostSnapshot tgt1 = s->target->cost().Snap();
+  // The k-op transaction reaches the provenance backend in exactly one
+  // WriteRecords and the target in exactly one ApplyBatch.
+  EXPECT_EQ(prov1.write_calls - prov0.write_calls, 1u);
+  EXPECT_EQ(tgt1.write_calls - tgt0.write_calls, 1u);
+  EXPECT_GT(s->editor->store()->RecordCount(), 0u);
+}
+
+TEST(WriteBatchRoundTripTest, PerOpScriptGroupCommitsInOneCallEach) {
+  for (Strategy strategy : {Strategy::kNaive, Strategy::kHierarchical}) {
+    SCOPED_TRACE(provenance::StrategyShortName(strategy));
+    auto s = testutil::MakeFigureSession(strategy, 1,
+                                         /*enable_archive=*/false);
+    ASSERT_NE(s, nullptr);
+    relstore::CostSnapshot prov0 = s->prov_db->cost().Snap();
+    relstore::CostSnapshot tgt0 = s->target->cost().Snap();
+    ASSERT_TRUE(
+        s->editor->ApplyScriptText(testutil::Figure3ScriptText()).ok());
+    relstore::CostSnapshot prov1 = s->prov_db->cost().Snap();
+    relstore::CostSnapshot tgt1 = s->target->cost().Snap();
+    // One group-commit WriteRecords and one target ApplyBatch for the
+    // whole 10-op script, even though each op kept its own tid.
+    EXPECT_EQ(prov1.write_calls - prov0.write_calls, 1u);
+    EXPECT_EQ(tgt1.write_calls - tgt0.write_calls, 1u);
+    EXPECT_EQ(s->editor->store()->LastCommittedTid(), 10);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Abort-mid-batch atomicity
+// ---------------------------------------------------------------------------
+
+TEST(WriteBatchAbortTest, AbortDiscardsStagedBatchAtomically) {
+  for (Strategy strategy : {Strategy::kTransactional,
+                            Strategy::kHierarchicalTransactional}) {
+    SCOPED_TRACE(provenance::StrategyShortName(strategy));
+    auto s = testutil::MakeFigureSession(strategy, 1,
+                                         /*enable_archive=*/false);
+    ASSERT_NE(s, nullptr);
+    // A first committed transaction, so the abort must preserve history.
+    ASSERT_TRUE(
+        s->editor->Insert(tree::Path::MustParse("T"), "keep").ok());
+    ASSERT_TRUE(s->editor->Commit().ok());
+
+    std::string universe_before = s->editor->universe().ToString();
+    std::string target_before = s->target->content().ToString();
+    auto recs_before = s->backend->GetAll();
+    ASSERT_TRUE(recs_before.ok());
+    relstore::CostSnapshot prov_before = s->prov_db->cost().Snap();
+    relstore::CostSnapshot tgt_before = s->target->cost().Snap();
+
+    // Stage a multi-op transaction, then abort it mid-batch.
+    ASSERT_TRUE(
+        s->editor->Insert(tree::Path::MustParse("T"), "doomed").ok());
+    ASSERT_TRUE(s->editor
+                    ->CopyPaste(tree::Path::MustParse("S1/a1"),
+                                tree::Path::MustParse("T/doomed2"))
+                    .ok());
+    ASSERT_TRUE(s->editor->Delete(tree::Path::MustParse("T"), "c1").ok());
+    EXPECT_GT(s->editor->PendingOps(), 0u);
+    ASSERT_TRUE(s->editor->Abort().ok());
+
+    // Nothing of the aborted transaction is observable anywhere: not in
+    // the universe, not in the native target, not in the provenance
+    // store, and no write round trip was charged.
+    EXPECT_EQ(s->editor->universe().ToString(), universe_before);
+    EXPECT_EQ(s->target->content().ToString(), target_before);
+    auto recs_after = s->backend->GetAll();
+    ASSERT_TRUE(recs_after.ok());
+    EXPECT_EQ(recs_after.value(), recs_before.value());
+    EXPECT_EQ(s->prov_db->cost().Snap().write_calls,
+              prov_before.write_calls);
+    EXPECT_EQ(s->target->cost().Snap().write_calls, tgt_before.write_calls);
+    EXPECT_EQ(s->editor->PendingOps(), 0u);
+
+    // The session still works after the abort.
+    ASSERT_TRUE(
+        s->editor->Insert(tree::Path::MustParse("T"), "after").ok());
+    ASSERT_TRUE(s->editor->Commit().ok());
+  }
+}
+
+}  // namespace
+}  // namespace cpdb
