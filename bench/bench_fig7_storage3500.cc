@@ -20,6 +20,12 @@ int main(int argc, char** argv) {
   base.txn_len = static_cast<size_t>(flags.GetInt("txn-len", 5));
   base.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
 
+  JsonReport report("fig7_storage");
+  report.config()
+      .Set("steps", base.steps)
+      .Set("txn_len", base.txn_len)
+      .Set("seed", static_cast<int64_t>(base.seed));
+
   PrintHeader("Figure 7", "provenance records after 3500-step updates");
   std::printf("steps=%zu txn_len=%zu seed=%llu\n\n", base.steps,
               base.txn_len, static_cast<unsigned long long>(base.seed));
@@ -40,11 +46,23 @@ int main(int argc, char** argv) {
       cfg.pattern = pattern;
       RunStats st = RunWorkload(cfg);
       std::printf("%10zu", st.prov_rows);
+      report.AddRow()
+          .Set("method", provenance::StrategyShortName(strat))
+          .Set("pattern", workload::PatternName(pattern))
+          .Set("ops", st.applied)
+          .Set("prov_rows", st.prov_rows)
+          .Set("prov_bytes", st.prov_bytes)
+          .Set("round_trips", st.prov_round_trips)
+          .Set("rows_moved", st.prov_rows_moved)
+          .Set("write_round_trips", st.prov_write_trips)
+          .Set("write_rows", st.prov_write_rows)
+          .Set("real_ms", st.real_ms);
     }
     std::printf("\n");
   }
   std::printf(
       "\nShape check vs paper: N/T ~4 rows per copy, H/HT ~1; N==H on the\n"
       "pure-add pattern; HT lowest on mixes.\n");
+  report.WriteTo(flags.GetString("json", ""));
   return 0;
 }

@@ -64,6 +64,31 @@
 /// leaving a partial insert prefix. Write round trips are counted on
 /// CostModel's write-side counters (WriteCalls/WriteRows, also in
 /// CostSnapshot), which ChargeWrite bumps alongside the totals.
+///
+/// Durability (README "Durability"; storage/):
+///
+///   auto db = relstore::Database::Open("curated", dir).value();
+///   provenance::ProvBackend backend(db.get());     // adopts recovered
+///   wrap::RelationalTargetDb target("T", db.get(), {"prot"});
+///   EditorOptions opts;
+///   opts.first_tid = backend.MaxTid() + 1;         // tids continue
+///   auto editor = Editor::Create(&target, &backend, opts).value();
+///   ...edit...; editor->Commit();   // ONE log record + ONE fsync
+///   db->Checkpoint();               // snapshot + truncate the log
+///   db->Close();                    // clean shutdown (final Sync)
+///
+/// Open(name, dir) recovers checkpoint + log tail before returning,
+/// truncating any torn/corrupt tail to the last committed transaction;
+/// Sync() is the group-commit barrier the editor drives once per
+/// committed transaction (TargetDb::Sync is the target-side hook — a
+/// no-op by default, Database::Sync for relational wrappers; when target
+/// and provenance share one durable Database, both recover to the same
+/// transaction). Migration note for in-memory callers: nothing changes —
+/// a directly constructed Database has no log, Sync()/Close() are free
+/// no-ops, Checkpoint() fails with FailedPrecondition, and the editor's
+/// per-commit barrier costs one null check. ProvBackend's constructor
+/// now ADOPTS existing Prov/TxnMeta tables (recovered databases) instead
+/// of failing; fresh databases are created as before.
 
 #include "archive/archive.h"          // IWYU pragma: export
 #include "cpdb/editor.h"              // IWYU pragma: export
@@ -74,6 +99,9 @@
 #include "query/own.h"                // IWYU pragma: export
 #include "query/spec.h"               // IWYU pragma: export
 #include "query/trace.h"              // IWYU pragma: export
+#include "storage/durable.h"          // IWYU pragma: export
+#include "storage/snapshot.h"         // IWYU pragma: export
+#include "storage/wal.h"              // IWYU pragma: export
 #include "tree/serialize.h"           // IWYU pragma: export
 #include "tree/tree.h"                // IWYU pragma: export
 #include "tree/xml.h"                 // IWYU pragma: export

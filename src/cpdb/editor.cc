@@ -109,6 +109,18 @@ Status Editor::PushNative(const Update& u, const tree::Tree* pasted) {
   return target_->ApplyNative(op.update, op.pasted);
 }
 
+Status Editor::SyncDurable() {
+  CPDB_RETURN_IF_ERROR(store_->backend()->db()->Sync());
+  return target_->Sync();
+}
+
+Status Editor::FinishCommitted(const std::function<Status()>& tail) {
+  Status rest = tail();
+  Status synced = SyncDurable();
+  if (!rest.ok()) return rest;
+  return synced;
+}
+
 Status Editor::RecordMetaIfEnabled(int64_t tid, const std::string& note) {
   if (!options_.record_txn_meta) return Status::OK();
   provenance::TxnMeta meta;
@@ -166,20 +178,24 @@ Status Editor::ApplyUpdate(const Update& u) {
   ++total_ops_;
 
   if (PerOpStrategy()) {
-    // Per-operation transaction: push native and seal the version now.
-    // The subtree at the paste destination is still exactly what the op
-    // produced, so the universe can serve as the paste payload.
-    const tree::Tree* pasted =
-        u.kind == OpKind::kCopy ? universe_.Find(u.target) : nullptr;
-    CPDB_RETURN_IF_ERROR(PushNative(u, pasted));
-    int64_t tid = store_->LastCommittedTid();
-    if (archive_ != nullptr) {
-      CPDB_RETURN_IF_ERROR(
-          archive_->Record(tid, std::move(txn_script_), universe_));
-    }
-    CPDB_RETURN_IF_ERROR(RecordMetaIfEnabled(tid, u.ToString()));
-    txn_script_.clear();
-    undo_.Clear();
+    // Per-operation transaction: push native and seal the version now
+    // (one fsync per op — each op is its own transaction). The subtree
+    // at the paste destination is still exactly what the op produced, so
+    // the universe can serve as the paste payload.
+    CPDB_RETURN_IF_ERROR(FinishCommitted([&]() -> Status {
+      const tree::Tree* pasted =
+          u.kind == OpKind::kCopy ? universe_.Find(u.target) : nullptr;
+      CPDB_RETURN_IF_ERROR(PushNative(u, pasted));
+      int64_t tid = store_->LastCommittedTid();
+      if (archive_ != nullptr) {
+        CPDB_RETURN_IF_ERROR(
+            archive_->Record(tid, std::move(txn_script_), universe_));
+      }
+      CPDB_RETURN_IF_ERROR(RecordMetaIfEnabled(tid, u.ToString()));
+      txn_script_.clear();
+      undo_.Clear();
+      return Status::OK();
+    }));
   } else {
     // Deferred native push at Commit() needs the op-time paste payload.
     StagePasted(u, &txn_pasted_);
@@ -230,17 +246,21 @@ Status Editor::FlushBatch(size_t* flushed) {
   if (flushed != nullptr) *flushed = ops.size();
   // A failure from here on is a native replay of already-committed
   // updates going wrong: like a failed commit replay, the native store
-  // then needs a reload (universe and provenance remain consistent).
-  CPDB_ASSIGN_OR_RETURN(std::vector<wrap::NativeOp> native,
-                        BuildNativeOps(script, pasted));
-  CPDB_RETURN_IF_ERROR(target_->ApplyBatch(native));
-  if (options_.record_txn_meta) {
-    for (size_t i = 0; i < script.size() && i < tids.size(); ++i) {
-      CPDB_RETURN_IF_ERROR(
-          RecordMetaIfEnabled(tids[i], script[i].ToString()));
+  // then needs a reload (universe and provenance remain consistent). The
+  // whole group-committed batch rides one fsync — the durability win of
+  // the staged write path.
+  return FinishCommitted([&]() -> Status {
+    CPDB_ASSIGN_OR_RETURN(std::vector<wrap::NativeOp> native,
+                          BuildNativeOps(script, pasted));
+    CPDB_RETURN_IF_ERROR(target_->ApplyBatch(native));
+    if (options_.record_txn_meta) {
+      for (size_t i = 0; i < script.size() && i < tids.size(); ++i) {
+        CPDB_RETURN_IF_ERROR(
+            RecordMetaIfEnabled(tids[i], script[i].ToString()));
+      }
     }
-  }
-  return Status::OK();
+    return Status::OK();
+  });
 }
 
 Status Editor::ApplyScript(const update::Script& script, size_t* applied) {
@@ -312,18 +332,22 @@ Status Editor::Commit() {
   CPDB_RETURN_IF_ERROR(store_->Commit());
   if (!PerOpStrategy()) {
     // The committed transaction's native writes ride one modelled client
-    // call, matching the provenance store's one-WriteRecords commit.
-    CPDB_ASSIGN_OR_RETURN(std::vector<wrap::NativeOp> native,
-                          BuildNativeOps(script, pasted));
-    CPDB_RETURN_IF_ERROR(target_->ApplyBatch(native));
-    int64_t tid = store_->LastCommittedTid();
-    if (archive_ != nullptr && started_) {
-      CPDB_RETURN_IF_ERROR(archive_->Record(tid, std::move(script),
-                                            universe_));
-    }
-    CPDB_RETURN_IF_ERROR(RecordMetaIfEnabled(
-        tid, std::to_string(script.size()) + " ops"));
-    undo_.Clear();
+    // call, matching the provenance store's one-WriteRecords commit, and
+    // the whole transaction seals under one fsync whatever its length.
+    CPDB_RETURN_IF_ERROR(FinishCommitted([&]() -> Status {
+      CPDB_ASSIGN_OR_RETURN(std::vector<wrap::NativeOp> native,
+                            BuildNativeOps(script, pasted));
+      CPDB_RETURN_IF_ERROR(target_->ApplyBatch(native));
+      int64_t tid = store_->LastCommittedTid();
+      if (archive_ != nullptr && started_) {
+        CPDB_RETURN_IF_ERROR(archive_->Record(tid, std::move(script),
+                                              universe_));
+      }
+      CPDB_RETURN_IF_ERROR(RecordMetaIfEnabled(
+          tid, std::to_string(script.size()) + " ops"));
+      undo_.Clear();
+      return Status::OK();
+    }));
   }
   return Status::OK();
 }

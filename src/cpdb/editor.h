@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -169,6 +170,21 @@ class Editor {
   Result<std::vector<wrap::NativeOp>> BuildNativeOps(
       const update::Script& script,
       const std::vector<std::optional<tree::Tree>>& pasted) const;
+
+  /// Durability barrier closing one committed transaction: ONE group
+  /// commit (log append + fsync) on the provenance store's database and
+  /// one on the target. Both are no-ops for in-memory stores, so the
+  /// default sessions are untouched; when target and provenance share a
+  /// durable Database the first Sync covers both and the second is free.
+  Status SyncDurable();
+
+  /// Runs the tail of an already-committed transaction (native replay,
+  /// archive, meta), then ALWAYS runs the durability barrier — even when
+  /// the tail fails, because the transaction is committed in the
+  /// provenance store and must seal into its own log record, not fuse
+  /// into a later transaction's. The tail's error wins; a sync failure
+  /// surfaces only when the tail succeeded.
+  Status FinishCommitted(const std::function<Status()>& tail);
 
   /// Pushes one update into the native target store (paths rebased).
   Status PushNative(const update::Update& u, const tree::Tree* pasted);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 namespace cpdb::provenance {
 
@@ -14,37 +16,104 @@ using relstore::Row;
 using relstore::ScanSpec;
 using relstore::Schema;
 
+namespace {
+
+/// True if the table carries an index matching `want` exactly — name,
+/// columns, kind, and uniqueness. Name alone is not enough: a foreign
+/// index merely NAMED pk_tid_loc would silently break the unique-key and
+/// cursor-ordering contracts.
+bool HasIndex(const relstore::Table& table,
+              const relstore::IndexDef& want) {
+  for (const relstore::IndexDef& def : table.IndexDefs()) {
+    if (def.name == want.name) {
+      return def.columns == want.columns && def.kind == want.kind &&
+             def.unique == want.unique;
+    }
+  }
+  return false;
+}
+
+/// Hard abort (active in all build types, like BTree::CheckInvariants)
+/// when an adopted table is not ours: silently adopting a foreign "Prov"
+/// would surface as baffling write errors far from the construction
+/// site, and release builds strip assert().
+void CheckAdopted(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr,
+                 "ProvBackend: existing table is not a provenance store "
+                 "(%s)\n",
+                 what);
+    std::abort();
+  }
+}
+
+}  // namespace
+
 ProvBackend::ProvBackend(relstore::Database* db, bool use_indexes)
     : db_(db), use_indexes_(use_indexes) {
   Schema prov_schema({{"Tid", ColumnType::kInt64, false},
                       {"Op", ColumnType::kString, false},
                       {"Loc", ColumnType::kString, false},
                       {"Src", ColumnType::kString, true}});
-  auto prov = db_->CreateTable(kProvTable, prov_schema);
-  assert(prov.ok());
-  prov_ = prov.value();
-  // {Tid, Loc} is the table key (paper Section 2.1); Loc and Tid are the
-  // "natural candidates for indexing" the paper names. Both indexes carry
-  // the full key so every cursor's ordering is deterministic: the primary
-  // yields (Tid, Loc), the secondary (Loc, Tid).
-  Status st =
-      prov_->CreateIndex("pk_tid_loc", {0, 2}, relstore::IndexKind::kBTree,
-                         /*unique=*/true);
-  assert(st.ok());
-  st = prov_->CreateIndex("idx_loc_tid", {2, 0}, relstore::IndexKind::kBTree);
-  assert(st.ok());
+  // A recovered durable database already holds the provenance tables
+  // (recreated by the checkpoint/log replay, indexes included); adopt
+  // them so reopening a store resumes where the last session committed —
+  // but only if they really are OUR tables: adopting a stranger named
+  // "Prov" would surface as baffling write errors far from here.
+  auto existing_prov = db_->GetTable(kProvTable);
+  if (existing_prov.ok()) {
+    prov_ = existing_prov.value();
+    CheckAdopted(prov_->schema() == prov_schema, "Prov schema mismatch");
+    CheckAdopted(HasIndex(*prov_, {"pk_tid_loc",
+                                   {0, 2},
+                                   relstore::IndexKind::kBTree,
+                                   /*unique=*/true}),
+                 "Prov pk_tid_loc missing or mismatched");
+    CheckAdopted(HasIndex(*prov_, {"idx_loc_tid",
+                                   {2, 0},
+                                   relstore::IndexKind::kBTree,
+                                   /*unique=*/false}),
+                 "Prov idx_loc_tid missing or mismatched");
+  } else {
+    auto prov = db_->CreateTable(kProvTable, std::move(prov_schema));
+    assert(prov.ok());
+    prov_ = prov.value();
+    // {Tid, Loc} is the table key (paper Section 2.1); Loc and Tid are
+    // the "natural candidates for indexing" the paper names. Both indexes
+    // carry the full key so every cursor's ordering is deterministic: the
+    // primary yields (Tid, Loc), the secondary (Loc, Tid).
+    Status st = prov_->CreateIndex("pk_tid_loc", {0, 2},
+                                   relstore::IndexKind::kBTree,
+                                   /*unique=*/true);
+    assert(st.ok());
+    st = prov_->CreateIndex("idx_loc_tid", {2, 0},
+                            relstore::IndexKind::kBTree);
+    assert(st.ok());
+    (void)st;
+  }
 
   Schema meta_schema({{"Tid", ColumnType::kInt64, false},
                       {"User", ColumnType::kString, true},
                       {"CommitSeq", ColumnType::kInt64, false},
                       {"Note", ColumnType::kString, true}});
-  auto meta = db_->CreateTable(kMetaTable, meta_schema);
-  assert(meta.ok());
-  meta_ = meta.value();
-  st = meta_->CreateIndex("pk_tid", {0}, relstore::IndexKind::kBTree,
-                          /*unique=*/true);
-  assert(st.ok());
-  (void)st;
+  auto existing_meta = db_->GetTable(kMetaTable);
+  if (existing_meta.ok()) {
+    meta_ = existing_meta.value();
+    CheckAdopted(meta_->schema() == meta_schema, "TxnMeta schema mismatch");
+    CheckAdopted(
+        HasIndex(*meta_,
+                 {"pk_tid", {0}, relstore::IndexKind::kBTree, true}),
+        "TxnMeta pk_tid missing or mismatched");
+  } else {
+    auto meta = db_->CreateTable(kMetaTable, std::move(meta_schema));
+    assert(meta.ok());
+    meta_ = meta.value();
+    Status st = meta_->CreateIndex("pk_tid", {0},
+                                   relstore::IndexKind::kBTree,
+                                   /*unique=*/true);
+    assert(st.ok());
+    (void)st;
+  }
 }
 
 Row ProvBackend::ToRow(const ProvRecord& rec) {
@@ -298,5 +367,20 @@ Result<std::vector<ProvRecord>> ProvBackend::GetAll() {
 size_t ProvBackend::RowCount() const { return prov_->RowCount(); }
 
 size_t ProvBackend::PhysicalBytes() const { return prov_->PhysicalBytes(); }
+
+int64_t ProvBackend::MaxTid() const {
+  // The largest (Tid, Loc) key leads with the largest Tid: one O(log n)
+  // rightmost descent per index, no heap reads. TxnMeta is consulted too
+  // — a committed tid can outlive its Prov rows (deletion patterns prune
+  // them; a transaction may record only metadata) and must not be reused.
+  int64_t max_tid = 0;
+  auto last_prov = prov_->LastKey("pk_tid_loc");
+  if (last_prov.ok()) max_tid = (*last_prov)[0].AsInt();
+  auto last_meta = meta_->LastKey("pk_tid");
+  if (last_meta.ok() && (*last_meta)[0].AsInt() > max_tid) {
+    max_tid = (*last_meta)[0].AsInt();
+  }
+  return max_tid;
+}
 
 }  // namespace cpdb::provenance

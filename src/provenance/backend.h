@@ -184,6 +184,12 @@ class ProvBackend {
   size_t RowCount() const;
   size_t PhysicalBytes() const;
 
+  /// Largest committed Tid in the store, or 0 when it is empty — what a
+  /// session reopening a recovered durable store passes (plus one) as
+  /// EditorOptions::first_tid so transaction numbering continues across
+  /// restarts. Out-of-band like the stats above: no cost charged.
+  int64_t MaxTid() const;
+
   relstore::Database* db() { return db_; }
   bool use_indexes() const { return use_indexes_; }
   void set_use_indexes(bool v) { use_indexes_ = v; }

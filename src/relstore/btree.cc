@@ -385,6 +385,18 @@ void BTree::Cursor::Advance() {
   }
 }
 
+BTree::Cursor BTree::SeekLast() const {
+  const Node* leaf = root_.get();
+  while (!leaf->leaf) leaf = leaf->children.back().get();
+  Cursor cur;
+  // Only an empty tree's root leaf can be empty; every other leaf holds
+  // at least one entry by the occupancy invariant.
+  if (leaf->entries.empty()) return cur;
+  cur.leaf_ = leaf;
+  cur.idx_ = leaf->entries.size() - 1;
+  return cur;
+}
+
 BTree::Cursor BTree::SeekFirst() const {
   const Node* leaf = root_.get();
   while (!leaf->leaf) leaf = leaf->children.front().get();

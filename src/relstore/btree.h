@@ -88,6 +88,11 @@ class BTree {
   /// Cursor on the smallest entry (invalid if the tree is empty).
   Cursor SeekFirst() const;
 
+  /// Cursor on the largest entry (invalid if the tree is empty) — an
+  /// O(height) rightmost descent, used for max-key reads like resuming a
+  /// recovered store's transaction counter.
+  Cursor SeekLast() const;
+
   /// Cursor on the first entry with key >= `lo` (ties resolved to the
   /// smallest rid); invalid if no such entry exists.
   Cursor Seek(const Row& lo) const;

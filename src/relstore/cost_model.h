@@ -24,6 +24,9 @@ struct CostParams {
   double per_row_us = 10.0;
   /// Marginal cost per KB of payload.
   double per_kb_us = 1.0;
+  /// Cost of one fsync barrier (durable group commit). Only charged by
+  /// durable databases; in-memory stores never pay it.
+  double fsync_us = 120.0;
 };
 
 /// Point-in-time reading of a CostModel's counters. Queries and benches
@@ -39,6 +42,10 @@ struct CostSnapshot {
   size_t rows = 0;
   size_t write_calls = 0;
   size_t write_rows = 0;
+  /// Durability counters (zero for in-memory stores): fsync barriers
+  /// issued and bytes appended to the write-ahead log.
+  size_t fsyncs = 0;
+  size_t log_bytes = 0;
 };
 
 /// Accumulates simulated interaction time for one store.
@@ -77,16 +84,28 @@ class CostModel {
   /// Charges pure local CPU work (no round trip), e.g. provlist upkeep.
   void ChargeLocal(double micros) { clock_.Advance(micros); }
 
+  /// Records `bytes` appended to the write-ahead log. No clock charge of
+  /// its own: the log append rides the commit's fsync barrier below.
+  void ChargeLog(size_t bytes) { log_bytes_ += bytes; }
+
+  /// Charges one fsync barrier (durable group commit).
+  void ChargeFsync() {
+    ++fsyncs_;
+    clock_.Advance(params_.fsync_us);
+  }
+
   double ElapsedMicros() const { return clock_.ElapsedMicros(); }
   double ElapsedMillis() const { return clock_.ElapsedMillis(); }
   size_t Calls() const { return calls_; }
   size_t RowsMoved() const { return rows_; }
   size_t WriteCalls() const { return write_calls_; }
   size_t WriteRows() const { return write_rows_; }
+  size_t Fsyncs() const { return fsyncs_; }
+  size_t LogBytes() const { return log_bytes_; }
 
   CostSnapshot Snap() const {
     return {clock_.ElapsedMicros(), calls_, rows_, write_calls_,
-            write_rows_};
+            write_rows_, fsyncs_, log_bytes_};
   }
 
   void Reset() {
@@ -95,6 +114,8 @@ class CostModel {
     rows_ = 0;
     write_calls_ = 0;
     write_rows_ = 0;
+    fsyncs_ = 0;
+    log_bytes_ = 0;
   }
 
   const CostParams& params() const { return params_; }
@@ -107,6 +128,8 @@ class CostModel {
   size_t rows_ = 0;
   size_t write_calls_ = 0;
   size_t write_rows_ = 0;
+  size_t fsyncs_ = 0;
+  size_t log_bytes_ = 0;
 };
 
 }  // namespace cpdb::relstore

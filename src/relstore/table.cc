@@ -1,6 +1,7 @@
 #include "relstore/table.h"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
 #include "util/str.h"
@@ -39,7 +40,20 @@ Status Table::CreateIndex(const std::string& index_name,
     idx.hash = std::make_unique<HashIndex>();
   }
   indexes_.push_back(std::move(idx));
+  if (journal_ != nullptr) {
+    journal_->NoteCreateIndex(
+        name_, {index_name, indexes_.back().columns, kind, unique});
+  }
   return Status::OK();
+}
+
+std::vector<IndexDef> Table::IndexDefs() const {
+  std::vector<IndexDef> defs;
+  defs.reserve(indexes_.size());
+  for (const Index& idx : indexes_) {
+    defs.push_back({idx.name, idx.columns, idx.kind, idx.unique});
+  }
+  return defs;
 }
 
 Row Table::ExtractKey(const Index& idx, const Row& row) const {
@@ -90,6 +104,7 @@ Result<Rid> Table::Insert(const Row& row) {
       idx.hash->Insert(key, rid);
     }
   }
+  if (journal_ != nullptr) journal_->NoteInsert(name_, row);
   return rid;
 }
 
@@ -158,6 +173,9 @@ Result<size_t> Table::BulkLoad(const std::vector<Row>& rows) {
       }
     }
   }
+  if (journal_ != nullptr) {
+    for (const Row& row : rows) journal_->NoteInsert(name_, row);
+  }
   return rows.size();
 }
 
@@ -182,7 +200,51 @@ Status Table::Delete(const Rid& rid) {
       idx.hash->Erase(key, rid);
     }
   }
+  if (journal_ != nullptr) journal_->NoteDelete(name_, row);
   return Status::OK();
+}
+
+Status Table::DeleteRowImage(const Row& row) {
+  std::optional<Rid> victim;
+  Status inner = Status::OK();
+  auto probe = [&](const Rid& rid, const Row& candidate) {
+    if (candidate == row) {
+      victim = rid;
+      return false;
+    }
+    return true;
+  };
+  if (!indexes_.empty()) {
+    const Index& idx = indexes_.front();
+    if (row.size() < schema_.NumColumns()) {
+      return Status::InvalidArgument("row image too short for table '" +
+                                     name_ + "'");
+    }
+    Row key = ExtractKey(idx, row);
+    auto emit = [&](const Rid& rid) {
+      auto fetched = Get(rid);
+      if (!fetched.ok()) {
+        inner = fetched.status();
+        return false;
+      }
+      return probe(rid, fetched.value());
+    };
+    if (idx.kind == IndexKind::kBTree) {
+      idx.btree->LookupEq(key, [&](const Row&, const Rid& rid) {
+        return emit(rid);
+      });
+    } else {
+      idx.hash->LookupEq(key, emit);
+    }
+    CPDB_RETURN_IF_ERROR(inner);
+  } else {
+    Scan(probe);
+  }
+  if (!victim.has_value()) {
+    return Status::NotFound("no row equal to " + RowToString(row) +
+                            " in table '" + name_ + "'");
+  }
+  return Delete(*victim);
 }
 
 size_t Table::DeleteWhere(const std::function<bool(const Row&)>& pred) {
@@ -379,6 +441,15 @@ Result<size_t> Table::ApplyBatch(const WriteBatch& batch) {
         idx.hash->Insert(ExtractKey(idx, batch.inserts()[i].row),
                          new_rids[i]);
       }
+    }
+  }
+  if (journal_ != nullptr) {
+    // Deletes first: sequential replay of the journal must pass the same
+    // unique-key checks this batch was validated under (net of its
+    // deletes), so a delete+reinsert of one key replays cleanly.
+    for (const Row& row : doomed_rows) journal_->NoteDelete(name_, row);
+    for (const WriteBatch::InsertOp& op : batch.inserts()) {
+      journal_->NoteInsert(name_, op.row);
     }
   }
   return batch.size();
@@ -587,6 +658,21 @@ Status Table::ScanIndex(
     return fn(rid, row.value());
   });
   return inner;
+}
+
+Result<Row> Table::LastKey(const std::string& index_name) const {
+  const Index* idx = FindIndex(index_name);
+  if (idx == nullptr) {
+    return Status::NotFound("no index '" + index_name + "'");
+  }
+  if (idx->kind != IndexKind::kBTree) {
+    return Status::NotSupported("max-key read requires a btree index");
+  }
+  BTree::Cursor last = idx->btree->SeekLast();
+  if (!last.Valid()) {
+    return Status::NotFound("table '" + name_ + "' is empty");
+  }
+  return last.key();
 }
 
 }  // namespace cpdb::relstore

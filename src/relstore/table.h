@@ -10,13 +10,12 @@
 #include "relstore/datum.h"
 #include "relstore/hash_index.h"
 #include "relstore/heap_file.h"
+#include "relstore/journal.h"
 #include "relstore/schema.h"
 #include "relstore/write_batch.h"
 #include "util/result.h"
 
 namespace cpdb::relstore {
-
-enum class IndexKind { kBTree, kHash };
 
 /// Declarative description of an index-backed ordered scan, evaluated
 /// server-side by Table::OpenScan. The scan starts at the smallest index
@@ -61,6 +60,14 @@ class Table {
                      std::vector<int> columns, IndexKind kind,
                      bool unique = false);
 
+  /// Declarative descriptions of every index, in creation order — what
+  /// checkpoints persist so recovery can rebuild the same access paths.
+  std::vector<IndexDef> IndexDefs() const;
+
+  /// Attaches (or detaches, with nullptr) the durability journal. Every
+  /// successful mutation is reported to it; see relstore/journal.h.
+  void set_journal(Journal* journal) { journal_ = journal; }
+
   /// Validates and stores a row, maintaining all indexes.
   Result<Rid> Insert(const Row& row);
 
@@ -88,6 +95,14 @@ class Table {
 
   /// Deletes the row at `rid`, maintaining all indexes.
   Status Delete(const Rid& rid);
+
+  /// Deletes ONE row equal to `row` (identical rows are interchangeable,
+  /// so any match reproduces the same logical state). Routed through the
+  /// first index when one exists — O(log n), no heap scan. Exists for
+  /// write-ahead-log recovery, which journals deletes by row image
+  /// because Rids are not stable across checkpoint BulkLoad restores.
+  /// NotFound when no equal row exists.
+  Status DeleteRowImage(const Row& row);
 
   /// Deletes every row matching `pred`; returns the count removed. Scans
   /// the full heap — when the predicate includes an equality on an
@@ -171,6 +186,10 @@ class Table {
                    const std::function<bool(const Rid&, const Row&)>& fn)
       const;
 
+  /// Largest key in the named B+-tree index — one O(log n) rightmost
+  /// descent, no heap reads. NotFound when the table is empty.
+  Result<Row> LastKey(const std::string& index_name) const;
+
   size_t RowCount() const { return heap_.RecordCount(); }
 
   /// Disk-style physical footprint (pages), as reported in Figure 8.
@@ -196,6 +215,7 @@ class Table {
   Schema schema_;
   HeapFile heap_;
   std::vector<Index> indexes_;
+  Journal* journal_ = nullptr;
 };
 
 }  // namespace cpdb::relstore

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relstore/database.h"
+#include "relstore/journal.h"
+#include "storage/log_format.h"
+#include "storage/wal.h"
+#include "util/result.h"
+
+namespace cpdb::storage {
+
+/// Counters of one durability engine's session (see also the CostModel's
+/// fsync/log-bytes counters, which benches difference the same way they
+/// difference round trips).
+struct DurabilityStats {
+  uint64_t last_seq = 0;        ///< newest durable commit sequence
+  size_t commits = 0;           ///< log records appended this session
+  size_t fsyncs = 0;            ///< fsync barriers issued
+  size_t log_bytes = 0;         ///< bytes appended to the log
+  size_t checkpoints = 0;       ///< checkpoints written this session
+  size_t replayed_commits = 0;  ///< log records recovery applied
+  bool snapshot_loaded = false; ///< recovery started from a checkpoint
+};
+
+/// The durability engine of one Database: write-ahead logging with group
+/// commit, checkpointing, and crash recovery.
+///
+/// Directory layout under `dir`:
+///
+///   wal.log         CRC32-framed commit records (see storage/wal.h)
+///   CHECKPOINT      binary full-database snapshot (storage/snapshot.h)
+///   CHECKPOINT.tmp  transient; atomically renamed over CHECKPOINT
+///
+/// Write path: Table/Database report every successful mutation through
+/// the Journal interface; the notes buffer in `pending_`. Sync() seals
+/// the buffer into ONE CommitRecord (seq = ++last_seq), appends it as one
+/// framed log record, and fsyncs — one fsync per committed transaction
+/// regardless of how many tables or rows it touched, the write-side twin
+/// of the batched WriteBatch/TrackBatch path it rides on.
+///
+/// Recovery (inside Attach): load CHECKPOINT if present (tables rebuilt
+/// via BulkLoad), then replay wal.log in order, skipping records whose
+/// seq <= the checkpoint's (the crash window between writing a checkpoint
+/// and truncating the log) and truncating any torn or corrupt tail back
+/// to the last committed transaction. Because data tables and provenance
+/// tables share the Database — and therefore the log — both recover to
+/// the same committed transaction, always.
+class Durability : public relstore::Journal {
+ public:
+  /// Creates `dir` if needed, recovers its contents into `db` (which must
+  /// hold no tables), and opens the log for appending. Does NOT attach
+  /// itself to the tables — Database::Open does that after recovery so
+  /// replayed writes are not re-logged.
+  ///
+  /// Single-writer: the directory is guarded by an advisory flock on
+  /// `dir/LOCK` held for the engine's lifetime, so a second concurrent
+  /// Open of the same directory fails with FailedPrecondition instead of
+  /// interleaving two sessions' commit records. The kernel drops the
+  /// lock when the holding process dies, so a crashed session never
+  /// blocks recovery.
+  static Result<std::unique_ptr<Durability>> Attach(relstore::Database* db,
+                                                    std::string dir);
+  ~Durability() override;
+
+  /// Group-commit barrier; see class comment. No-op when nothing pending.
+  ///
+  /// Fail-stop: once a commit fails to reach the log (append or fsync
+  /// error), the engine rejects every further Sync with the original
+  /// error — the in-memory state is ahead of the log at that point, and
+  /// appending later commits over the gap would recover a state that
+  /// skips a transaction the caller already observed.
+  Status Sync();
+
+  /// Sync(), write a fresh CHECKPOINT, then truncate the log.
+  Status Checkpoint();
+
+  /// Sync() then close the log. Idempotent; post-Close writes are
+  /// rejected at the Database level (journal detached).
+  Status Close();
+
+  bool open() const { return wal_ != nullptr; }
+  const DurabilityStats& stats() const { return stats_; }
+  const std::string& dir() const { return dir_; }
+
+  static std::string WalPath(const std::string& dir);
+  static std::string CheckpointPath(const std::string& dir);
+  static std::string LockPath(const std::string& dir);
+
+  // ----- relstore::Journal -------------------------------------------------
+  void NoteCreateTable(const std::string& table,
+                       const relstore::Schema& schema) override;
+  void NoteDropTable(const std::string& table) override;
+  void NoteCreateIndex(const std::string& table,
+                       const relstore::IndexDef& def) override;
+  void NoteInsert(const std::string& table,
+                  const relstore::Row& row) override;
+  void NoteDelete(const std::string& table,
+                  const relstore::Row& row) override;
+
+ private:
+  Durability(relstore::Database* db, std::string dir)
+      : db_(db), dir_(std::move(dir)) {}
+
+  /// Applies one replayed write to the recovering database.
+  Status ApplyWrite(const LogWrite& w);
+
+  relstore::Database* db_;
+  std::string dir_;
+  int lock_fd_ = -1;  ///< flock on dir/LOCK; released on close/death
+  std::unique_ptr<Wal> wal_;
+  std::vector<LogWrite> pending_;
+  DurabilityStats stats_;
+  Status fail_;  ///< sticky first log failure (see Sync)
+
+  /// Database's move operations re-point the back reference.
+  friend class relstore::Database;
+  void RebindDatabase(relstore::Database* db) { db_ = db; }
+};
+
+}  // namespace cpdb::storage

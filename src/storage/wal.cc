@@ -1,0 +1,184 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include "util/crc32.h"
+
+namespace cpdb::storage {
+
+namespace {
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::Internal(what + " '" + path +
+                          "': " + std::strerror(errno));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+}  // namespace
+
+std::string DirOf(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? "." : path.substr(0, slash);
+}
+
+Status SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Errno("cannot open directory", dir);
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Errno("directory fsync failed", dir);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (fd < 0) return Errno("cannot open WAL", path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Errno("cannot stat WAL", path);
+  }
+  // Make the (possibly fresh) directory entry itself durable: data
+  // fsyncs are pointless if the file's name can vanish with the dir.
+  Status dir_sync = SyncDir(DirOf(path));
+  if (!dir_sync.ok()) {
+    ::close(fd);
+    return dir_sync;
+  }
+  return std::unique_ptr<Wal>(
+      new Wal(fd, path, static_cast<size_t>(st.st_size)));
+}
+
+Wal::~Wal() { Close(); }
+
+void Wal::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Wal::Append(const std::string& payload, size_t* framed_bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("WAL is closed");
+  if (poisoned_) {
+    return Status::FailedPrecondition(
+        "WAL '" + path_ + "' is poisoned by an unrecoverable torn write");
+  }
+  std::string frame;
+  frame.reserve(payload.size() + kMaxVarint64Bytes + 4);
+  PutVarint64(&frame, payload.size());
+  PutU32(&frame, Crc32(payload));
+  frame.append(payload);
+  size_t off = 0;
+  while (off < frame.size()) {
+    ssize_t n = ::write(fd_, frame.data() + off, frame.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status write_err = Errno("WAL write failed", path_);
+      // Cut the torn frame back off; a tear left in place would make
+      // recovery treat this spot as end-of-log and silently drop every
+      // later record. If the cut fails too, fail-stop.
+      if (::ftruncate(fd_, static_cast<off_t>(file_size_)) != 0) {
+        poisoned_ = true;
+      }
+      return write_err;
+    }
+    off += static_cast<size_t>(n);
+  }
+  file_size_ += frame.size();
+  appended_bytes_ += frame.size();
+  if (framed_bytes != nullptr) *framed_bytes = frame.size();
+  return Status::OK();
+}
+
+Status Wal::Sync() {
+  if (fd_ < 0) return Status::FailedPrecondition("WAL is closed");
+  if (::fsync(fd_) != 0) return Errno("WAL fsync failed", path_);
+  ++sync_count_;
+  return Status::OK();
+}
+
+Status Wal::TruncateAll() {
+  if (fd_ < 0) return Status::FailedPrecondition("WAL is closed");
+  if (::ftruncate(fd_, 0) != 0) return Errno("WAL truncate failed", path_);
+  file_size_ = 0;
+  poisoned_ = false;  // a fresh, empty log is clean again
+  if (::fsync(fd_) != 0) return Errno("WAL fsync failed", path_);
+  ++sync_count_;
+  return Status::OK();
+}
+
+Result<size_t> Wal::Replay(
+    const std::string& path,
+    const std::function<Status(const std::string&)>& fn) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return size_t{0};  // no log yet: nothing to replay
+  in.seekg(0, std::ios::end);
+  const size_t file_size = static_cast<size_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+
+  size_t consumed = 0;  // end offset of the last fully verified record
+  size_t records = 0;
+  // One record buffer, reused: recovery memory is bounded by the largest
+  // record, not the log size (a session that never checkpoints can grow
+  // the log without bound).
+  std::string payload;
+  std::string header;
+  while (consumed < file_size) {
+    // Pull the length's bytes off the stream, then decode them with the
+    // one canonical varint decoder — the replay loop must never drift
+    // from the encoder's wire contract.
+    header.clear();
+    while (header.size() < kMaxVarint64Bytes) {
+      int c = in.get();
+      if (c == std::char_traits<char>::eof()) break;  // torn length
+      header.push_back(static_cast<char>(c));
+      if ((c & 0x80) == 0) break;
+    }
+    uint64_t len;
+    size_t header_pos = 0;
+    if (!GetVarint64(header, &header_pos, &len) ||
+        header_pos != header.size()) {
+      break;  // torn or overlong length varint
+    }
+    char crc_buf[4];
+    if (!in.read(crc_buf, 4)) break;  // torn header
+    uint32_t crc;
+    std::memcpy(&crc, crc_buf, 4);
+    const size_t body_off = consumed + header.size() + 4;
+    // Also guards the resize below against an absurd corrupt length.
+    if (len > file_size - body_off) break;  // torn payload
+    payload.resize(len);
+    if (len > 0 &&
+        !in.read(payload.data(), static_cast<std::streamsize>(len))) {
+      break;
+    }
+    if (Crc32(payload) != crc) break;  // corrupt payload
+    CPDB_RETURN_IF_ERROR(fn(payload));
+    consumed = body_off + len;
+    ++records;
+  }
+  in.close();
+  if (consumed < file_size) {
+    // Torn or corrupt tail: cut the file back to the last good commit so
+    // subsequent appends extend a clean log. Anything past the first bad
+    // frame is unreachable anyway (frames only parse in sequence).
+    if (::truncate(path.c_str(), static_cast<off_t>(consumed)) != 0) {
+      return Errno("WAL tail truncate failed", path);
+    }
+  }
+  return records;
+}
+
+}  // namespace cpdb::storage

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "util/result.h"
+
+namespace cpdb::storage {
+
+/// Append-only write-ahead log file with checksummed, length-prefixed
+/// framing:
+///
+///   record := varint(payload_len) | u32 crc32(payload) | payload
+///
+/// One framed record per committed transaction (group commit): the caller
+/// encodes everything the transaction changed into one payload, Append()s
+/// it, and Sync()s once — one fsync per commit whatever the transaction's
+/// length. A record is atomic on recovery: Replay() surfaces only
+/// payloads whose length and CRC check out, stops at the first torn or
+/// corrupt frame, and truncates the file back to the last good boundary
+/// so the next Append starts on clean bytes.
+class Wal {
+ public:
+  /// Opens (creating if needed) the log at `path` for appending.
+  static Result<std::unique_ptr<Wal>> Open(const std::string& path);
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Appends one framed record; returns the framed size in bytes via
+  /// `*framed_bytes` (optional). Buffered in the OS until Sync().
+  ///
+  /// Failure atomicity: a short write (ENOSPC, EIO) would leave a torn
+  /// frame that recovery treats as end-of-log — every later record,
+  /// fsynced or not, would silently vanish behind it. A failed append
+  /// therefore truncates the file back to the last good record boundary;
+  /// if even that fails, the log POISONS itself and rejects all further
+  /// appends (fail-stop), so a commit is never acknowledged behind a
+  /// tear.
+  Status Append(const std::string& payload, size_t* framed_bytes = nullptr);
+
+  /// fsync barrier: everything appended so far is durable on return.
+  Status Sync();
+
+  /// Empties the log (after a checkpoint made its contents redundant).
+  Status TruncateAll();
+
+  /// Closes the file descriptor WITHOUT syncing — pending OS buffers are
+  /// the crash window by design; callers that want durability Sync()
+  /// first. Idempotent.
+  void Close();
+
+  size_t AppendedBytes() const { return appended_bytes_; }
+  size_t SyncCount() const { return sync_count_; }
+
+  /// Replays every complete, checksum-valid record of the log at `path`
+  /// in file order, calling `fn(payload)` for each; stops (successfully)
+  /// at the first torn or corrupt frame and truncates the file to the
+  /// last good record boundary. Returns the number of records surfaced,
+  /// or the first error `fn` reported. A missing file replays 0 records.
+  static Result<size_t> Replay(
+      const std::string& path,
+      const std::function<Status(const std::string&)>& fn);
+
+ private:
+  Wal(int fd, std::string path, size_t file_size)
+      : fd_(fd), path_(std::move(path)), file_size_(file_size) {}
+
+  int fd_ = -1;
+  std::string path_;
+  size_t file_size_ = 0;  // last known-good record boundary
+  bool poisoned_ = false;
+  size_t appended_bytes_ = 0;
+  size_t sync_count_ = 0;
+};
+
+/// fsyncs a directory, making renames/creations inside it durable —
+/// without it, a checkpoint's atomic rename (or a fresh log's directory
+/// entry) can evaporate in a power loss even though its data survived.
+Status SyncDir(const std::string& dir);
+
+/// The directory containing `path` ("." for a bare filename) — the
+/// argument SyncDir needs for a file's directory entry.
+std::string DirOf(const std::string& path);
+
+}  // namespace cpdb::storage

@@ -1,0 +1,72 @@
+#include "util/crc32.h"
+
+namespace cpdb {
+
+namespace {
+
+struct Crc32Table {
+  uint32_t entries[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t n, uint32_t seed) {
+  static const Crc32Table table;
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    c = table.entries[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32(const std::string& s) { return Crc32(s.data(), s.size()); }
+
+void PutVarint64(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+bool GetVarint64(const std::string& in, size_t* pos, uint64_t* out) {
+  uint64_t result = 0;
+  size_t p = *pos;
+  for (int shift = 0; shift < 64 && p < in.size(); shift += 7) {
+    uint8_t byte = static_cast<uint8_t>(in[p++]);
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *pos = p;
+      *out = result;
+      return true;
+    }
+  }
+  return false;  // truncated, or a continuation bit past the 10th byte
+}
+
+void PutLengthPrefixed(std::string* out, const std::string& s) {
+  PutVarint64(out, s.size());
+  out->append(s);
+}
+
+bool GetLengthPrefixed(const std::string& in, size_t* pos, std::string* out) {
+  size_t p = *pos;
+  uint64_t len;
+  if (!GetVarint64(in, &p, &len)) return false;
+  if (len > in.size() - p) return false;
+  out->assign(in, p, len);
+  *pos = p + len;
+  return true;
+}
+
+}  // namespace cpdb

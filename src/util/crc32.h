@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace cpdb {
+
+/// CRC-32 (the IEEE 802.3 polynomial, reflected form 0xEDB88320 — the
+/// checksum of zip/zlib/ethernet) over `n` bytes. Chain incremental
+/// computations by passing the previous result as `seed`; a one-shot call
+/// uses the default seed.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+uint32_t Crc32(const std::string& s);
+
+// ----- Varint / length-prefixed coding ---------------------------------------
+//
+// LEB128-style base-128 varints, little-endian groups of 7 bits with the
+// high bit as a continuation flag — the framing used by the write-ahead
+// log and the checkpoint files (storage/), shared here so record formats
+// stay byte-identical across both and reusable elsewhere.
+
+/// Maximum encoded size of one 64-bit varint.
+inline constexpr size_t kMaxVarint64Bytes = 10;
+
+/// Appends the varint encoding of `v` to `*out`.
+void PutVarint64(std::string* out, uint64_t v);
+
+/// Decodes one varint from `in` starting at `*pos`; advances `*pos` past
+/// it. Returns false (leaving `*pos` untouched) on truncated or overlong
+/// (> 10 byte) input.
+bool GetVarint64(const std::string& in, size_t* pos, uint64_t* out);
+
+/// Appends varint(size) followed by the bytes of `s`.
+void PutLengthPrefixed(std::string* out, const std::string& s);
+
+/// Decodes one length-prefixed string; advances `*pos` past it. Returns
+/// false (leaving `*pos` untouched) if the length or payload is truncated.
+bool GetLengthPrefixed(const std::string& in, size_t* pos, std::string* out);
+
+}  // namespace cpdb

@@ -42,6 +42,12 @@ class RelationalTargetDb : public TargetDb {
   /// op's SQL mechanics run in order, one round trip charged in total.
   Status ApplyBatch(const std::vector<NativeOp>& ops) override;
 
+  /// Group-commit barrier of the backing store — one fsync per committed
+  /// transaction when `db` is durable, a no-op otherwise. When the target
+  /// shares its Database with the provenance backend, data and provenance
+  /// ride the same log record and recover to the same transaction.
+  Status Sync() override { return db_->Sync(); }
+
   relstore::CostModel& cost() override { return db_->cost(); }
 
  private:

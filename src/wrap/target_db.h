@@ -64,6 +64,13 @@ class TargetDb {
     return Status::OK();
   }
 
+  /// Durability barrier, called by the editor once per committed
+  /// transaction after the transaction's native writes. Wrappers over a
+  /// durable store override this to group-commit (RelationalTargetDb
+  /// forwards to Database::Sync); the default is the in-memory no-op, so
+  /// existing wrappers stay correct unmodified.
+  virtual Status Sync() { return Status::OK(); }
+
   /// Accumulated simulated interaction cost.
   virtual relstore::CostModel& cost() = 0;
 };

@@ -493,5 +493,25 @@ TEST(BTreeCursorTest, AdvanceCrossesLeafBoundaries) {
   EXPECT_EQ(expect, n);
 }
 
+
+TEST(BTreeTest, SeekLastFindsMaximumEntry) {
+  BTree bt;
+  EXPECT_FALSE(bt.SeekLast().Valid());  // empty tree
+  for (int i = 0; i < 2000; ++i) {
+    bt.Insert({Datum(int64_t{i})}, {0, static_cast<uint16_t>(i % 100)});
+  }
+  BTree::Cursor last = bt.SeekLast();
+  ASSERT_TRUE(last.Valid());
+  EXPECT_EQ(last.key()[0].AsInt(), 1999);
+  last.Advance();
+  EXPECT_FALSE(last.Valid());  // nothing past the maximum
+  // Stays correct after deletions rebalance the rightmost edge.
+  for (int i = 1999; i > 1990; --i) {
+    EXPECT_TRUE(bt.Erase({Datum(int64_t{i})}, {0, static_cast<uint16_t>(i % 100)}));
+  }
+  EXPECT_EQ(bt.SeekLast().key()[0].AsInt(), 1990);
+  bt.CheckInvariants();
+}
+
 }  // namespace
 }  // namespace cpdb::relstore

@@ -1,0 +1,125 @@
+#include "util/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace cpdb {
+namespace {
+
+TEST(Crc32Test, KnownVectors) {
+  // The standard CRC-32 check value.
+  EXPECT_EQ(Crc32(std::string("123456789")), 0xCBF43926u);
+  EXPECT_EQ(Crc32(std::string("")), 0u);
+  // From the zlib test suite.
+  EXPECT_EQ(Crc32(std::string("a")), 0xE8B7BE43u);
+  EXPECT_EQ(Crc32(std::string("abc")), 0x352441C2u);
+}
+
+TEST(Crc32Test, SeedChainsIncrementalComputation) {
+  std::string all = "hello, durable world";
+  uint32_t one_shot = Crc32(all);
+  uint32_t chained = Crc32(all.data(), 5);
+  chained = Crc32(all.data() + 5, all.size() - 5, chained);
+  EXPECT_EQ(chained, one_shot);
+}
+
+TEST(Crc32Test, DetectsSingleBitFlips) {
+  std::string data(64, '\x5a');
+  uint32_t clean = Crc32(data);
+  for (size_t byte : {size_t{0}, data.size() / 2, data.size() - 1}) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = data;
+      flipped[byte] = static_cast<char>(flipped[byte] ^ (1 << bit));
+      EXPECT_NE(Crc32(flipped), clean)
+          << "undetected flip at byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(VarintTest, RoundTripsBoundaryValues) {
+  const uint64_t cases[] = {0,
+                            1,
+                            127,
+                            128,
+                            16383,
+                            16384,
+                            (1ull << 32) - 1,
+                            1ull << 32,
+                            std::numeric_limits<uint64_t>::max()};
+  for (uint64_t v : cases) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    EXPECT_LE(buf.size(), kMaxVarint64Bytes);
+    size_t pos = 0;
+    uint64_t out = 0;
+    ASSERT_TRUE(GetVarint64(buf, &pos, &out)) << v;
+    EXPECT_EQ(out, v);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(VarintTest, EncodingIsCompactAndConcatenable) {
+  std::string buf;
+  PutVarint64(&buf, 5);
+  EXPECT_EQ(buf.size(), 1u);  // one byte below 128
+  PutVarint64(&buf, 300);
+  PutVarint64(&buf, 0);
+  size_t pos = 0;
+  uint64_t a, b, c;
+  ASSERT_TRUE(GetVarint64(buf, &pos, &a));
+  ASSERT_TRUE(GetVarint64(buf, &pos, &b));
+  ASSERT_TRUE(GetVarint64(buf, &pos, &c));
+  EXPECT_EQ(a, 5u);
+  EXPECT_EQ(b, 300u);
+  EXPECT_EQ(c, 0u);
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(VarintTest, TruncatedInputFailsWithoutAdvancing) {
+  std::string buf;
+  PutVarint64(&buf, 1ull << 40);
+  buf.pop_back();  // cut the terminating byte
+  size_t pos = 0;
+  uint64_t out;
+  EXPECT_FALSE(GetVarint64(buf, &pos, &out));
+  EXPECT_EQ(pos, 0u);
+}
+
+TEST(VarintTest, OverlongEncodingRejected) {
+  // Eleven continuation bytes can never terminate a 64-bit varint.
+  std::string buf(11, '\x80');
+  size_t pos = 0;
+  uint64_t out;
+  EXPECT_FALSE(GetVarint64(buf, &pos, &out));
+}
+
+TEST(LengthPrefixedTest, RoundTripsBinaryPayloads) {
+  std::string payload("\x00\xff framed \n bytes", 17);
+  std::string buf;
+  PutLengthPrefixed(&buf, payload);
+  PutLengthPrefixed(&buf, "");
+  size_t pos = 0;
+  std::string a, b;
+  ASSERT_TRUE(GetLengthPrefixed(buf, &pos, &a));
+  ASSERT_TRUE(GetLengthPrefixed(buf, &pos, &b));
+  EXPECT_EQ(a, payload);
+  EXPECT_EQ(b, "");
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(LengthPrefixedTest, TruncatedPayloadFails) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "twelve bytes");
+  buf.resize(buf.size() - 3);
+  size_t pos = 0;
+  std::string out;
+  EXPECT_FALSE(GetLengthPrefixed(buf, &pos, &out));
+  EXPECT_EQ(pos, 0u);
+}
+
+}  // namespace
+}  // namespace cpdb

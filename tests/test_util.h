@@ -1,11 +1,40 @@
 #pragma once
 
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
 #include <memory>
 #include <string>
 
 #include "cpdb/cpdb.h"
 
 namespace cpdb::testutil {
+
+/// Self-cleaning scratch directory for durability/recovery tests.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    static std::atomic<int> counter{0};
+    path_ = (std::filesystem::temp_directory_path() /
+             ("cpdb_" + tag + "_" + std::to_string(::getpid()) + "_" +
+              std::to_string(counter++)))
+                .string();
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
 
 /// The source and target trees of the paper's Figure 4 (leaf values are
 /// chosen to be pairwise distinguishable; the provenance tables of
