@@ -1,0 +1,256 @@
+// Closed-loop multi-session driver for the service layer: N curator
+// threads run transactions against ONE shared engine (src/service/),
+// sweeping thread count x transaction length.
+//
+// What to look at:
+//  * fsyncs_per_commit — the group-commit combining factor. At one
+//    thread every commit pays its own fsync (ratio 1.0); with concurrent
+//    committers the leader seals whole cohorts under one fsync and the
+//    ratio drops below 1 (the PRISM-style opportunistic-combining win).
+//  * commits_per_sec / ops_per_sec — real wall-clock throughput of the
+//    closed loop (these are NOT simulated costs; the modelled round-trip
+//    counters are reported alongside from the engine's cost aggregate).
+//  * p50/p99_commit_us — real commit latency, including the queue wait
+//    and the cohort's shared fsync.
+//
+// Runs durably by default (--durable=bench-concurrent-wal, wiped per
+// configuration) because fsync combining is the point; --durable= (empty)
+// measures the in-memory engine, where fsyncs are structurally zero.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <system_error>
+#include <thread>
+#include <vector>
+
+#include "cpdb/cpdb.h"
+#include "harness.h"
+
+namespace {
+
+using namespace cpdb;
+using namespace cpdb::bench;
+using tree::Path;
+using update::Script;
+using update::Update;
+
+std::vector<size_t> ParseSizeList(const std::string& text,
+                                  std::vector<size_t> def) {
+  std::vector<size_t> out;
+  std::string cur;
+  for (char c : text + ",") {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(std::stoul(cur));
+      cur.clear();
+    } else if (c >= '0' && c <= '9') {
+      cur += c;
+    }
+  }
+  return out.empty() ? def : out;
+}
+
+provenance::Strategy ParseStrategy(const std::string& s) {
+  if (s == "N") return provenance::Strategy::kNaive;
+  if (s == "H") return provenance::Strategy::kHierarchical;
+  if (s == "T") return provenance::Strategy::kTransactional;
+  return provenance::Strategy::kHierarchicalTransactional;
+}
+
+bool PerOp(provenance::Strategy s) {
+  return s == provenance::Strategy::kNaive ||
+         s == provenance::Strategy::kHierarchical;
+}
+
+/// Transaction `txn` of thread `thread`: exactly `txn_len` update
+/// operations inside the thread's own subtree T/t<thread> (disjoint
+/// across threads — the curator model the service layer is exact for).
+Script MakeTxn(size_t thread, size_t txn, size_t txn_len) {
+  std::string root = "t" + std::to_string(thread);
+  Path base = Path::MustParse("T").Child(root);
+  Script script;
+  if (txn == 0) {
+    script.push_back(Update::Insert(Path::MustParse("T"), root));
+    if (script.size() == txn_len) return script;
+  }
+  std::string n = "n" + std::to_string(txn);
+  script.push_back(Update::Insert(base, n));
+  while (script.size() < txn_len) {
+    script.push_back(Update::Insert(
+        base.Child(n), "f" + std::to_string(script.size()),
+        tree::Value(static_cast<int64_t>(txn * 1000 + script.size()))));
+  }
+  return script;
+}
+
+struct RunResult {
+  size_t commits = 0;
+  size_t ops = 0;
+  double wall_ms = 0;
+  size_t fsyncs = 0;
+  size_t log_bytes = 0;
+  service::CommitQueue::Stats queue;
+  relstore::CostSnapshot cost;  ///< engine aggregate over all sessions
+  double p50_commit_us = 0;
+  double p99_commit_us = 0;
+};
+
+RunResult RunOnce(provenance::Strategy strategy, size_t threads,
+                  size_t txn_len, size_t txns_per_thread,
+                  const std::string& durable_dir) {
+  RunResult res;
+  std::unique_ptr<relstore::Database> db;
+  if (durable_dir.empty()) {
+    db = std::make_unique<relstore::Database>("provdb");
+  } else {
+    std::error_code ec;
+    std::filesystem::remove_all(durable_dir, ec);
+    auto opened = relstore::Database::Open("provdb", durable_dir);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "durable open: %s\n",
+                   opened.status().ToString().c_str());
+      std::exit(2);
+    }
+    db = std::move(opened).value();
+  }
+  provenance::ProvBackend backend(db.get());
+  wrap::TreeTargetDb target("T", workload::GenMimiLike(200, 7));
+  service::Engine engine(&backend, &target);
+  service::SessionOptions opts;
+  opts.strategy = strategy;
+  service::SessionPool pool(&engine, opts);
+
+  size_t fsyncs0 = db->cost().Fsyncs();
+  size_t log0 = db->cost().LogBytes();
+
+  std::vector<std::vector<double>> latencies(threads);
+  Stopwatch wall;
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      auto acquired = pool.Acquire();
+      if (!acquired.ok()) {
+        std::fprintf(stderr, "acquire: %s\n",
+                     acquired.status().ToString().c_str());
+        std::exit(2);
+      }
+      std::unique_ptr<service::Session> session = std::move(*acquired);
+      latencies[t].reserve(txns_per_thread);
+      for (size_t i = 0; i < txns_per_thread; ++i) {
+        Script script = MakeTxn(t, i, txn_len);
+        Status st;
+        Stopwatch commit_clock;
+        if (PerOp(strategy)) {
+          // The staged script IS the group-committed unit for N/H.
+          st = session->ApplyScript(script);
+        } else {
+          st = session->ApplyScript(script);
+          if (st.ok()) {
+            commit_clock.Restart();
+            st = session->Commit();
+          }
+        }
+        if (!st.ok()) {
+          std::fprintf(stderr, "txn: %s\n", st.ToString().c_str());
+          std::exit(2);
+        }
+        latencies[t].push_back(commit_clock.ElapsedMicros());
+      }
+      pool.Release(std::move(session));
+    });
+  }
+  for (auto& th : workers) th.join();
+  res.wall_ms = wall.ElapsedMillis();
+
+  res.commits = threads * txns_per_thread;
+  res.ops = res.commits * txn_len;
+  res.fsyncs = db->cost().Fsyncs() - fsyncs0;
+  res.log_bytes = db->cost().LogBytes() - log0;
+  res.queue = engine.commit_queue().stats();
+  res.cost = engine.cost_totals().Snap();
+
+  std::vector<double> all;
+  for (auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  if (!all.empty()) {
+    res.p50_commit_us = all[all.size() / 2];
+    res.p99_commit_us = all[std::min(all.size() - 1, all.size() * 99 / 100)];
+  }
+
+  Status closed = db->Close();
+  if (!closed.ok()) {
+    std::fprintf(stderr, "close: %s\n", closed.ToString().c_str());
+    std::exit(2);
+  }
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  std::vector<size_t> thread_counts =
+      ParseSizeList(flags.GetString("threads", "1,2,4,8"), {1, 2, 4, 8});
+  std::vector<size_t> txn_lens =
+      ParseSizeList(flags.GetString("txn-lens", "2,8"), {2, 8});
+  size_t txns = static_cast<size_t>(flags.GetInt("txns", 100));
+  provenance::Strategy strategy =
+      ParseStrategy(flags.GetString("strategy", "HT"));
+  std::string durable_dir =
+      flags.GetString("durable", "bench-concurrent-wal");
+
+  JsonReport report("concurrent");
+  report.config()
+      .Set("strategy", provenance::StrategyShortName(strategy))
+      .Set("txns_per_thread", txns)
+      .Set("durable", !durable_dir.empty());
+
+  PrintHeader("Service layer",
+              "multi-session group commit (closed loop, real time)");
+  std::printf("strategy=%s txns/thread=%zu durable=%s\n\n",
+              provenance::StrategyShortName(strategy), txns,
+              durable_dir.empty() ? "no" : durable_dir.c_str());
+  std::printf("%-8s %-8s %9s %10s %8s %10s %9s %11s %11s\n", "threads",
+              "txn-len", "commits", "commits/s", "fsyncs", "fsync/cmt",
+              "maxcohort", "p50(us)", "p99(us)");
+
+  for (size_t threads : thread_counts) {
+    for (size_t txn_len : txn_lens) {
+      RunResult r = RunOnce(strategy, threads, txn_len, txns, durable_dir);
+      double commits_per_sec =
+          r.wall_ms <= 0 ? 0 : r.commits / (r.wall_ms / 1000.0);
+      double fsyncs_per_commit =
+          r.commits == 0 ? 0 : static_cast<double>(r.fsyncs) / r.commits;
+      std::printf("%-8zu %-8zu %9zu %10.0f %8zu %10.3f %9zu %11.1f %11.1f\n",
+                  threads, txn_len, r.commits, commits_per_sec, r.fsyncs,
+                  fsyncs_per_commit, static_cast<size_t>(r.queue.max_cohort),
+                  r.p50_commit_us, r.p99_commit_us);
+      report.AddRow()
+          .Set("threads", threads)
+          .Set("txn_len", txn_len)
+          .Set("commits", r.commits)
+          .Set("ops", r.ops)
+          .Set("wall_ms", r.wall_ms)
+          .Set("commits_per_sec", commits_per_sec)
+          .Set("ops_per_sec",
+               r.wall_ms <= 0 ? 0.0 : r.ops / (r.wall_ms / 1000.0))
+          .Set("fsyncs", r.fsyncs)
+          .Set("fsyncs_per_commit", fsyncs_per_commit)
+          .Set("log_bytes", r.log_bytes)
+          .Set("cohorts", static_cast<size_t>(r.queue.cohorts))
+          .Set("combined_commits", static_cast<size_t>(r.queue.combined))
+          .Set("max_cohort", static_cast<size_t>(r.queue.max_cohort))
+          .Set("p50_commit_us", r.p50_commit_us)
+          .Set("p99_commit_us", r.p99_commit_us)
+          .Set("round_trips", r.cost.calls)
+          .Set("rows_moved", r.cost.rows)
+          .Set("write_round_trips", r.cost.write_calls)
+          .Set("write_rows", r.cost.write_rows);
+    }
+  }
+
+  report.WriteTo(flags.GetString("json", ""));
+  return 0;
+}

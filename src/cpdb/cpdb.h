@@ -89,6 +89,34 @@
 /// per-commit barrier costs one null check. ProvBackend's constructor
 /// now ADOPTS existing Prov/TxnMeta tables (recovered databases) instead
 /// of failing; fresh databases are created as before.
+///
+/// Concurrency (README "Service layer"; src/service/): N curator
+/// sessions over ONE shared engine —
+///
+///   service::Engine engine(&backend, &target);  // tids seeded at attach
+///   service::SessionOptions sopts;               // strategy, sources
+///   service::SessionPool pool(&engine, sopts);
+///   auto session = pool.Acquire().value();       // committed snapshot
+///   session->Apply(...); session->Commit();      // group-committed
+///   { auto g = session->ReadLock();              // shared grant
+///     session->query()->GetMod(p); }             // reads run in parallel
+///   pool.Release(std::move(session));            // folds session costs
+///
+/// Committed transactions apply under the engine's exclusive latch via
+/// leader/follower group commit: concurrent committers form a cohort
+/// that seals under ONE WAL record + ONE fsync (crash-atomic as a unit),
+/// and every transaction number comes from the engine's atomic allocator
+/// so sessions never mint the same tid. Reads (queries, cursor scans)
+/// run concurrently under shared grants; never commit while holding one.
+///
+/// Migration note (sessions vs standalone Editor): a directly created
+/// Editor is unchanged — private sequential tids from first_tid, its own
+/// per-commit fsync — and remains the right tool for single-session use.
+/// Acquire sessions from a SessionPool whenever more than one session
+/// shares a backend; the pool wires EditorOptions::tid_allocator and
+/// ::defer_sync (both new, default-off) so the engine owns numbering and
+/// the durability barrier. Never mix the two against one live backend:
+/// a standalone editor's writes would bypass the engine's latch.
 
 #include "archive/archive.h"          // IWYU pragma: export
 #include "cpdb/editor.h"              // IWYU pragma: export
@@ -99,6 +127,10 @@
 #include "query/own.h"                // IWYU pragma: export
 #include "query/spec.h"               // IWYU pragma: export
 #include "query/trace.h"              // IWYU pragma: export
+#include "service/commit_queue.h"     // IWYU pragma: export
+#include "service/engine.h"           // IWYU pragma: export
+#include "service/latch.h"            // IWYU pragma: export
+#include "service/session.h"          // IWYU pragma: export
 #include "storage/durable.h"          // IWYU pragma: export
 #include "storage/snapshot.h"         // IWYU pragma: export
 #include "storage/wal.h"              // IWYU pragma: export

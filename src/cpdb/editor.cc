@@ -18,6 +18,9 @@ Result<std::unique_ptr<Editor>> Editor::Create(
       ed->universe_.AddChild(target->name(), std::move(initial)));
   ed->store_ = provenance::MakeStore(ed->options_.strategy, backend,
                                      ed->options_.first_tid);
+  if (ed->options_.tid_allocator) {
+    ed->store_->set_tid_allocator(ed->options_.tid_allocator);
+  }
   ed->query_ = std::make_unique<query::QueryEngine>(
       ed->store_.get(), ed->target_root_, &ed->universe_);
   if (ed->options_.enable_approx) {
@@ -110,6 +113,9 @@ Status Editor::PushNative(const Update& u, const tree::Tree* pasted) {
 }
 
 Status Editor::SyncDurable() {
+  // Deferred mode: the service layer's group commit owns the barrier and
+  // seals a whole cohort of transactions with one Sync.
+  if (options_.defer_sync) return Status::OK();
   CPDB_RETURN_IF_ERROR(store_->backend()->db()->Sync());
   return target_->Sync();
 }

@@ -38,6 +38,26 @@ struct EditorOptions {
   /// update (Section 6 extension).
   bool enable_approx = false;
   std::string user = "curator";
+
+  // ----- Service-layer hooks (src/service/) --------------------------------
+  // Standalone editors leave both untouched; multi-session engines set
+  // them so N editors can share one backend safely.
+
+  /// When set, every transaction number comes from this callback instead
+  /// of the store's private sequential counter (service sessions draw
+  /// from the engine's atomic allocator, so concurrent sessions never
+  /// mint the same tid). `first_tid` then only seeds LastCommittedTid's
+  /// pre-first-commit value and should be the engine's last allocated tid
+  /// plus one.
+  provenance::TidAllocator tid_allocator;
+
+  /// When true the editor skips its own per-transaction durability
+  /// barrier: SyncDurable becomes a no-op and the owner of the flag — the
+  /// service layer's group commit — seals whole cohorts of transactions
+  /// with ONE Database::Sync. Never set this for a standalone editor over
+  /// a durable database: its commits would only reach the disk at
+  /// Checkpoint/Close.
+  bool defer_sync = false;
 };
 
 /// The provenance-aware editor/browser at the centre of the paper's

@@ -49,8 +49,19 @@ void CheckAdopted(bool ok, const char* what) {
 
 }  // namespace
 
+ProvBackend ProvBackend::View(ProvBackend* shared,
+                              relstore::CostModel* sink) {
+  ProvBackend view;
+  view.db_ = shared->db_;
+  view.prov_ = shared->prov_;
+  view.meta_ = shared->meta_;
+  view.use_indexes_ = shared->use_indexes_;
+  view.sink_ = sink;
+  return view;
+}
+
 ProvBackend::ProvBackend(relstore::Database* db, bool use_indexes)
-    : db_(db), use_indexes_(use_indexes) {
+    : db_(db), use_indexes_(use_indexes), sink_(&db->cost()) {
   Schema prov_schema({{"Tid", ColumnType::kInt64, false},
                       {"Op", ColumnType::kString, false},
                       {"Loc", ColumnType::kString, false},
@@ -182,7 +193,7 @@ size_t ProvCursor::Next(std::vector<ProvRecord>* batch, size_t max) {
   if (!segments_.empty()) {
     size_t rows = batch->size();
     if (first_fetch_ && !use_indexes_) rows = prov_->RowCount();
-    db_->cost().ChargeCall(rows);
+    sink_->ChargeCall(rows);
     ++round_trips_;
     first_fetch_ = false;
   }
@@ -213,7 +224,7 @@ Status ProvBackend::WriteRecords(const std::vector<ProvRecord>& records) {
   // whole batch with nothing written (the pre-batch path left a partial
   // insert prefix behind). Each index absorbs the batch as one sorted run.
   CPDB_RETURN_IF_ERROR(prov_->ApplyBatch(batch).status());
-  db_->cost().ChargeWrite(records.size(), bytes);
+  sink_->ChargeWrite(records.size(), bytes);
   return Status::OK();
 }
 
@@ -223,7 +234,7 @@ Status ProvBackend::WriteTxnMeta(const TxnMeta& meta) {
           ->Insert(Row{Datum(meta.tid), Datum(meta.user),
                        Datum(meta.commit_seq), Datum(meta.note)})
           .status());
-  db_->cost().ChargeWrite(1);
+  sink_->ChargeWrite(1);
   return Status::OK();
 }
 
@@ -325,7 +336,7 @@ Result<std::vector<ProvRecord>> ProvBackend::LookupMany(
         return true;
       }));
   CPDB_RETURN_IF_ERROR(inner);
-  db_->cost().ChargeCall(use_indexes_ ? out.size() : prov_->RowCount());
+  sink_->ChargeCall(use_indexes_ ? out.size() : prov_->RowCount());
   return out;
 }
 

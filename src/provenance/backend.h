@@ -65,15 +65,16 @@ class ProvCursor {
 
  private:
   friend class ProvBackend;
-  ProvCursor(relstore::Database* db, const relstore::Table* prov,
+  ProvCursor(relstore::CostModel* sink, const relstore::Table* prov,
              bool use_indexes)
-      : db_(db), prov_(prov), use_indexes_(use_indexes), exhausted_(false) {}
+      : sink_(sink), prov_(prov), use_indexes_(use_indexes),
+        exhausted_(false) {}
 
   /// Appends one contiguous index range to the scan; segments are drained
   /// in the order added (a multi-range statement is still one statement).
   void AddSegment(relstore::ScanSpec spec);
 
-  relstore::Database* db_ = nullptr;
+  relstore::CostModel* sink_ = nullptr;
   const relstore::Table* prov_ = nullptr;
   bool use_indexes_ = true;
   bool first_fetch_ = true;
@@ -109,6 +110,23 @@ class ProvBackend {
   /// indexing" the paper names, with Tid appended to make every scan's
   /// ordering deterministic.
   explicit ProvBackend(relstore::Database* db, bool use_indexes = true);
+
+  /// A second handle onto `shared`'s tables whose modelled charges land
+  /// on `sink` instead of the database's own CostModel. This is how the
+  /// service layer gives each concurrent session race-free accounting:
+  /// CostModel is not thread-safe, so sessions reading the shared store
+  /// in parallel must each charge a private model (aggregated later via
+  /// relstore::CostAggregate). The view borrows `shared`'s tables — it
+  /// performs the same reads and writes against the same store.
+  static ProvBackend View(ProvBackend* shared, relstore::CostModel* sink);
+
+  /// A detached handle (no tables, no sink) — only a valid assignment
+  /// target for View(). Every other use is a programming error.
+  ProvBackend() = default;
+
+  /// Where this handle's modelled charges land: the owning database's
+  /// CostModel by default, a session-private model for service views.
+  relstore::CostModel* cost_sink() { return sink_; }
 
   // ----- Writes (one round trip each) -------------------------------------
 
@@ -200,16 +218,17 @@ class ProvBackend {
  private:
   friend class ProvCursor;
 
-  ProvCursor MakeCursor() { return ProvCursor(db_, prov_, use_indexes_); }
+  ProvCursor MakeCursor() { return ProvCursor(sink_, prov_, use_indexes_); }
   static Result<std::vector<ProvRecord>> Drain(ProvCursor cursor);
   static Result<ProvRecord> FromRow(const relstore::Row& row);
   static relstore::Row ToRow(const ProvRecord& rec);
   static size_t ApproxBytes(const ProvRecord& rec);
 
-  relstore::Database* db_;
-  relstore::Table* prov_;
-  relstore::Table* meta_;
-  bool use_indexes_;
+  relstore::Database* db_ = nullptr;
+  relstore::Table* prov_ = nullptr;
+  relstore::Table* meta_ = nullptr;
+  bool use_indexes_ = true;
+  relstore::CostModel* sink_ = nullptr;  ///< defaults to &db_->cost()
 };
 
 }  // namespace cpdb::provenance

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -23,6 +24,15 @@ enum class Strategy {
 
 const char* StrategyName(Strategy s);       // "naive", ...
 const char* StrategyShortName(Strategy s);  // "N", "H", "T", "HT"
+
+/// External transaction-number source. A store with an allocator set
+/// draws every committed tid from it instead of its own sequential
+/// counter — the service layer's engine-wide monotonic allocation, which
+/// keeps concurrent sessions over one shared backend from minting the
+/// same tid (each session's private counter would otherwise start from
+/// the same MaxTid). Called only inside Track*/Commit, i.e. on the thread
+/// applying the transaction.
+using TidAllocator = std::function<int64_t()>;
 
 /// One tracked operation of a staged batch: the update's kind plus the
 /// effect it had on the universe. The editor collects these while
@@ -139,18 +149,28 @@ class ProvStore {
   size_t PhysicalBytes() const { return backend_->PhysicalBytes(); }
   ProvBackend* backend() { return backend_; }
 
+  /// Routes tid allocation through `alloc` (service sessions). With an
+  /// allocator set, CurrentTid() is only a lower bound — the engine hands
+  /// out the real number when the transaction applies.
+  void set_tid_allocator(TidAllocator alloc) {
+    tid_allocator_ = std::move(alloc);
+  }
+
  protected:
   /// Allocates/advances the transaction counter.
   int64_t BumpTid() {
-    last_tid_ = next_tid_;
-    if (first_tid_committed_ == 0) first_tid_committed_ = next_tid_;
-    return next_tid_++;
+    int64_t tid = tid_allocator_ ? tid_allocator_() : next_tid_;
+    next_tid_ = tid + 1;
+    last_tid_ = tid;
+    if (first_tid_committed_ == 0) first_tid_committed_ = tid;
+    return tid;
   }
 
   ProvBackend* backend_;
   int64_t next_tid_;
   int64_t last_tid_;
   int64_t first_tid_committed_ = 0;
+  TidAllocator tid_allocator_;
 };
 
 /// Factory covering all four strategies.

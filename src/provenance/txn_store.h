@@ -88,7 +88,7 @@ class TxnStore : public ProvStore {
   bool InsertInferable(const tree::Path& p) const;
 
   void ChargeLocal() {
-    backend_->db()->cost().ChargeLocal(options_.local_op_us);
+    backend_->cost_sink()->ChargeLocal(options_.local_op_us);
   }
 
   TxnStoreOptions options_;

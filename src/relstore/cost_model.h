@@ -1,6 +1,8 @@
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 
 #include "util/sim_clock.h"
 
@@ -130,6 +132,72 @@ class CostModel {
   size_t write_rows_ = 0;
   size_t fsyncs_ = 0;
   size_t log_bytes_ = 0;
+};
+
+/// Race-free accumulator of CostSnapshots from many threads — the
+/// engine-wide totals of the service layer.
+///
+/// CostModel itself is deliberately NOT thread-safe: it sits on every
+/// charge path and a single session only ever charges it from one thread
+/// at a time (the service layer gives each session its own plain model and
+/// routes backend charges to it — see ProvBackend's cost sink). What IS
+/// shared across threads is the *aggregation*: sessions fold their
+/// snapshots in here (SessionPool::Release, bench teardown), concurrently
+/// with other sessions folding theirs, so every counter is a relaxed
+/// atomic. Snap() reads the counters individually; the result is a sum of
+/// whole snapshots ever folded, not a consistent cut across concurrent
+/// Add() calls — exact once the folding threads have been joined, which is
+/// when benches and tests read it.
+class CostAggregate {
+ public:
+  void Add(const CostSnapshot& s) {
+    AddMicros(s.micros);
+    calls_.fetch_add(s.calls, std::memory_order_relaxed);
+    rows_.fetch_add(s.rows, std::memory_order_relaxed);
+    write_calls_.fetch_add(s.write_calls, std::memory_order_relaxed);
+    write_rows_.fetch_add(s.write_rows, std::memory_order_relaxed);
+    fsyncs_.fetch_add(s.fsyncs, std::memory_order_relaxed);
+    log_bytes_.fetch_add(s.log_bytes, std::memory_order_relaxed);
+  }
+
+  CostSnapshot Snap() const {
+    CostSnapshot s;
+    s.micros = micros_.load(std::memory_order_relaxed);
+    s.calls = calls_.load(std::memory_order_relaxed);
+    s.rows = rows_.load(std::memory_order_relaxed);
+    s.write_calls = write_calls_.load(std::memory_order_relaxed);
+    s.write_rows = write_rows_.load(std::memory_order_relaxed);
+    s.fsyncs = fsyncs_.load(std::memory_order_relaxed);
+    s.log_bytes = log_bytes_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void Reset() {
+    micros_.store(0, std::memory_order_relaxed);
+    calls_.store(0, std::memory_order_relaxed);
+    rows_.store(0, std::memory_order_relaxed);
+    write_calls_.store(0, std::memory_order_relaxed);
+    write_rows_.store(0, std::memory_order_relaxed);
+    fsyncs_.store(0, std::memory_order_relaxed);
+    log_bytes_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  // fetch_add on atomic<double> is C++20; CAS keeps this C++17.
+  void AddMicros(double micros) {
+    double cur = micros_.load(std::memory_order_relaxed);
+    while (!micros_.compare_exchange_weak(cur, cur + micros,
+                                          std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<double> micros_{0};
+  std::atomic<uint64_t> calls_{0};
+  std::atomic<uint64_t> rows_{0};
+  std::atomic<uint64_t> write_calls_{0};
+  std::atomic<uint64_t> write_rows_{0};
+  std::atomic<uint64_t> fsyncs_{0};
+  std::atomic<uint64_t> log_bytes_{0};
 };
 
 }  // namespace cpdb::relstore

@@ -1,0 +1,73 @@
+#include "service/commit_queue.h"
+
+#include <utility>
+#include <vector>
+
+namespace cpdb::service {
+
+Status CommitQueue::Commit(std::function<Status()> apply) {
+  Request req;
+  req.apply = std::move(apply);
+
+  std::unique_lock<std::mutex> l(mu_);
+  queue_.push_back(&req);
+  if (leader_active_) {
+    // Follow: a leader is combining. Wake when our cohort sealed, or when
+    // the finishing leader promoted us to run the next one.
+    wake_.wait(l, [&] { return req.done || req.leader; });
+    if (req.done) return req.result;
+  }
+  leader_active_ = true;
+  RunCohort(l);
+  return req.result;
+}
+
+void CommitQueue::RunCohort(std::unique_lock<std::mutex>& l) {
+  // Acquire the exclusive grant BEFORE draining: every committer that
+  // arrives while we wait out the active readers joins this cohort and
+  // rides our fsync — the opportunistic-combining window.
+  l.unlock();
+  latch_->LockExclusive();
+  l.lock();
+  std::vector<Request*> cohort(queue_.begin(), queue_.end());
+  queue_.clear();
+  l.unlock();
+
+  for (Request* r : cohort) {
+    r->result = r->apply();
+  }
+  if (hooks_.before_seal) hooks_.before_seal(cohort.size());
+  Status sealed = seal_(cohort.size());
+  if (hooks_.after_seal) hooks_.after_seal(cohort.size());
+  latch_->UnlockExclusive();
+
+  l.lock();
+  stats_.commits += cohort.size();
+  stats_.cohorts += 1;
+  stats_.combined += cohort.size() - 1;
+  if (cohort.size() > stats_.max_cohort) stats_.max_cohort = cohort.size();
+  for (Request* r : cohort) {
+    if (!sealed.ok() && r->result.ok()) r->result = sealed;
+    r->done = true;
+  }
+  // One cohort per leader: pass the baton so a hot queue cannot pin one
+  // committer into combining forever.
+  if (!queue_.empty()) {
+    queue_.front()->leader = true;
+  } else {
+    leader_active_ = false;
+  }
+  wake_.notify_all();
+}
+
+size_t CommitQueue::Pending() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return queue_.size();
+}
+
+CommitQueue::Stats CommitQueue::stats() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return stats_;
+}
+
+}  // namespace cpdb::service

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+
+#include <condition_variable>
+
+#include "service/latch.h"
+#include "util/status.h"
+
+namespace cpdb::service {
+
+/// Leader/follower group commit — the PRISM-style opportunistic combiner
+/// over the engine's exclusive latch.
+///
+/// Concurrent committers enqueue their transaction's apply closure and
+/// block. The first arrival (or a promoted successor) becomes the
+/// *leader*: it acquires the exclusive latch — while it waits for active
+/// readers to drain, more committers pile onto the queue — then drains
+/// everything queued as one *cohort*, runs each member's apply closure in
+/// enqueue order (transaction numbers are minted inside the closures via
+/// the engine's allocator, so tid order and apply order coincide by
+/// construction), seals the whole cohort with ONE call to the engine's
+/// seal function (Database::Sync + TargetDb::Sync: one WAL record, one
+/// fsync), releases the latch, and wakes every follower with its own
+/// result. A leader serves exactly one cohort; if the queue refilled
+/// meanwhile, the front waiter is promoted so no thread combines forever.
+///
+/// Error semantics: each member keeps its own apply error (one failed
+/// transaction does not poison its cohort-mates — their writes are
+/// independent and still seal). A seal failure is reported to every
+/// member whose apply succeeded: their writes did not become durable, and
+/// the durability engine fail-stops (storage::Durability::Sync), so no
+/// later cohort can leapfrog the gap.
+///
+/// Crash atomicity: the cohort's writes ride one WAL record, so recovery
+/// sees all of them or none — a crash after the leader's fsync keeps the
+/// whole cohort, a crash before loses the whole cohort (see
+/// tests/service_test.cc's capture-and-reopen crash tests).
+class CommitQueue {
+ public:
+  /// `seal` makes everything the cohort applied durable in one barrier;
+  /// it receives the cohort size and runs under the exclusive latch.
+  CommitQueue(SharedLatch* latch, std::function<Status(size_t)> seal)
+      : latch_(latch), seal_(std::move(seal)) {}
+
+  /// Commits one transaction: enqueues `apply`, combines with whatever
+  /// else is committing, and returns once this transaction is applied and
+  /// sealed (or failed). `apply` runs under the exclusive latch, possibly
+  /// on another committer's thread.
+  Status Commit(std::function<Status()> apply);
+
+  /// Committers currently enqueued and not yet applied.
+  size_t Pending() const;
+
+  struct Stats {
+    uint64_t commits = 0;   ///< transactions committed
+    uint64_t cohorts = 0;   ///< exclusive grants (= seal calls)
+    uint64_t combined = 0;  ///< commits that rode another leader's seal
+    uint64_t max_cohort = 0;
+  };
+  Stats stats() const;
+
+  /// Test-only crash injection around the seal (service_test's
+  /// crash-during-group-commit coverage). Called on the leader thread,
+  /// cohort size as argument, exclusive latch held.
+  struct TestHooks {
+    std::function<void(size_t)> before_seal;
+    std::function<void(size_t)> after_seal;
+  };
+  void set_test_hooks(TestHooks hooks) { hooks_ = std::move(hooks); }
+
+ private:
+  struct Request {
+    std::function<Status()> apply;
+    Status result;
+    bool done = false;
+    bool leader = false;  ///< promoted: wake up and run the next cohort
+  };
+
+  /// Runs one cohort. Called with `l` held and this thread as leader;
+  /// returns with `l` held, the cohort done, and leadership passed on (or
+  /// released).
+  void RunCohort(std::unique_lock<std::mutex>& l);
+
+  SharedLatch* latch_;
+  std::function<Status(size_t)> seal_;
+  TestHooks hooks_;
+
+  mutable std::mutex mu_;
+  std::condition_variable wake_;
+  std::deque<Request*> queue_;
+  bool leader_active_ = false;
+  Stats stats_;
+};
+
+}  // namespace cpdb::service

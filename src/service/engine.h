@@ -1,0 +1,112 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "provenance/backend.h"
+#include "relstore/cost_model.h"
+#include "service/commit_queue.h"
+#include "service/latch.h"
+#include "util/status.h"
+#include "wrap/target_db.h"
+
+namespace cpdb::service {
+
+/// The multi-session engine: ONE shared curated target + provenance
+/// backend (over one — possibly durable — relstore::Database), served to
+/// N concurrent curator sessions.
+///
+/// Three shared facilities (see README "Service layer"):
+///
+///  * the epoch-based SharedLatch — read-only sessions hold shared
+///    grants; committed transactions apply under the commit queue's
+///    exclusive grant, which advances the epoch;
+///  * the CommitQueue — leader/follower group commit, ONE WAL record and
+///    ONE fsync per cohort via SyncShared();
+///  * engine-wide monotonic tid allocation — NextTid() is an atomic
+///    counter fed once at attach from ProvBackend::MaxTid() (which also
+///    consults TxnMeta), replacing the per-store sequential counters that
+///    would race and mint duplicate tids across sessions.
+///
+/// The engine also aggregates per-session CostModels into a race-free
+/// CostAggregate (sessions charge plain private models; SessionPool folds
+/// them in on release), so bench totals over concurrent sessions are
+/// exact without putting atomics on every charge path.
+///
+/// The engine borrows `backend` and `target`; both must outlive it, and
+/// once the engine is attached every write to either must go through a
+/// session commit (the editor rule "writable only via high-level
+/// interfaces", now with "…of one engine" appended).
+class Engine {
+ public:
+  /// Attaches to the shared store. Seeds the tid allocator from
+  /// ProvBackend::MaxTid(), so a reopened durable store continues its
+  /// transaction numbering exactly like a standalone session would.
+  Engine(provenance::ProvBackend* backend, wrap::TargetDb* target)
+      : backend_(backend),
+        target_(target),
+        base_tid_(backend->MaxTid()),
+        next_tid_(base_tid_ + 1),
+        queue_(&latch_, [this](size_t) { return SyncShared(); }) {}
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Mints the next engine-wide transaction number. Thread-safe; called
+  /// by the sessions' provenance stores from inside commit closures.
+  int64_t NextTid() { return next_tid_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Largest tid handed out so far (base_tid when none yet).
+  int64_t LastAllocatedTid() const {
+    return next_tid_.load(std::memory_order_relaxed) - 1;
+  }
+
+  /// Tid the engine attached at: LastAllocatedTid() == base_tid() means
+  /// no transaction has committed through this engine yet.
+  int64_t base_tid() const { return base_tid_; }
+
+  /// Shared grant for a batch of reads (queries, scans, snapshots).
+  /// Never commit while holding one — the commit would deadlock behind
+  /// the leader waiting for the grant to drain.
+  SharedLatch::ReadGuard Read() { return SharedLatch::ReadGuard(latch_); }
+
+  /// Commits one transaction through the group-commit queue. `apply`
+  /// runs under the exclusive latch (possibly on another committer's
+  /// thread) and must contain every shared-state write of the
+  /// transaction; the cohort seals with one SyncShared().
+  Status Commit(std::function<Status()> apply) {
+    return queue_.Commit(std::move(apply));
+  }
+
+  /// The cohort seal: ONE durable group commit covering everything the
+  /// cohort wrote — Database::Sync seals the provenance store's (and a
+  /// shared relational target's) journal into one WAL record + one fsync,
+  /// then the target's own barrier runs (free when it shares the
+  /// Database or is in-memory).
+  Status SyncShared() {
+    CPDB_RETURN_IF_ERROR(backend_->db()->Sync());
+    return target_->Sync();
+  }
+
+  SharedLatch& latch() { return latch_; }
+  CommitQueue& commit_queue() { return queue_; }
+  provenance::ProvBackend* backend() { return backend_; }
+  wrap::TargetDb* target() { return target_; }
+  relstore::Database* db() { return backend_->db(); }
+
+  /// Engine-wide totals of released sessions' cost models (plus anything
+  /// folded in explicitly). Thread-safe.
+  relstore::CostAggregate& cost_totals() { return cost_totals_; }
+
+ private:
+  provenance::ProvBackend* backend_;
+  wrap::TargetDb* target_;
+  int64_t base_tid_;  ///< initialized before next_tid_ (declaration order)
+  std::atomic<int64_t> next_tid_;
+  SharedLatch latch_;
+  CommitQueue queue_;
+  relstore::CostAggregate cost_totals_;
+};
+
+}  // namespace cpdb::service

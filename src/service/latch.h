@@ -1,0 +1,110 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace cpdb::service {
+
+/// The engine's epoch-based shared/exclusive latch.
+///
+/// Read-only sessions (GetMod, Lookup, cursor scans) run concurrently
+/// under shared grants; the commit queue's leader applies a whole cohort
+/// of committed transactions under one exclusive grant. Every exclusive
+/// release advances the *epoch* — the version number of the shared
+/// engine state. Sessions stamp the epoch when they snapshot the target
+/// (SessionPool::Acquire) and compare it on reuse: a stale stamp means
+/// committed transactions have landed since, so the snapshot must be
+/// rebuilt. Cursors obey the same rule as in the single-session world —
+/// drain them under one shared grant; any epoch advance invalidates them.
+///
+/// Writer preference: once a committer is waiting, new shared requests
+/// queue behind it. This bounds group-commit latency under a heavy read
+/// load and, usefully, lets the cohort gather — while the leader waits
+/// for active readers to drain, more committers pile onto the queue and
+/// ride the same exclusive grant and fsync.
+///
+/// Not reentrant. A thread must never request the latch while holding it
+/// (in particular: never commit while holding a read grant — the commit
+/// blocks on the leader, which blocks on the read grant).
+class SharedLatch {
+ public:
+  void LockShared() {
+    std::unique_lock<std::mutex> l(mu_);
+    can_read_.wait(l, [&] { return !writer_ && writers_waiting_ == 0; });
+    ++readers_;
+  }
+
+  void UnlockShared() {
+    std::lock_guard<std::mutex> l(mu_);
+    if (--readers_ == 0) can_write_.notify_one();
+  }
+
+  void LockExclusive() {
+    std::unique_lock<std::mutex> l(mu_);
+    ++writers_waiting_;
+    can_write_.wait(l, [&] { return !writer_ && readers_ == 0; });
+    --writers_waiting_;
+    writer_ = true;
+  }
+
+  void UnlockExclusive() {
+    std::lock_guard<std::mutex> l(mu_);
+    writer_ = false;
+    epoch_.fetch_add(1, std::memory_order_release);
+    can_write_.notify_one();
+    can_read_.notify_all();
+  }
+
+  /// Number of exclusive sections ever completed — the version of the
+  /// shared state. Readable without the latch.
+  uint64_t Epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// RAII shared grant.
+  class ReadGuard {
+   public:
+    explicit ReadGuard(SharedLatch& latch) : latch_(&latch) {
+      latch_->LockShared();
+    }
+    ~ReadGuard() {
+      if (latch_ != nullptr) latch_->UnlockShared();
+    }
+    ReadGuard(ReadGuard&& o) : latch_(o.latch_) { o.latch_ = nullptr; }
+    ReadGuard& operator=(ReadGuard&&) = delete;
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+
+   private:
+    SharedLatch* latch_;
+  };
+
+  /// RAII exclusive grant.
+  class WriteGuard {
+   public:
+    explicit WriteGuard(SharedLatch& latch) : latch_(&latch) {
+      latch_->LockExclusive();
+    }
+    ~WriteGuard() {
+      if (latch_ != nullptr) latch_->UnlockExclusive();
+    }
+    WriteGuard(WriteGuard&& o) : latch_(o.latch_) { o.latch_ = nullptr; }
+    WriteGuard& operator=(WriteGuard&&) = delete;
+    WriteGuard(const WriteGuard&) = delete;
+    WriteGuard& operator=(const WriteGuard&) = delete;
+
+   private:
+    SharedLatch* latch_;
+  };
+
+ private:
+  std::mutex mu_;
+  std::condition_variable can_read_;
+  std::condition_variable can_write_;
+  size_t readers_ = 0;
+  size_t writers_waiting_ = 0;
+  bool writer_ = false;
+  std::atomic<uint64_t> epoch_{0};
+};
+
+}  // namespace cpdb::service

@@ -1,0 +1,109 @@
+#include "service/session.h"
+
+namespace cpdb::service {
+
+Status Session::Apply(const update::Update& u) {
+  if (per_op_) {
+    // One op = one transaction (N/H): apply under the exclusive grant and
+    // ride the cohort's single fsync.
+    return engine_->Commit([&] { return editor_->ApplyUpdate(u); });
+  }
+  return editor_->ApplyUpdate(u);
+}
+
+Status Session::ApplyScript(const update::Script& script, size_t* applied) {
+  if (per_op_) {
+    // The whole staged batch (one tid per op, one WriteRecords, one
+    // native ApplyBatch) is one commit unit.
+    return engine_->Commit(
+        [&] { return editor_->ApplyScript(script, applied); });
+  }
+  return editor_->ApplyScript(script, applied);
+}
+
+Status Session::Commit() {
+  if (per_op_) return editor_->Commit();  // store-level no-op, latch-free
+  return engine_->Commit([&] { return editor_->Commit(); });
+}
+
+Status Session::Abort() { return editor_->Abort(); }
+
+Result<std::unique_ptr<Session>> SessionPool::Acquire() {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    uint64_t now = engine_->latch().Epoch();
+    while (!free_.empty()) {
+      std::unique_ptr<Session> s = std::move(free_.back());
+      free_.pop_back();
+      if (s->base_epoch_ == now) {
+        ++reused_;
+        return s;
+      }
+      // Stale snapshot: committed transactions landed since this session
+      // was pooled. Its cost was folded at Release; just drop it.
+    }
+  }
+  return Build();
+}
+
+Result<std::unique_ptr<Session>> SessionPool::Build() {
+  // One builder at a time: snapshotting reads the shared wrappers, and a
+  // relational target/source charges the shared database's CostModel from
+  // TreeFromDb — safe against committers via the read grant below, and
+  // against other builders only by this serialization (Release and
+  // Acquire stay on mu_ so they never block behind a slow snapshot).
+  std::lock_guard<std::mutex> build_lock(build_mu_);
+  std::unique_ptr<Session> s(new Session());
+  s->engine_ = engine_;
+  s->options_ = options_;
+  s->per_op_ = options_.strategy == provenance::Strategy::kNaive ||
+               options_.strategy == provenance::Strategy::kHierarchical;
+  s->cost_.set_params(engine_->db()->cost().params());
+  s->backend_view_ =
+      provenance::ProvBackend::View(engine_->backend(), &s->cost_);
+
+  // Snapshot under a shared grant: the target's tree view and the
+  // last-allocated tid must come from the same committed state.
+  auto guard = engine_->Read();
+  EditorOptions opts;
+  opts.strategy = options_.strategy;
+  opts.first_tid = engine_->LastAllocatedTid() + 1;
+  opts.record_txn_meta = options_.record_txn_meta;
+  opts.user = options_.user;
+  opts.tid_allocator = [engine = engine_] { return engine->NextTid(); };
+  opts.defer_sync = true;  // the engine's cohort seal owns the barrier
+  CPDB_ASSIGN_OR_RETURN(
+      s->editor_,
+      Editor::Create(engine_->target(), &s->backend_view_, std::move(opts)));
+  for (wrap::SourceDb* src : options_.sources) {
+    CPDB_RETURN_IF_ERROR(s->editor_->MountSource(src));
+  }
+  s->base_epoch_ = engine_->latch().Epoch();
+  std::lock_guard<std::mutex> l(mu_);
+  ++built_;
+  return s;
+}
+
+void SessionPool::Release(std::unique_ptr<Session> session) {
+  if (session == nullptr) return;
+  if (session->editor_->PendingOps() > 0 ||
+      session->editor_->store()->HasPending()) {
+    (void)session->Abort();
+  }
+  engine_->cost_totals().Add(session->cost_.Snap());
+  session->cost_.Reset();
+  std::lock_guard<std::mutex> l(mu_);
+  free_.push_back(std::move(session));
+}
+
+size_t SessionPool::built() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return built_;
+}
+
+size_t SessionPool::reused() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return reused_;
+}
+
+}  // namespace cpdb::service

@@ -1,0 +1,142 @@
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cpdb/editor.h"
+#include "service/engine.h"
+
+namespace cpdb::service {
+
+/// Configuration shared by every session a pool hands out.
+struct SessionOptions {
+  provenance::Strategy strategy =
+      provenance::Strategy::kHierarchicalTransactional;
+  /// Read-only sources every session mounts (borrowed; outlive the pool).
+  std::vector<wrap::SourceDb*> sources;
+  bool record_txn_meta = false;
+  std::string user = "curator";
+};
+
+/// One curator's session against a shared Engine: an Editor over a
+/// private snapshot of the target, wired into the engine's tid allocator,
+/// group-commit queue, and per-session cost accounting.
+///
+/// Concurrency contract (README "Service layer"):
+///
+///  * Staging is private. For T/HT, Apply/ApplyScript only touch the
+///    session's universe and in-memory provlist — no latch needed, any
+///    number of sessions stage concurrently. Commit() ships the staged
+///    transaction through the engine's CommitQueue, which applies it
+///    under the exclusive latch and seals it with the cohort's one fsync.
+///  * Per-op strategies commit per unit. For N/H every Apply (one
+///    transaction) and every ApplyScript (one staged batch, one tid per
+///    op) is a commit unit: it runs wholesale under the exclusive latch
+///    via the CommitQueue. Commit() is the usual harmless no-op.
+///  * Reads take a shared grant. Wrap every batch of queries/scans in
+///    `auto g = session->ReadLock();` and drain cursors before releasing
+///    it. Never commit while holding a grant.
+///  * The snapshot ages. The universe reflects the committed state as of
+///    acquire (stamped with the latch epoch); other sessions' commits do
+///    not appear in it. Release the session and re-acquire to refresh —
+///    the pool rebuilds stale sessions. Disjoint-subtree curation (each
+///    session editing its own region) is exact under this model; sessions
+///    racing updates to the SAME path see first-committer-wins at the
+///    store level, not merged views.
+///
+/// All modelled charges (backend round trips, rows, local work) land on
+/// the session's private CostModel — race-free by construction — and fold
+/// into Engine::cost_totals() when the pool takes the session back.
+class Session {
+ public:
+  /// Stages (T/HT) or commits (N/H) one update.
+  Status Apply(const update::Update& u);
+
+  /// Stages (T/HT) or commits as one group-committed batch (N/H) a whole
+  /// script. Same per-op semantics as Editor::ApplyScript.
+  Status ApplyScript(const update::Script& script, size_t* applied = nullptr);
+
+  /// Commits the staged transaction through the engine's group-commit
+  /// queue (T/HT; blocks until the cohort's seal). No-op for N/H.
+  Status Commit();
+
+  /// Reverts the uncommitted transaction (T/HT; local, latch-free).
+  Status Abort();
+
+  /// Shared grant over the engine state for a batch of reads.
+  SharedLatch::ReadGuard ReadLock() { return engine_->Read(); }
+
+  /// The session's query engine (hold a ReadLock while using it).
+  query::QueryEngine* query() { return editor_->query(); }
+
+  /// The session's handle on the shared provenance store; reads through
+  /// it charge this session's CostModel (hold a ReadLock).
+  provenance::ProvBackend* backend() { return &backend_view_; }
+
+  /// The underlying editor (advanced use; the concurrency contract above
+  /// still applies to every call made through it).
+  Editor* editor() { return editor_.get(); }
+
+  /// Tid of this session's last committed transaction.
+  int64_t LastCommittedTid() const { return editor_->store()->LastCommittedTid(); }
+
+  /// This session's private interaction costs so far.
+  relstore::CostModel& cost() { return cost_; }
+
+  /// Latch epoch the session's snapshot was taken at; stale when the
+  /// engine's epoch has moved past it.
+  uint64_t base_epoch() const { return base_epoch_; }
+
+  Engine* engine() { return engine_; }
+
+ private:
+  friend class SessionPool;
+  Session() = default;
+
+  bool per_op_ = false;
+  Engine* engine_ = nullptr;
+  SessionOptions options_;
+  relstore::CostModel cost_;
+  provenance::ProvBackend backend_view_;
+  std::unique_ptr<Editor> editor_;
+  uint64_t base_epoch_ = 0;
+};
+
+/// Hands out Sessions against one Engine and takes them back.
+///
+/// Acquire() reuses a pooled session whose snapshot epoch is still
+/// current, else builds a fresh one (snapshotting the target under a
+/// shared grant). Release() folds the session's CostModel into the
+/// engine's totals and pools the session for reuse. Thread-safe; building
+/// is serialized on the pool's mutex.
+class SessionPool {
+ public:
+  SessionPool(Engine* engine, SessionOptions options)
+      : engine_(engine), options_(std::move(options)) {}
+
+  /// A session over the current committed state.
+  Result<std::unique_ptr<Session>> Acquire();
+
+  /// Returns a session to the pool. The session must have no staged
+  /// transaction (Commit or Abort first); a pending one is aborted here,
+  /// matching a curator closing their editor mid-edit.
+  void Release(std::unique_ptr<Session> session);
+
+  size_t built() const;
+  size_t reused() const;
+
+ private:
+  Result<std::unique_ptr<Session>> Build();
+
+  Engine* engine_;
+  SessionOptions options_;
+  mutable std::mutex mu_;       ///< freelist + counters
+  std::mutex build_mu_;         ///< serializes Build (see session.cc)
+  std::vector<std::unique_ptr<Session>> free_;
+  size_t built_ = 0;
+  size_t reused_ = 0;
+};
+
+}  // namespace cpdb::service

@@ -1,0 +1,544 @@
+// The concurrent service layer (src/service/): N curator sessions over
+// ONE shared engine.
+//
+// The core property is oracle equivalence: whatever interleaving the
+// threads produce, the committed interleaving is totally ordered by the
+// engine's tid allocation, and replaying the committed transactions in
+// tid order through a plain single-threaded Editor must reproduce the
+// shared state bit for bit — provenance table, curated target content,
+// and GetMod answers — for all four strategies. On top of that:
+// engine-wide tid uniqueness (the old per-store counters would mint
+// duplicates), leader/follower cohort combining with one fsync per
+// cohort, crash atomicity of a group-committed cohort (whole cohort
+// durable after the leader's fsync, whole cohort absent before it),
+// session pooling, and race-free cost aggregation.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace cpdb {
+namespace {
+
+using provenance::ProvRecord;
+using provenance::Strategy;
+using service::Engine;
+using service::Session;
+using service::SessionPool;
+using testutil::TempDir;
+using tree::Path;
+using update::Script;
+using update::Update;
+
+constexpr Strategy kStrategies[] = {
+    Strategy::kNaive, Strategy::kHierarchical, Strategy::kTransactional,
+    Strategy::kHierarchicalTransactional};
+
+bool PerOp(Strategy s) {
+  return s == Strategy::kNaive || s == Strategy::kHierarchical;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Everything one engine run needs, over an in-memory store.
+struct Rig {
+  explicit Rig(Strategy strategy) {
+    prov_db = std::make_unique<relstore::Database>("provdb");
+    backend = std::make_unique<provenance::ProvBackend>(prov_db.get());
+    target = std::make_unique<wrap::TreeTargetDb>(
+        "T", testutil::Figure4TargetT());
+    s1 = std::make_unique<wrap::TreeSourceDb>("S1",
+                                              testutil::Figure4SourceS1());
+    engine = std::make_unique<Engine>(backend.get(), target.get());
+    service::SessionOptions opts;
+    opts.strategy = strategy;
+    opts.sources = {s1.get()};
+    pool = std::make_unique<SessionPool>(engine.get(), opts);
+  }
+
+  std::unique_ptr<relstore::Database> prov_db;
+  std::unique_ptr<provenance::ProvBackend> backend;
+  std::unique_ptr<wrap::TreeTargetDb> target;
+  std::unique_ptr<wrap::TreeSourceDb> s1;
+  std::unique_ptr<Engine> engine;
+  std::unique_ptr<SessionPool> pool;
+};
+
+/// The deterministic per-writer workload: txn 0 creates the writer's own
+/// subtree under T; later txns insert a node with a value, copy a source
+/// entry below it, and every third txn delete the previous node. All
+/// paths stay inside T/w<i>, so concurrent writers are disjoint.
+Script WriterScript(int writer, int txn) {
+  std::string w = "w" + std::to_string(writer);
+  Script script;
+  if (txn == 0) {
+    script.push_back(Update::Insert(Path::MustParse("T"), w));
+    return script;
+  }
+  std::string n = "n" + std::to_string(txn);
+  Path base = Path::MustParse("T/" + w);
+  script.push_back(Update::Insert(base, n));
+  script.push_back(
+      Update::Insert(base.Child(n), "v", tree::Value(int64_t{txn})));
+  script.push_back(Update::Copy(Path::MustParse("S1/a1"),
+                                base.Child(n).Child("c")));
+  if (txn % 3 == 2) {
+    script.push_back(Update::Delete(base, "n" + std::to_string(txn - 1)));
+  }
+  return script;
+}
+
+/// One committed unit of the concurrent run: the script plus the tid
+/// range it committed under (per-op strategies consume one tid per op).
+struct CommittedUnit {
+  int64_t first_tid = 0;
+  Script script;
+};
+
+// ----- Engine-wide tid allocation ------------------------------------------
+
+TEST(ServiceTidTest, ConcurrentAllocationNeverMintsDuplicates) {
+  relstore::Database db("provdb");
+  provenance::ProvBackend backend(&db);
+  wrap::TreeTargetDb target("T", testutil::Figure4TargetT());
+  Engine engine(&backend, &target);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::vector<int64_t>> minted(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      minted[t].reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i) minted[t].push_back(engine.NextTid());
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::set<int64_t> all;
+  for (const auto& v : minted) all.insert(v.begin(), v.end());
+  EXPECT_EQ(all.size(), size_t{kThreads * kPerThread});
+  EXPECT_EQ(*all.begin(), engine.base_tid() + 1);
+  EXPECT_EQ(*all.rbegin(), engine.base_tid() + kThreads * kPerThread);
+}
+
+// Regression for the pre-service hazard: two editors over one backend
+// each started their tid counter from the same MaxTid and committed the
+// SAME tid. Engine-backed sessions must never collide, however their
+// commits interleave.
+TEST(ServiceTidTest, InterleavedSessionsNeverReuseATid) {
+  Rig rig(Strategy::kTransactional);
+  auto s1 = rig.pool->Acquire();
+  auto s2 = rig.pool->Acquire();
+  ASSERT_TRUE(s1.ok() && s2.ok());
+
+  // Interleave staging, then commit in the opposite order.
+  ASSERT_TRUE((*s1)->Apply(Update::Insert(Path::MustParse("T"), "a")).ok());
+  ASSERT_TRUE((*s2)->Apply(Update::Insert(Path::MustParse("T"), "b")).ok());
+  ASSERT_TRUE((*s2)->Commit().ok());
+  ASSERT_TRUE((*s1)->Commit().ok());
+
+  int64_t t1 = (*s1)->LastCommittedTid();
+  int64_t t2 = (*s2)->LastCommittedTid();
+  EXPECT_NE(t1, t2);
+  EXPECT_EQ(std::min(t1, t2), rig.engine->base_tid() + 1);
+  EXPECT_EQ(std::max(t1, t2), rig.engine->base_tid() + 2);
+
+  // The store sees both transactions under their own numbers.
+  auto all = rig.backend->GetAll();
+  ASSERT_TRUE(all.ok());
+  std::set<int64_t> tids;
+  for (const ProvRecord& r : *all) tids.insert(r.tid);
+  EXPECT_EQ(tids.size(), 2u);
+}
+
+// ----- Group commit --------------------------------------------------------
+
+TEST(ServiceCommitQueueTest, CohortCombinesUnderOneExclusiveGrantAndFsync) {
+  TempDir dir("svc_cohort");
+  auto opened = relstore::Database::Open("provdb", dir.path());
+  ASSERT_TRUE(opened.ok());
+  std::unique_ptr<relstore::Database> db = std::move(opened).value();
+  provenance::ProvBackend backend(db.get());
+  wrap::TreeTargetDb target("T", testutil::Figure4TargetT());
+  Engine engine(&backend, &target);
+  service::SessionOptions opts;
+  opts.strategy = Strategy::kTransactional;
+  SessionPool pool(&engine, opts);
+
+  size_t fsyncs_before = db->cost().Fsyncs();
+
+  // Stage three sessions up front (staging is latch-free for T), then pin
+  // the engine in a read grant so the first committer (the leader) blocks
+  // on the exclusive latch while the other two pile onto the queue: a
+  // guaranteed cohort of three. (Acquiring inside the pinned window would
+  // deadlock: session building takes a shared grant, which queues behind
+  // the waiting leader.)
+  std::vector<std::unique_ptr<Session>> sessions;
+  for (int i = 0; i < 3; ++i) {
+    auto s = pool.Acquire();
+    ASSERT_TRUE(s.ok());
+    ASSERT_TRUE((*s)
+                    ->Apply(Update::Insert(Path::MustParse("T"),
+                                           "c" + std::to_string(100 + i)))
+                    .ok());
+    sessions.push_back(std::move(*s));
+  }
+  std::vector<std::thread> committers;
+  {
+    auto guard = engine.Read();
+    for (int i = 0; i < 3; ++i) {
+      committers.emplace_back(
+          [&, i] { ASSERT_TRUE(sessions[i]->Commit().ok()); });
+    }
+    while (engine.commit_queue().Pending() < 3) {
+      std::this_thread::yield();
+    }
+  }  // release the read grant: the leader drains all three
+  for (auto& th : committers) th.join();
+  for (auto& s : sessions) pool.Release(std::move(s));
+
+  service::CommitQueue::Stats stats = engine.commit_queue().stats();
+  EXPECT_EQ(stats.commits, 3u);
+  EXPECT_EQ(stats.cohorts, 1u);
+  EXPECT_EQ(stats.max_cohort, 3u);
+  EXPECT_EQ(stats.combined, 2u);
+  // The whole cohort sealed under ONE fsync barrier.
+  EXPECT_EQ(db->cost().Fsyncs(), fsyncs_before + 1);
+  // One exclusive grant -> one epoch advance.
+  EXPECT_EQ(engine.latch().Epoch(), 1u);
+  EXPECT_EQ(backend.RowCount(), 3u);
+}
+
+TEST(ServiceCrashTest, GroupCommitCohortIsAtomicAcrossACrash) {
+  TempDir dir("svc_crash");
+  auto opened = relstore::Database::Open("provdb", dir.path());
+  ASSERT_TRUE(opened.ok());
+  std::unique_ptr<relstore::Database> db = std::move(opened).value();
+  provenance::ProvBackend backend(db.get());
+  wrap::TreeTargetDb target("T", testutil::Figure4TargetT());
+  Engine engine(&backend, &target);
+  service::SessionOptions opts;
+  opts.strategy = Strategy::kTransactional;
+  SessionPool pool(&engine, opts);
+
+  const std::string wal = storage::Durability::WalPath(dir.path());
+
+  // Baseline transaction, sealed normally.
+  {
+    auto s = pool.Acquire();
+    ASSERT_TRUE(s.ok());
+    ASSERT_TRUE((*s)->Apply(Update::Insert(Path::MustParse("T"), "base")).ok());
+    ASSERT_TRUE((*s)->Commit().ok());
+    pool.Release(std::move(*s));
+  }
+  int64_t base_tid = engine.LastAllocatedTid();
+
+  // Capture the log around the cohort's seal: `pre` is the disk image of
+  // a crash after the leader applied the cohort but BEFORE its fsync,
+  // `post` the image right after.
+  std::string pre, post;
+  engine.commit_queue().set_test_hooks(
+      {[&](size_t) { pre = ReadFile(wal); },
+       [&](size_t) { post = ReadFile(wal); }});
+
+  std::vector<std::unique_ptr<Session>> sessions;
+  for (int i = 0; i < 3; ++i) {
+    auto s = pool.Acquire();
+    ASSERT_TRUE(s.ok());
+    ASSERT_TRUE((*s)
+                    ->Apply(Update::Insert(Path::MustParse("T"),
+                                           "c" + std::to_string(200 + i)))
+                    .ok());
+    sessions.push_back(std::move(*s));
+  }
+  std::vector<std::thread> committers;
+  {
+    auto guard = engine.Read();
+    for (int i = 0; i < 3; ++i) {
+      committers.emplace_back(
+          [&, i] { ASSERT_TRUE(sessions[i]->Commit().ok()); });
+    }
+    while (engine.commit_queue().Pending() < 3) {
+      std::this_thread::yield();
+    }
+  }
+  for (auto& th : committers) th.join();
+  for (auto& s : sessions) pool.Release(std::move(s));
+  ASSERT_EQ(engine.commit_queue().stats().max_cohort, 3u);
+
+  // Crash BEFORE the leader's fsync: the whole cohort is absent.
+  {
+    TempDir crash("svc_crash_pre");
+    WriteFile(storage::Durability::WalPath(crash.path()), pre);
+    auto reopened = relstore::Database::Open("provdb", crash.path());
+    ASSERT_TRUE(reopened.ok());
+    provenance::ProvBackend recovered(reopened.value().get());
+    EXPECT_EQ(recovered.MaxTid(), base_tid);
+    auto all = recovered.GetAll();
+    ASSERT_TRUE(all.ok());
+    for (const ProvRecord& r : *all) EXPECT_LE(r.tid, base_tid);
+  }
+
+  // Crash AFTER the leader's fsync: the whole cohort is durable.
+  {
+    TempDir crash("svc_crash_post");
+    WriteFile(storage::Durability::WalPath(crash.path()), post);
+    auto reopened = relstore::Database::Open("provdb", crash.path());
+    ASSERT_TRUE(reopened.ok());
+    provenance::ProvBackend recovered(reopened.value().get());
+    EXPECT_EQ(recovered.MaxTid(), base_tid + 3);
+    auto all = recovered.GetAll();
+    ASSERT_TRUE(all.ok());
+    std::set<int64_t> tids;
+    for (const ProvRecord& r : *all) tids.insert(r.tid);
+    for (int64_t t = base_tid + 1; t <= base_tid + 3; ++t) {
+      EXPECT_EQ(tids.count(t), 1u) << "cohort member " << t << " missing";
+    }
+  }
+}
+
+// ----- Oracle equivalence --------------------------------------------------
+
+class ServiceOracleTest : public ::testing::TestWithParam<Strategy> {};
+
+TEST_P(ServiceOracleTest, WritersAndReadersMatchSingleThreadedReplay) {
+  const Strategy strategy = GetParam();
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 2;
+  constexpr int kTxnsPerWriter = 8;
+
+  Rig rig(strategy);
+
+  std::vector<std::vector<CommittedUnit>> committed(kWriters);
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      auto acquired = rig.pool->Acquire();
+      ASSERT_TRUE(acquired.ok());
+      std::unique_ptr<Session> session = std::move(*acquired);
+      for (int t = 0; t < kTxnsPerWriter; ++t) {
+        Script script = WriterScript(w, t);
+        size_t applied = 0;
+        ASSERT_TRUE(session->ApplyScript(script, &applied).ok());
+        ASSERT_EQ(applied, script.size());
+        ASSERT_TRUE(session->Commit().ok());
+        CommittedUnit unit;
+        unit.script = std::move(script);
+        int64_t last = session->LastCommittedTid();
+        unit.first_tid = PerOp(strategy)
+                             ? last - static_cast<int64_t>(applied) + 1
+                             : last;
+        committed[w].push_back(std::move(unit));
+      }
+      rig.pool->Release(std::move(session));
+    });
+  }
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      while (!done.load(std::memory_order_relaxed)) {
+        auto acquired = rig.pool->Acquire();
+        ASSERT_TRUE(acquired.ok());
+        std::unique_ptr<Session> session = std::move(*acquired);
+        {
+          auto guard = session->ReadLock();
+          // Stream the whole table and probe a subtree: concurrent with
+          // the writers' cohorts, serialized by the latch.
+          provenance::ProvCursor scan = session->backend()->ScanAll();
+          std::vector<ProvRecord> batch;
+          int64_t prev = 0;
+          while (scan.Next(&batch, 128) > 0) {
+            for (const ProvRecord& rec : batch) {
+              ASSERT_GE(rec.tid, prev);  // (Tid, Loc) cursor order
+              prev = rec.tid;
+            }
+          }
+          ASSERT_TRUE(scan.status().ok());
+          auto under = session->backend()->GetUnder(Path::MustParse("T/w0"));
+          ASSERT_TRUE(under.ok());
+        }
+        rig.pool->Release(std::move(session));
+      }
+    });
+  }
+
+  for (auto& th : writers) th.join();
+  done.store(true, std::memory_order_relaxed);
+  for (auto& th : readers) th.join();
+
+  // The committed interleaving: every unit, ordered by tid. Tids must be
+  // consecutive from the engine's base — no duplicates, no gaps.
+  std::vector<CommittedUnit> units;
+  for (auto& per_writer : committed) {
+    for (auto& u : per_writer) units.push_back(std::move(u));
+  }
+  std::sort(units.begin(), units.end(),
+            [](const CommittedUnit& a, const CommittedUnit& b) {
+              return a.first_tid < b.first_tid;
+            });
+  int64_t expect = rig.engine->base_tid() + 1;
+  for (const CommittedUnit& u : units) {
+    ASSERT_EQ(u.first_tid, expect);
+    expect += PerOp(strategy) ? static_cast<int64_t>(u.script.size()) : 1;
+  }
+  ASSERT_EQ(expect, rig.engine->LastAllocatedTid() + 1);
+
+  // Single-threaded oracle: a plain standalone editor replays the same
+  // units in tid order against identical initial state.
+  relstore::Database oracle_db("provdb");
+  provenance::ProvBackend oracle_backend(&oracle_db);
+  wrap::TreeTargetDb oracle_target("T", testutil::Figure4TargetT());
+  wrap::TreeSourceDb oracle_s1("S1", testutil::Figure4SourceS1());
+  EditorOptions oracle_opts;
+  oracle_opts.strategy = strategy;
+  oracle_opts.first_tid = rig.engine->base_tid() + 1;
+  auto oracle_ed =
+      Editor::Create(&oracle_target, &oracle_backend, oracle_opts);
+  ASSERT_TRUE(oracle_ed.ok());
+  ASSERT_TRUE((*oracle_ed)->MountSource(&oracle_s1).ok());
+  for (const CommittedUnit& u : units) {
+    ASSERT_TRUE((*oracle_ed)->ApplyScript(u.script).ok());
+    ASSERT_TRUE((*oracle_ed)->Commit().ok());
+  }
+
+  // Provenance tables are bit-identical, in (Tid, Loc) order.
+  auto got = rig.backend->GetAll();
+  auto want = oracle_backend.GetAll();
+  ASSERT_TRUE(got.ok() && want.ok());
+  ASSERT_EQ(got->size(), want->size());
+  for (size_t i = 0; i < got->size(); ++i) {
+    EXPECT_TRUE((*got)[i] == (*want)[i]) << "record " << i << " diverged";
+  }
+
+  // The curated target converged to the oracle's content.
+  EXPECT_TRUE(rig.target->content().Equals(oracle_target.content()));
+
+  // And queries agree: GetMod over each writer's subtree, asked through
+  // a fresh pooled session vs. the oracle's engine.
+  auto query_session = rig.pool->Acquire();
+  ASSERT_TRUE(query_session.ok());
+  {
+    auto guard = (*query_session)->ReadLock();
+    for (int w = 0; w < kWriters; ++w) {
+      Path p = Path::MustParse("T/w" + std::to_string(w));
+      auto got_mod = (*query_session)->query()->GetMod(p);
+      auto want_mod = (*oracle_ed)->query()->GetMod(p);
+      ASSERT_TRUE(got_mod.ok() && want_mod.ok());
+      EXPECT_EQ(*got_mod, *want_mod) << "GetMod(T/w" << w << ") diverged";
+    }
+  }
+  rig.pool->Release(std::move(*query_session));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, ServiceOracleTest,
+                         ::testing::ValuesIn(kStrategies),
+                         [](const auto& info) {
+                           return std::string(
+                               provenance::StrategyShortName(info.param));
+                         });
+
+// ----- Session pool and cost aggregation -----------------------------------
+
+TEST(ServicePoolTest, ReusesFreshSessionsRebuildsStaleOnes) {
+  Rig rig(Strategy::kHierarchicalTransactional);
+  auto s = rig.pool->Acquire();
+  ASSERT_TRUE(s.ok());
+  rig.pool->Release(std::move(*s));
+  EXPECT_EQ(rig.pool->built(), 1u);
+
+  // No commits in between: the snapshot is current and the session is
+  // handed back out.
+  auto again = rig.pool->Acquire();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(rig.pool->reused(), 1u);
+  EXPECT_EQ(rig.pool->built(), 1u);
+
+  // A commit advances the epoch; the pooled session is stale and a fresh
+  // one is built.
+  ASSERT_TRUE(
+      (*again)->Apply(Update::Insert(Path::MustParse("T"), "fresh")).ok());
+  ASSERT_TRUE((*again)->Commit().ok());
+  rig.pool->Release(std::move(*again));
+  auto rebuilt = rig.pool->Acquire();
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(rig.pool->built(), 2u);
+  EXPECT_EQ(rig.pool->reused(), 1u);
+  // The rebuilt snapshot sees the committed edit.
+  EXPECT_NE((*rebuilt)->editor()->universe().Find(Path::MustParse("T/fresh")),
+            nullptr);
+  rig.pool->Release(std::move(*rebuilt));
+}
+
+TEST(ServiceCostTest, SessionChargesLandOnPrivateModelsAndAggregate) {
+  Rig rig(Strategy::kTransactional);
+  auto s = rig.pool->Acquire();
+  ASSERT_TRUE(s.ok());
+  ASSERT_TRUE((*s)->Apply(Update::Insert(Path::MustParse("T"), "x")).ok());
+  ASSERT_TRUE((*s)->Commit().ok());
+  {
+    auto guard = (*s)->ReadLock();
+    ASSERT_TRUE((*s)->backend()->GetAll().ok());
+  }
+  relstore::CostSnapshot session_cost = (*s)->cost().Snap();
+  EXPECT_GT(session_cost.calls, 0u);
+  EXPECT_GT(session_cost.write_calls, 0u);
+  // The redirect is total: the shared database's own model saw none of
+  // this session's traffic (in-memory store: no fsync charges either).
+  EXPECT_EQ(rig.prov_db->cost().Calls(), 0u);
+
+  rig.pool->Release(std::move(*s));
+  relstore::CostSnapshot totals = rig.engine->cost_totals().Snap();
+  EXPECT_EQ(totals.calls, session_cost.calls);
+  EXPECT_EQ(totals.write_calls, session_cost.write_calls);
+  EXPECT_EQ(totals.rows, session_cost.rows);
+  EXPECT_DOUBLE_EQ(totals.micros, session_cost.micros);
+
+  // A second session's costs accumulate on top.
+  auto s2 = rig.pool->Acquire();
+  ASSERT_TRUE(s2.ok());
+  {
+    auto guard = (*s2)->ReadLock();
+    ASSERT_TRUE((*s2)->backend()->GetAll().ok());
+  }
+  relstore::CostSnapshot second = (*s2)->cost().Snap();
+  rig.pool->Release(std::move(*s2));
+  EXPECT_EQ(rig.engine->cost_totals().Snap().calls,
+            session_cost.calls + second.calls);
+}
+
+TEST(ServicePoolTest, ReleaseAbortsAStagedTransaction) {
+  Rig rig(Strategy::kHierarchicalTransactional);
+  auto s = rig.pool->Acquire();
+  ASSERT_TRUE(s.ok());
+  ASSERT_TRUE(
+      (*s)->Apply(Update::Insert(Path::MustParse("T"), "staged")).ok());
+  rig.pool->Release(std::move(*s));  // curator walked away mid-edit
+  EXPECT_EQ(rig.backend->RowCount(), 0u);
+  EXPECT_EQ(rig.engine->LastAllocatedTid(), rig.engine->base_tid());
+}
+
+}  // namespace
+}  // namespace cpdb
