@@ -19,7 +19,7 @@ using namespace cpdb::bench;
 
 namespace {
 
-void AblationIndexes() {
+void AblationIndexes(JsonReport* report) {
   std::printf("--- A. query cost: indexed vs unindexed provenance store ---\n");
   std::printf("%-8s %14s %14s %10s\n", "method", "getSrc(idx) ms",
               "getSrc(scan) ms", "speedup");
@@ -47,11 +47,16 @@ void AblationIndexes() {
     std::printf("%-8s %14.3f %14.3f %9.1fx\n",
                 provenance::StrategyShortName(strat), times[1], times[0],
                 times[0] / (times[1] > 0 ? times[1] : 1));
+    report->AddRow()
+        .Set("section", "indexes")
+        .Set("strategy", provenance::StrategyShortName(strat))
+        .Set("getsrc_indexed_ms", times[1])
+        .Set("getsrc_scan_ms", times[0]);
   }
   std::printf("\n");
 }
 
-void AblationDedupe() {
+void AblationDedupe(JsonReport* report) {
   std::printf("--- B. HT commit-time redundancy elimination ---\n");
   std::printf("(copy a whole entry, then re-copy one of its children from "
               "the same source: the child record is inferable)\n");
@@ -85,15 +90,22 @@ void AblationDedupe() {
       if (i % 5 == 4) (void)store.Commit();
     }
     (void)store.Commit();
+    double real_ms = wall.ElapsedMillis();
     std::printf("dedupe=%-5s rows=%6zu physical=%7.1fKB real=%6.1fms\n",
                 dedupe ? "on" : "off", store.RecordCount(),
-                store.PhysicalBytes() / 1024.0, wall.ElapsedMillis());
+                store.PhysicalBytes() / 1024.0, real_ms);
+    report->AddRow()
+        .Set("section", "dedupe")
+        .Set("dedupe", dedupe)
+        .Set("rows", store.RecordCount())
+        .Set("physical_bytes", store.PhysicalBytes())
+        .Set("real_ms", real_ms);
   }
   std::printf("(the paper ships with dedupe off: redundancy is unusual in "
               "real curation)\n\n");
 }
 
-void AblationBulk() {
+void AblationBulk(JsonReport* report) {
   std::printf("--- C. bulk updates: full provenance vs approximate globs ---\n");
   std::printf("%-12s %14s %16s %16s\n", "bulk size", "full rows",
               "full bytes", "approx bytes");
@@ -119,6 +131,12 @@ void AblationBulk() {
                 (*editor)->store()->RecordCount(),
                 (*editor)->store()->PhysicalBytes(),
                 (*editor)->approx()->ApproxBytes());
+    report->AddRow()
+        .Set("section", "bulk")
+        .Set("entries", entries)
+        .Set("full_rows", (*editor)->store()->RecordCount())
+        .Set("full_bytes", (*editor)->store()->PhysicalBytes())
+        .Set("approx_bytes", (*editor)->approx()->ApproxBytes());
   }
   std::printf("(approximate storage is proportional to the statement, not "
               "the data touched)\n");
@@ -126,10 +144,14 @@ void AblationBulk() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
   PrintHeader("Ablations", "design-choice studies beyond the paper's figures");
-  AblationIndexes();
-  AblationDedupe();
-  AblationBulk();
+  JsonReport report("ablation");
+  report.config().Set("steps", size_t{4000});
+  AblationIndexes(&report);
+  AblationDedupe(&report);
+  AblationBulk(&report);
+  report.WriteTo(flags.GetString("json", ""));
   return 0;
 }

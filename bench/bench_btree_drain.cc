@@ -7,13 +7,15 @@
 //
 // Flags: --n=<keys> (default 1000000), --mode=forward|reverse|random,
 //        --bulk (build via BulkLoad instead of per-key Insert),
-//        --seed=<seed> (random mode shuffle).
+//        --seed=<seed> (random mode shuffle),
+//        --json=<path> (machine-readable report, harness schema).
 
 #include <algorithm>
 #include <cstdio>
 #include <numeric>
 #include <vector>
 
+#include "harness.h"
 #include "relstore/btree.h"
 #include "util/flags.h"
 #include "util/rng.h"
@@ -31,6 +33,7 @@ int main(int argc, char** argv) {
   const std::string mode = flags.GetString("mode", "forward");
   const bool bulk = flags.GetBool("bulk", false);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  const std::string json_path = flags.GetString("json", "");
 
   std::vector<int64_t> erase_order(n);
   std::iota(erase_order.begin(), erase_order.end(), 0);
@@ -87,5 +90,18 @@ int main(int argc, char** argv) {
   std::printf("  drain %10.1f ms  (%.0f keys/s)\n", drain_ms,
               drain_ms > 0 ? 1000.0 * n / drain_ms : 0.0);
   std::printf("  invariants OK before and after drain\n");
+
+  bench::JsonReport report("btree_drain");
+  report.config()
+      .Set("n", n)
+      .Set("mode", mode)
+      .Set("bulk", bulk)
+      .Set("seed", static_cast<int64_t>(seed));
+  report.AddRow()
+      .Set("load_ms", insert_ms)
+      .Set("drain_ms", drain_ms)
+      .Set("load_keys_per_s", insert_ms > 0 ? 1000.0 * n / insert_ms : 0.0)
+      .Set("drain_keys_per_s", drain_ms > 0 ? 1000.0 * n / drain_ms : 0.0);
+  if (!report.WriteTo(json_path)) return 1;
   return 0;
 }

@@ -117,6 +117,13 @@
 /// ::defer_sync (both new, default-off) so the engine owns numbering and
 /// the durability barrier. Never mix the two against one live backend:
 /// a standalone editor's writes would bypass the engine's latch.
+///
+/// The latching rules above are compiler-checked, not just documented:
+/// util/thread_annotations.h wraps Clang's Thread Safety Analysis
+/// attributes (CPDB_GUARDED_BY, CPDB_REQUIRES, ...; no-ops on GCC),
+/// SharedLatch is a capability, and the service/storage internals build
+/// clean under -Wthread-safety as errors (the `analyze` preset; README
+/// "Static analysis").
 
 #include "archive/archive.h"          // IWYU pragma: export
 #include "cpdb/editor.h"              // IWYU pragma: export

@@ -8,6 +8,7 @@
 #include "provenance/prov_record.h"
 #include "relstore/database.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace cpdb::provenance {
 
@@ -102,6 +103,28 @@ class ProvCursor {
 /// query-time experiment setup ("No indexing was performed on the
 /// provenance relation, so these query times represent worst-case
 /// behavior", Section 4.1); results are identical either way.
+///
+/// Thread safety (the shared-table contract of the service layer): a
+/// ProvBackend handle itself holds no locks — its fields are borrowed
+/// pointers fixed at construction (or at View() assignment) plus the
+/// `use_indexes` flag, and the *tables* behind them are the shared state.
+/// Synchronization is owned by service::SharedLatch one layer up:
+///
+///  * WriteRecords / WriteTxnMeta mutate the shared tables and must run
+///    inside the engine's exclusive grant (commit closures do — they
+///    execute on the CommitQueue leader, which holds the latch);
+///  * every Scan*/Get*/Lookup* factory and the cursors it returns must
+///    run inside a shared grant, drained before the grant is released;
+///  * cost charges land on `cost_sink()`, which the service layer points
+///    at a session-private CostModel precisely so concurrent readers
+///    never race on one model (CostModel is deliberately lock-free and
+///    NOT thread-safe; see relstore::CostAggregate).
+///
+/// These rules cross an ownership boundary the thread-safety analysis
+/// cannot see through (the latch lives in the engine, not here), so they
+/// are enforced one level down — the latch, queue, and pool internals are
+/// GUARDED_BY-annotated — and by tools/lint/cpdb_lint.py, which rejects
+/// direct Prov/TxnMeta table writes outside WriteRecords/WriteTxnMeta.
 class ProvBackend {
  public:
   /// Creates the Prov and TxnMeta tables inside `db`. The Prov table has

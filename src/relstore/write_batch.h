@@ -19,7 +19,7 @@ namespace cpdb::relstore {
 /// one batch is legal regardless of staging order. Inserting the same
 /// unique key twice, deleting the same Rid twice, or deleting a missing
 /// Rid fails validation and leaves the table untouched.
-class WriteBatch {
+class [[nodiscard]] WriteBatch {
  public:
   struct InsertOp {
     Row row;
@@ -34,11 +34,19 @@ class WriteBatch {
   /// Stages the row at `rid` for deletion.
   void Delete(const Rid& rid) { deletes_.push_back({rid}); }
 
-  const std::vector<InsertOp>& inserts() const { return inserts_; }
-  const std::vector<DeleteOp>& deletes() const { return deletes_; }
+  [[nodiscard]] const std::vector<InsertOp>& inserts() const {
+    return inserts_;
+  }
+  [[nodiscard]] const std::vector<DeleteOp>& deletes() const {
+    return deletes_;
+  }
 
-  size_t size() const { return inserts_.size() + deletes_.size(); }
-  bool empty() const { return inserts_.empty() && deletes_.empty(); }
+  [[nodiscard]] size_t size() const {
+    return inserts_.size() + deletes_.size();
+  }
+  [[nodiscard]] bool empty() const {
+    return inserts_.empty() && deletes_.empty();
+  }
 
   /// Discards all staged writes (abort of an unsent batch).
   void Clear() {

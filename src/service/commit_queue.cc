@@ -9,39 +9,41 @@ Status CommitQueue::Commit(std::function<Status()> apply) {
   Request req;
   req.apply = std::move(apply);
 
-  std::unique_lock<std::mutex> l(mu_);
+  MutexLock l(mu_);
   queue_.push_back(&req);
   if (leader_active_) {
     // Follow: a leader is combining. Wake when our cohort sealed, or when
-    // the finishing leader promoted us to run the next one.
-    wake_.wait(l, [&] { return req.done || req.leader; });
+    // the finishing leader promoted us to run the next one. (Explicit
+    // predicate loop: the analysis cannot see lock state inside lambdas.)
+    while (!req.done && !req.leader) wake_.Wait(mu_);
     if (req.done) return req.result;
   }
   leader_active_ = true;
-  RunCohort(l);
+  RunCohort();
   return req.result;
 }
 
-void CommitQueue::RunCohort(std::unique_lock<std::mutex>& l) {
+void CommitQueue::RunCohort() {
   // Acquire the exclusive grant BEFORE draining: every committer that
   // arrives while we wait out the active readers joins this cohort and
   // rides our fsync — the opportunistic-combining window.
-  l.unlock();
+  mu_.Unlock();
   latch_->LockExclusive();
-  l.lock();
+  mu_.Lock();
   std::vector<Request*> cohort(queue_.begin(), queue_.end());
   queue_.clear();
-  l.unlock();
+  TestHooks hooks = hooks_;  // per-cohort snapshot; hooks_ stays under mu_
+  mu_.Unlock();
 
   for (Request* r : cohort) {
     r->result = r->apply();
   }
-  if (hooks_.before_seal) hooks_.before_seal(cohort.size());
+  if (hooks.before_seal) hooks.before_seal(cohort.size());
   Status sealed = seal_(cohort.size());
-  if (hooks_.after_seal) hooks_.after_seal(cohort.size());
+  if (hooks.after_seal) hooks.after_seal(cohort.size());
   latch_->UnlockExclusive();
 
-  l.lock();
+  mu_.Lock();
   stats_.commits += cohort.size();
   stats_.cohorts += 1;
   stats_.combined += cohort.size() - 1;
@@ -57,16 +59,16 @@ void CommitQueue::RunCohort(std::unique_lock<std::mutex>& l) {
   } else {
     leader_active_ = false;
   }
-  wake_.notify_all();
+  wake_.NotifyAll();
 }
 
 size_t CommitQueue::Pending() const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   return queue_.size();
 }
 
 CommitQueue::Stats CommitQueue::stats() const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   return stats_;
 }
 

@@ -3,12 +3,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
-
-#include <condition_variable>
 
 #include "service/latch.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace cpdb::service {
 
@@ -49,11 +48,12 @@ class CommitQueue {
   /// Commits one transaction: enqueues `apply`, combines with whatever
   /// else is committing, and returns once this transaction is applied and
   /// sealed (or failed). `apply` runs under the exclusive latch, possibly
-  /// on another committer's thread.
-  Status Commit(std::function<Status()> apply);
+  /// on another committer's thread. The caller must hold neither the
+  /// latch nor a read grant (see SharedLatch's reentrancy rule).
+  Status Commit(std::function<Status()> apply) CPDB_EXCLUDES(mu_, *latch_);
 
   /// Committers currently enqueued and not yet applied.
-  size_t Pending() const;
+  size_t Pending() const CPDB_EXCLUDES(mu_);
 
   struct Stats {
     uint64_t commits = 0;   ///< transactions committed
@@ -61,39 +61,43 @@ class CommitQueue {
     uint64_t combined = 0;  ///< commits that rode another leader's seal
     uint64_t max_cohort = 0;
   };
-  Stats stats() const;
+  Stats stats() const CPDB_EXCLUDES(mu_);
 
   /// Test-only crash injection around the seal (service_test's
   /// crash-during-group-commit coverage). Called on the leader thread,
-  /// cohort size as argument, exclusive latch held.
+  /// cohort size as argument, exclusive latch held. Install hooks before
+  /// committers start: the leader snapshots them per cohort under mu_.
   struct TestHooks {
     std::function<void(size_t)> before_seal;
     std::function<void(size_t)> after_seal;
   };
-  void set_test_hooks(TestHooks hooks) { hooks_ = std::move(hooks); }
+  void set_test_hooks(TestHooks hooks) CPDB_EXCLUDES(mu_) {
+    MutexLock l(mu_);
+    hooks_ = std::move(hooks);
+  }
 
  private:
   struct Request {
     std::function<Status()> apply;
-    Status result;
-    bool done = false;
+    Status result;        ///< written by the leader, read after `done`
+    bool done = false;    ///< guarded by mu_ (cross-thread handshake)
     bool leader = false;  ///< promoted: wake up and run the next cohort
   };
 
-  /// Runs one cohort. Called with `l` held and this thread as leader;
-  /// returns with `l` held, the cohort done, and leadership passed on (or
-  /// released).
-  void RunCohort(std::unique_lock<std::mutex>& l);
+  /// Runs one cohort. Called with mu_ held and this thread as leader;
+  /// returns with mu_ held, the cohort done, and leadership passed on (or
+  /// released). Acquires and releases the exclusive latch internally.
+  void RunCohort() CPDB_REQUIRES(mu_);
 
   SharedLatch* latch_;
   std::function<Status(size_t)> seal_;
-  TestHooks hooks_;
 
-  mutable std::mutex mu_;
-  std::condition_variable wake_;
-  std::deque<Request*> queue_;
-  bool leader_active_ = false;
-  Stats stats_;
+  mutable Mutex mu_;
+  CondVar wake_;
+  std::deque<Request*> queue_ CPDB_GUARDED_BY(mu_);
+  TestHooks hooks_ CPDB_GUARDED_BY(mu_);
+  bool leader_active_ CPDB_GUARDED_BY(mu_) = false;
+  Stats stats_ CPDB_GUARDED_BY(mu_);
 };
 
 }  // namespace cpdb::service

@@ -9,6 +9,7 @@
 #include "service/commit_queue.h"
 #include "service/latch.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "wrap/target_db.h"
 
 namespace cpdb::service {
@@ -68,14 +69,17 @@ class Engine {
 
   /// Shared grant for a batch of reads (queries, scans, snapshots).
   /// Never commit while holding one — the commit would deadlock behind
-  /// the leader waiting for the grant to drain.
-  SharedLatch::ReadGuard Read() { return SharedLatch::ReadGuard(latch_); }
+  /// the leader waiting for the grant to drain (and the analysis flags
+  /// it: Commit excludes the latch this returns a scoped hold on).
+  SharedLatch::ReadGuard Read() CPDB_ACQUIRE_SHARED(latch_) {
+    return SharedLatch::ReadGuard(latch_);
+  }
 
   /// Commits one transaction through the group-commit queue. `apply`
   /// runs under the exclusive latch (possibly on another committer's
   /// thread) and must contain every shared-state write of the
   /// transaction; the cohort seals with one SyncShared().
-  Status Commit(std::function<Status()> apply) {
+  Status Commit(std::function<Status()> apply) CPDB_EXCLUDES(latch_) {
     return queue_.Commit(std::move(apply));
   }
 
@@ -83,13 +87,16 @@ class Engine {
   /// cohort wrote — Database::Sync seals the provenance store's (and a
   /// shared relational target's) journal into one WAL record + one fsync,
   /// then the target's own barrier runs (free when it shares the
-  /// Database or is in-memory).
+  /// Database or is in-memory). Runs on the commit queue's leader thread
+  /// with the exclusive latch held; the contract crosses a std::function
+  /// boundary the analysis cannot see through, so it is enforced by the
+  /// CommitQueue's own annotations rather than a REQUIRES here.
   Status SyncShared() {
     CPDB_RETURN_IF_ERROR(backend_->db()->Sync());
     return target_->Sync();
   }
 
-  SharedLatch& latch() { return latch_; }
+  SharedLatch& latch() CPDB_RETURN_CAPABILITY(latch_) { return latch_; }
   CommitQueue& commit_queue() { return queue_; }
   provenance::ProvBackend* backend() { return backend_; }
   wrap::TargetDb* target() { return target_; }

@@ -1,9 +1,10 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace cpdb::service {
 
@@ -28,82 +29,89 @@ namespace cpdb::service {
 /// Not reentrant. A thread must never request the latch while holding it
 /// (in particular: never commit while holding a read grant — the commit
 /// blocks on the leader, which blocks on the read grant).
-class SharedLatch {
+///
+/// The latch is a Clang thread-safety CAPABILITY: annotate state guarded
+/// by its exclusive section with CPDB_GUARDED_BY(latch) and functions
+/// that must run inside a grant with CPDB_REQUIRES[_SHARED](latch), and
+/// the discipline is compiler-checked under -Wthread-safety (see
+/// util/thread_annotations.h and the `analyze` preset).
+class CPDB_CAPABILITY("SharedLatch") SharedLatch {
  public:
-  void LockShared() {
-    std::unique_lock<std::mutex> l(mu_);
-    can_read_.wait(l, [&] { return !writer_ && writers_waiting_ == 0; });
+  void LockShared() CPDB_ACQUIRE_SHARED() {
+    MutexLock l(mu_);
+    while (writer_ || writers_waiting_ > 0) can_read_.Wait(mu_);
     ++readers_;
   }
 
-  void UnlockShared() {
-    std::lock_guard<std::mutex> l(mu_);
-    if (--readers_ == 0) can_write_.notify_one();
+  void UnlockShared() CPDB_RELEASE_SHARED() {
+    MutexLock l(mu_);
+    if (--readers_ == 0) can_write_.NotifyOne();
   }
 
-  void LockExclusive() {
-    std::unique_lock<std::mutex> l(mu_);
+  void LockExclusive() CPDB_ACQUIRE() {
+    MutexLock l(mu_);
     ++writers_waiting_;
-    can_write_.wait(l, [&] { return !writer_ && readers_ == 0; });
+    while (writer_ || readers_ > 0) can_write_.Wait(mu_);
     --writers_waiting_;
     writer_ = true;
   }
 
-  void UnlockExclusive() {
-    std::lock_guard<std::mutex> l(mu_);
+  void UnlockExclusive() CPDB_RELEASE() {
+    MutexLock l(mu_);
     writer_ = false;
     epoch_.fetch_add(1, std::memory_order_release);
-    can_write_.notify_one();
-    can_read_.notify_all();
+    can_write_.NotifyOne();
+    can_read_.NotifyAll();
   }
 
   /// Number of exclusive sections ever completed — the version of the
   /// shared state. Readable without the latch.
   uint64_t Epoch() const { return epoch_.load(std::memory_order_acquire); }
 
-  /// RAII shared grant.
-  class ReadGuard {
+  /// RAII shared grant. Deliberately not movable: Engine::Read() and
+  /// Session::ReadLock() return one by value through guaranteed copy
+  /// elision, and a moved-from scoped capability is the one state the
+  /// thread-safety analysis cannot track.
+  class CPDB_SCOPED_CAPABILITY ReadGuard {
    public:
-    explicit ReadGuard(SharedLatch& latch) : latch_(&latch) {
-      latch_->LockShared();
+    explicit ReadGuard(SharedLatch& latch) CPDB_ACQUIRE_SHARED(latch)
+        : latch_(latch) {
+      latch_.LockShared();
     }
-    ~ReadGuard() {
-      if (latch_ != nullptr) latch_->UnlockShared();
-    }
-    ReadGuard(ReadGuard&& o) : latch_(o.latch_) { o.latch_ = nullptr; }
-    ReadGuard& operator=(ReadGuard&&) = delete;
+    ~ReadGuard() CPDB_RELEASE() { latch_.UnlockShared(); }
     ReadGuard(const ReadGuard&) = delete;
     ReadGuard& operator=(const ReadGuard&) = delete;
+    ReadGuard(ReadGuard&&) = delete;
+    ReadGuard& operator=(ReadGuard&&) = delete;
 
    private:
-    SharedLatch* latch_;
+    SharedLatch& latch_;
   };
 
-  /// RAII exclusive grant.
-  class WriteGuard {
+  /// RAII exclusive grant (same movability rules as ReadGuard).
+  class CPDB_SCOPED_CAPABILITY WriteGuard {
    public:
-    explicit WriteGuard(SharedLatch& latch) : latch_(&latch) {
-      latch_->LockExclusive();
+    explicit WriteGuard(SharedLatch& latch) CPDB_ACQUIRE(latch)
+        : latch_(latch) {
+      latch_.LockExclusive();
     }
-    ~WriteGuard() {
-      if (latch_ != nullptr) latch_->UnlockExclusive();
-    }
-    WriteGuard(WriteGuard&& o) : latch_(o.latch_) { o.latch_ = nullptr; }
-    WriteGuard& operator=(WriteGuard&&) = delete;
+    ~WriteGuard() CPDB_RELEASE() { latch_.UnlockExclusive(); }
     WriteGuard(const WriteGuard&) = delete;
     WriteGuard& operator=(const WriteGuard&) = delete;
+    WriteGuard(WriteGuard&&) = delete;
+    WriteGuard& operator=(WriteGuard&&) = delete;
 
    private:
-    SharedLatch* latch_;
+    SharedLatch& latch_;
   };
 
  private:
-  std::mutex mu_;
-  std::condition_variable can_read_;
-  std::condition_variable can_write_;
-  size_t readers_ = 0;
-  size_t writers_waiting_ = 0;
-  bool writer_ = false;
+  Mutex mu_;
+  CondVar can_read_;
+  CondVar can_write_;
+  size_t readers_ CPDB_GUARDED_BY(mu_) = 0;
+  size_t writers_waiting_ CPDB_GUARDED_BY(mu_) = 0;
+  bool writer_ CPDB_GUARDED_BY(mu_) = false;
   std::atomic<uint64_t> epoch_{0};
 };
 

@@ -30,7 +30,7 @@ Status Session::Abort() { return editor_->Abort(); }
 
 Result<std::unique_ptr<Session>> SessionPool::Acquire() {
   {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(mu_);
     uint64_t now = engine_->latch().Epoch();
     while (!free_.empty()) {
       std::unique_ptr<Session> s = std::move(free_.back());
@@ -52,7 +52,7 @@ Result<std::unique_ptr<Session>> SessionPool::Build() {
   // TreeFromDb — safe against committers via the read grant below, and
   // against other builders only by this serialization (Release and
   // Acquire stay on mu_ so they never block behind a slow snapshot).
-  std::lock_guard<std::mutex> build_lock(build_mu_);
+  MutexLock build_lock(build_mu_);
   std::unique_ptr<Session> s(new Session());
   s->engine_ = engine_;
   s->options_ = options_;
@@ -79,7 +79,7 @@ Result<std::unique_ptr<Session>> SessionPool::Build() {
     CPDB_RETURN_IF_ERROR(s->editor_->MountSource(src));
   }
   s->base_epoch_ = engine_->latch().Epoch();
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   ++built_;
   return s;
 }
@@ -92,17 +92,17 @@ void SessionPool::Release(std::unique_ptr<Session> session) {
   }
   engine_->cost_totals().Add(session->cost_.Snap());
   session->cost_.Reset();
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   free_.push_back(std::move(session));
 }
 
 size_t SessionPool::built() const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   return built_;
 }
 
 size_t SessionPool::reused() const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   return reused_;
 }
 

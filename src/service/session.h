@@ -1,12 +1,13 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "cpdb/editor.h"
 #include "service/engine.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace cpdb::service {
 
@@ -66,7 +67,9 @@ class Session {
   Status Abort();
 
   /// Shared grant over the engine state for a batch of reads.
-  SharedLatch::ReadGuard ReadLock() { return engine_->Read(); }
+  SharedLatch::ReadGuard ReadLock() CPDB_ACQUIRE_SHARED(engine_->latch()) {
+    return engine_->Read();
+  }
 
   /// The session's query engine (hold a ReadLock while using it).
   query::QueryEngine* query() { return editor_->query(); }
@@ -117,26 +120,27 @@ class SessionPool {
       : engine_(engine), options_(std::move(options)) {}
 
   /// A session over the current committed state.
-  Result<std::unique_ptr<Session>> Acquire();
+  Result<std::unique_ptr<Session>> Acquire() CPDB_EXCLUDES(mu_, build_mu_);
 
   /// Returns a session to the pool. The session must have no staged
   /// transaction (Commit or Abort first); a pending one is aborted here,
   /// matching a curator closing their editor mid-edit.
-  void Release(std::unique_ptr<Session> session);
+  void Release(std::unique_ptr<Session> session) CPDB_EXCLUDES(mu_);
 
-  size_t built() const;
-  size_t reused() const;
+  size_t built() const CPDB_EXCLUDES(mu_);
+  size_t reused() const CPDB_EXCLUDES(mu_);
 
  private:
-  Result<std::unique_ptr<Session>> Build();
+  Result<std::unique_ptr<Session>> Build() CPDB_EXCLUDES(mu_, build_mu_);
 
   Engine* engine_;
   SessionOptions options_;
-  mutable std::mutex mu_;       ///< freelist + counters
-  std::mutex build_mu_;         ///< serializes Build (see session.cc)
-  std::vector<std::unique_ptr<Session>> free_;
-  size_t built_ = 0;
-  size_t reused_ = 0;
+  mutable Mutex mu_;  ///< freelist + counters
+  /// Serializes Build (see session.cc); always taken before mu_.
+  Mutex build_mu_ CPDB_ACQUIRED_BEFORE(mu_);
+  std::vector<std::unique_ptr<Session>> free_ CPDB_GUARDED_BY(mu_);
+  size_t built_ CPDB_GUARDED_BY(mu_) = 0;
+  size_t reused_ CPDB_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace cpdb::service

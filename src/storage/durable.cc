@@ -82,19 +82,23 @@ Result<std::unique_ptr<Durability>> Durability::Attach(
 
   // Phase 1: newest checkpoint, if any. A leftover CHECKPOINT.tmp is a
   // checkpoint that never committed its rename; ignore and remove it.
+  // Recovery runs single-threaded before the handle is published, so the
+  // phases accumulate into locals and land in the guarded stats once, at
+  // the end.
   fs::remove(CheckpointPath(d->dir_) + ".tmp", ec);
+  DurabilityStats recovered;
   uint64_t snapshot_seq = 0;
   auto loaded = LoadSnapshot(db, CheckpointPath(d->dir_));
   if (loaded.ok()) {
     snapshot_seq = loaded.value();
-    d->stats_.snapshot_loaded = true;
+    recovered.snapshot_loaded = true;
   } else if (!loaded.status().IsNotFound()) {
     return loaded.status();  // a checkpoint exists but cannot be trusted
   }
 
   // Phase 2: replay the log tail past the checkpoint; Wal::Replay
   // truncates any torn or corrupt tail to the last good commit.
-  d->stats_.last_seq = snapshot_seq;
+  recovered.last_seq = snapshot_seq;
   auto replayed = Wal::Replay(
       WalPath(d->dir_), [&](const std::string& payload) -> Status {
         CommitRecord rec;
@@ -107,17 +111,25 @@ Result<std::unique_ptr<Durability>> Durability::Attach(
         for (const LogWrite& w : rec.writes) {
           CPDB_RETURN_IF_ERROR(d->ApplyWrite(w));
         }
-        d->stats_.last_seq = rec.seq;
-        ++d->stats_.replayed_commits;
+        recovered.last_seq = rec.seq;
+        ++recovered.replayed_commits;
         return Status::OK();
       });
   CPDB_RETURN_IF_ERROR(replayed.status());
 
-  CPDB_ASSIGN_OR_RETURN(d->wal_, Wal::Open(WalPath(d->dir_)));
+  CPDB_ASSIGN_OR_RETURN(auto wal, Wal::Open(WalPath(d->dir_)));
+  MutexLock l(d->mu_);
+  d->stats_ = recovered;
+  d->wal_ = std::move(wal);
   return d;
 }
 
 Status Durability::Sync() {
+  MutexLock l(mu_);
+  return SyncLocked();
+}
+
+Status Durability::SyncLocked() {
   if (!fail_.ok()) return fail_;  // fail-stop: the log has a gap
   if (wal_ == nullptr) {
     return pending_.empty()
@@ -148,11 +160,12 @@ Status Durability::Sync() {
 }
 
 Status Durability::Checkpoint() {
+  MutexLock l(mu_);
   if (!fail_.ok()) return fail_;
   if (wal_ == nullptr) {
     return Status::FailedPrecondition("durability engine is closed");
   }
-  CPDB_RETURN_IF_ERROR(Sync());
+  CPDB_RETURN_IF_ERROR(SyncLocked());
   CPDB_RETURN_IF_ERROR(
       WriteSnapshot(*db_, stats_.last_seq, CheckpointPath(dir_)));
   ++stats_.fsyncs;  // the snapshot's own fsync-before-rename
@@ -166,12 +179,13 @@ Status Durability::Checkpoint() {
 }
 
 Status Durability::Close() {
+  MutexLock l(mu_);
   if (wal_ == nullptr && lock_fd_ < 0) return Status::OK();
   // Flush what we can, but release the log and the directory lock even
   // when the final Sync fails (e.g. a fail-stopped engine): Close must
   // always leave the directory reopenable by another session. The error
   // still reaches the caller, who knows the tail was not flushed.
-  Status synced = wal_ != nullptr ? Sync() : Status::OK();
+  Status synced = wal_ != nullptr ? SyncLocked() : Status::OK();
   if (wal_ != nullptr) {
     wal_->Close();
     wal_.reset();
@@ -183,20 +197,25 @@ Status Durability::Close() {
   return synced;
 }
 
+void Durability::PushPending(LogWrite w) {
+  MutexLock l(mu_);
+  pending_.push_back(std::move(w));
+}
+
 void Durability::NoteCreateTable(const std::string& table,
                                  const relstore::Schema& schema) {
   LogWrite w;
   w.op = LogOp::kCreateTable;
   w.table = table;
   w.schema = schema;
-  pending_.push_back(std::move(w));
+  PushPending(std::move(w));
 }
 
 void Durability::NoteDropTable(const std::string& table) {
   LogWrite w;
   w.op = LogOp::kDropTable;
   w.table = table;
-  pending_.push_back(std::move(w));
+  PushPending(std::move(w));
 }
 
 void Durability::NoteCreateIndex(const std::string& table,
@@ -205,7 +224,7 @@ void Durability::NoteCreateIndex(const std::string& table,
   w.op = LogOp::kCreateIndex;
   w.table = table;
   w.index = def;
-  pending_.push_back(std::move(w));
+  PushPending(std::move(w));
 }
 
 void Durability::NoteInsert(const std::string& table,
@@ -214,7 +233,7 @@ void Durability::NoteInsert(const std::string& table,
   w.op = LogOp::kInsert;
   w.table = table;
   w.row = row;
-  pending_.push_back(std::move(w));
+  PushPending(std::move(w));
 }
 
 void Durability::NoteDelete(const std::string& table,
@@ -223,7 +242,7 @@ void Durability::NoteDelete(const std::string& table,
   w.op = LogOp::kDelete;
   w.table = table;
   w.row = row;
-  pending_.push_back(std::move(w));
+  PushPending(std::move(w));
 }
 
 }  // namespace cpdb::storage

@@ -9,7 +9,9 @@
 #include "relstore/journal.h"
 #include "storage/log_format.h"
 #include "storage/wal.h"
+#include "util/mutex.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace cpdb::storage {
 
@@ -49,6 +51,17 @@ struct DurabilityStats {
 /// to the last committed transaction. Because data tables and provenance
 /// tables share the Database — and therefore the log — both recover to
 /// the same committed transaction, always.
+///
+/// Thread safety: internally synchronized. The pending-note buffer, the
+/// sticky failure, the stats, and the log handle are all GUARDED_BY one
+/// internal mutex (compiler-checked under -Wthread-safety), and Sync
+/// holds it across seal-append-fsync so a commit record can never
+/// interleave with another committer's notes. The service layer's
+/// exclusive latch already serializes callers today; the internal lock is
+/// the defense line the MVCC refactor (parallel disjoint-subtree commits)
+/// will lean on. Note: the caller still owns transaction boundaries — a
+/// multi-call mutation sequence is made atomic by the engine's latch, not
+/// by this mutex.
 class Durability : public relstore::Journal {
  public:
   /// Creates `dir` if needed, recovers its contents into `db` (which must
@@ -73,17 +86,24 @@ class Durability : public relstore::Journal {
   /// error — the in-memory state is ahead of the log at that point, and
   /// appending later commits over the gap would recover a state that
   /// skips a transaction the caller already observed.
-  Status Sync();
+  Status Sync() CPDB_EXCLUDES(mu_);
 
   /// Sync(), write a fresh CHECKPOINT, then truncate the log.
-  Status Checkpoint();
+  Status Checkpoint() CPDB_EXCLUDES(mu_);
 
   /// Sync() then close the log. Idempotent; post-Close writes are
   /// rejected at the Database level (journal detached).
-  Status Close();
+  Status Close() CPDB_EXCLUDES(mu_);
 
-  bool open() const { return wal_ != nullptr; }
-  const DurabilityStats& stats() const { return stats_; }
+  bool open() const CPDB_EXCLUDES(mu_) {
+    MutexLock l(mu_);
+    return wal_ != nullptr;
+  }
+  /// Point-in-time copy of the session counters.
+  DurabilityStats stats() const CPDB_EXCLUDES(mu_) {
+    MutexLock l(mu_);
+    return stats_;
+  }
   const std::string& dir() const { return dir_; }
 
   static std::string WalPath(const std::string& dir);
@@ -92,14 +112,16 @@ class Durability : public relstore::Journal {
 
   // ----- relstore::Journal -------------------------------------------------
   void NoteCreateTable(const std::string& table,
-                       const relstore::Schema& schema) override;
-  void NoteDropTable(const std::string& table) override;
+                       const relstore::Schema& schema) override
+      CPDB_EXCLUDES(mu_);
+  void NoteDropTable(const std::string& table) override CPDB_EXCLUDES(mu_);
   void NoteCreateIndex(const std::string& table,
-                       const relstore::IndexDef& def) override;
+                       const relstore::IndexDef& def) override
+      CPDB_EXCLUDES(mu_);
   void NoteInsert(const std::string& table,
-                  const relstore::Row& row) override;
+                  const relstore::Row& row) override CPDB_EXCLUDES(mu_);
   void NoteDelete(const std::string& table,
-                  const relstore::Row& row) override;
+                  const relstore::Row& row) override CPDB_EXCLUDES(mu_);
 
  private:
   Durability(relstore::Database* db, std::string dir)
@@ -108,13 +130,21 @@ class Durability : public relstore::Journal {
   /// Applies one replayed write to the recovering database.
   Status ApplyWrite(const LogWrite& w);
 
+  /// Sync's body; Checkpoint and Close ride the same hold so their
+  /// barrier-then-mutate sequences stay atomic against other committers.
+  Status SyncLocked() CPDB_REQUIRES(mu_);
+
+  /// Stages one journal note (the shared tail of the Note* overrides).
+  void PushPending(LogWrite w) CPDB_EXCLUDES(mu_);
+
   relstore::Database* db_;
   std::string dir_;
   int lock_fd_ = -1;  ///< flock on dir/LOCK; released on close/death
-  std::unique_ptr<Wal> wal_;
-  std::vector<LogWrite> pending_;
-  DurabilityStats stats_;
-  Status fail_;  ///< sticky first log failure (see Sync)
+  mutable Mutex mu_;
+  std::unique_ptr<Wal> wal_ CPDB_GUARDED_BY(mu_);
+  std::vector<LogWrite> pending_ CPDB_GUARDED_BY(mu_);
+  DurabilityStats stats_ CPDB_GUARDED_BY(mu_);
+  Status fail_ CPDB_GUARDED_BY(mu_);  ///< sticky first log failure (see Sync)
 
   /// Database's move operations re-point the back reference.
   friend class relstore::Database;

@@ -63,6 +63,7 @@ Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path) {
 Wal::~Wal() { Close(); }
 
 void Wal::Close() {
+  MutexLock l(mu_);
   if (fd_ >= 0) {
     ::close(fd_);
     fd_ = -1;
@@ -70,6 +71,7 @@ void Wal::Close() {
 }
 
 Status Wal::Append(const std::string& payload, size_t* framed_bytes) {
+  MutexLock l(mu_);
   if (fd_ < 0) return Status::FailedPrecondition("WAL is closed");
   if (poisoned_) {
     return Status::FailedPrecondition(
@@ -103,6 +105,7 @@ Status Wal::Append(const std::string& payload, size_t* framed_bytes) {
 }
 
 Status Wal::Sync() {
+  MutexLock l(mu_);
   if (fd_ < 0) return Status::FailedPrecondition("WAL is closed");
   if (::fsync(fd_) != 0) return Errno("WAL fsync failed", path_);
   ++sync_count_;
@@ -110,6 +113,7 @@ Status Wal::Sync() {
 }
 
 Status Wal::TruncateAll() {
+  MutexLock l(mu_);
   if (fd_ < 0) return Status::FailedPrecondition("WAL is closed");
   if (::ftruncate(fd_, 0) != 0) return Errno("WAL truncate failed", path_);
   file_size_ = 0;

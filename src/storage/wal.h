@@ -4,7 +4,9 @@
 #include <memory>
 #include <string>
 
+#include "util/mutex.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace cpdb::storage {
 
@@ -20,6 +22,13 @@ namespace cpdb::storage {
 /// payloads whose length and CRC check out, stops at the first torn or
 /// corrupt frame, and truncates the file back to the last good boundary
 /// so the next Append starts on clean bytes.
+///
+/// Thread safety: internally synchronized. Every mutating entry point
+/// serializes on an internal mutex (GUARDED_BY-checked under
+/// -Wthread-safety), so concurrent appenders cannot interleave a frame —
+/// today the Durability engine is the only caller and already serializes,
+/// but the invariant is load-bearing for the planned MVCC write path
+/// where disjoint-subtree committers log in parallel.
 class Wal {
  public:
   /// Opens (creating if needed) the log at `path` for appending.
@@ -39,21 +48,28 @@ class Wal {
   /// if even that fails, the log POISONS itself and rejects all further
   /// appends (fail-stop), so a commit is never acknowledged behind a
   /// tear.
-  Status Append(const std::string& payload, size_t* framed_bytes = nullptr);
+  Status Append(const std::string& payload, size_t* framed_bytes = nullptr)
+      CPDB_EXCLUDES(mu_);
 
   /// fsync barrier: everything appended so far is durable on return.
-  Status Sync();
+  Status Sync() CPDB_EXCLUDES(mu_);
 
   /// Empties the log (after a checkpoint made its contents redundant).
-  Status TruncateAll();
+  Status TruncateAll() CPDB_EXCLUDES(mu_);
 
   /// Closes the file descriptor WITHOUT syncing — pending OS buffers are
   /// the crash window by design; callers that want durability Sync()
   /// first. Idempotent.
-  void Close();
+  void Close() CPDB_EXCLUDES(mu_);
 
-  size_t AppendedBytes() const { return appended_bytes_; }
-  size_t SyncCount() const { return sync_count_; }
+  size_t AppendedBytes() const CPDB_EXCLUDES(mu_) {
+    MutexLock l(mu_);
+    return appended_bytes_;
+  }
+  size_t SyncCount() const CPDB_EXCLUDES(mu_) {
+    MutexLock l(mu_);
+    return sync_count_;
+  }
 
   /// Replays every complete, checksum-valid record of the log at `path`
   /// in file order, calling `fn(payload)` for each; stops (successfully)
@@ -68,12 +84,14 @@ class Wal {
   Wal(int fd, std::string path, size_t file_size)
       : fd_(fd), path_(std::move(path)), file_size_(file_size) {}
 
-  int fd_ = -1;
-  std::string path_;
-  size_t file_size_ = 0;  // last known-good record boundary
-  bool poisoned_ = false;
-  size_t appended_bytes_ = 0;
-  size_t sync_count_ = 0;
+  mutable Mutex mu_;
+  int fd_ CPDB_GUARDED_BY(mu_) = -1;
+  const std::string path_;  ///< immutable after Open
+  /// Last known-good record boundary.
+  size_t file_size_ CPDB_GUARDED_BY(mu_) = 0;
+  bool poisoned_ CPDB_GUARDED_BY(mu_) = false;
+  size_t appended_bytes_ CPDB_GUARDED_BY(mu_) = 0;
+  size_t sync_count_ CPDB_GUARDED_BY(mu_) = 0;
 };
 
 /// fsyncs a directory, making renames/creations inside it durable —

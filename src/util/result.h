@@ -27,26 +27,26 @@ class [[nodiscard]] Result {
     assert(!status_.ok() && "Result constructed from OK status without value");
   }
 
-  bool ok() const { return value_.has_value(); }
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
 
-  const Status& status() const { return status_; }
+  [[nodiscard]] const Status& status() const { return status_; }
 
   /// Precondition: ok().
-  const T& value() const& {
+  [[nodiscard]] const T& value() const& {
     assert(ok());
     return *value_;
   }
-  T& value() & {
+  [[nodiscard]] T& value() & {
     assert(ok());
     return *value_;
   }
-  T&& value() && {
+  [[nodiscard]] T&& value() && {
     assert(ok());
     return std::move(*value_);
   }
 
   /// Returns the contained value or `fallback` if this holds an error.
-  T value_or(T fallback) const {
+  [[nodiscard]] T value_or(T fallback) const {
     return ok() ? *value_ : std::move(fallback);
   }
 
@@ -65,8 +65,7 @@ class [[nodiscard]] Result {
   CPDB_ASSIGN_OR_RETURN_IMPL_(                      \
       CPDB_CONCAT_(_cpdb_result_, __LINE__), lhs, expr)
 
-#define CPDB_CONCAT_INNER_(a, b) a##b
-#define CPDB_CONCAT_(a, b) CPDB_CONCAT_INNER_(a, b)
+// CPDB_CONCAT_ comes from util/status.h (included above).
 
 #define CPDB_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
   auto tmp = (expr);                                \

@@ -66,22 +66,28 @@ class [[nodiscard]] Status {
     return Status(StatusCode::kNotSupported, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
-  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
-  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
-  bool IsInvalidArgument() const {
+  [[nodiscard]] bool IsNotFound() const {
+    return code_ == StatusCode::kNotFound;
+  }
+  [[nodiscard]] bool IsAlreadyExists() const {
+    return code_ == StatusCode::kAlreadyExists;
+  }
+  [[nodiscard]] bool IsInvalidArgument() const {
     return code_ == StatusCode::kInvalidArgument;
   }
-  bool IsFailedPrecondition() const {
+  [[nodiscard]] bool IsFailedPrecondition() const {
     return code_ == StatusCode::kFailedPrecondition;
   }
-  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  [[nodiscard]] bool IsInternal() const {
+    return code_ == StatusCode::kInternal;
+  }
 
   /// "OK" or "<Code>: <message>".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
   bool operator==(const Status& other) const {
     return code_ == other.code_ && message_ == other.message_;
@@ -94,11 +100,17 @@ class [[nodiscard]] Status {
 
 std::ostream& operator<<(std::ostream& os, const Status& s);
 
+#define CPDB_CONCAT_INNER_(a, b) a##b
+#define CPDB_CONCAT_(a, b) CPDB_CONCAT_INNER_(a, b)
+
 /// Propagates a non-OK status to the caller.
-#define CPDB_RETURN_IF_ERROR(expr)             \
-  do {                                         \
-    ::cpdb::Status _st = (expr);               \
-    if (!_st.ok()) return _st;                 \
+#define CPDB_RETURN_IF_ERROR(expr) \
+  CPDB_RETURN_IF_ERROR_IMPL_(CPDB_CONCAT_(_cpdb_status_, __LINE__), expr)
+
+#define CPDB_RETURN_IF_ERROR_IMPL_(tmp, expr) \
+  do {                                        \
+    ::cpdb::Status tmp = (expr);              \
+    if (!tmp.ok()) return tmp;                \
   } while (0)
 
 }  // namespace cpdb

@@ -1,0 +1,12 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror=thread-safety:
+// acquires a shared grant on the engine latch and returns without
+// releasing it — the leaked-reader bug that starves every committer
+// (the latch is writer-preferring, so one leaked grant wedges commits).
+// expect-diagnostic: still held
+
+#include "service/latch.h"
+
+void LeakReader(cpdb::service::SharedLatch& latch) {
+  latch.LockShared();
+  // error: latch is still held at the end of the function
+}

@@ -1,0 +1,11 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror=thread-safety:
+// releases the exclusive grant without holding it — the double-unlock
+// shape that would let a second committer into the cohort's critical
+// section.
+// expect-diagnostic: releasing
+
+#include "service/latch.h"
+
+void StrayUnlock(cpdb::service::SharedLatch& latch) {
+  latch.UnlockExclusive();  // error: releasing a capability not held
+}

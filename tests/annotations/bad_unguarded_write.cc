@@ -1,0 +1,22 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror=thread-safety:
+// writes a CPDB_GUARDED_BY field without holding its mutex.
+// expect-diagnostic: guarded_by
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+struct Counter {
+  cpdb::Mutex mu;
+  int n CPDB_GUARDED_BY(mu) = 0;
+
+  void Bump() { ++n; }  // error: requires mu
+};
+
+}  // namespace
+
+void Use() {
+  Counter c;
+  c.Bump();
+}

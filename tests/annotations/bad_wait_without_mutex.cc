@@ -1,0 +1,11 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror=thread-safety:
+// waits on a CondVar without holding the mutex it is specified over
+// (CondVar::Wait REQUIRES the mutex; calling it unlocked is UB in the
+// underlying std::condition_variable too).
+// expect-diagnostic: requires
+
+#include "util/mutex.h"
+
+void WaitUnlocked(cpdb::Mutex& mu, cpdb::CondVar& cv) {
+  cv.Wait(mu);  // error: requires holding mu
+}

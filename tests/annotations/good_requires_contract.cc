@@ -1,0 +1,36 @@
+// MUST COMPILE cleanly under -Wthread-safety -Werror=thread-safety:
+// REQUIRES propagates the caller's lock into a helper, the pattern
+// CommitQueue::RunCohort uses (the public entry locks, the private
+// helper states its precondition instead of re-locking).
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Stats {
+ public:
+  void Record(int v) CPDB_EXCLUDES(mu_) {
+    cpdb::MutexLock l(mu_);
+    RecordLocked(v);
+  }
+
+  int Total() const CPDB_EXCLUDES(mu_) {
+    cpdb::MutexLock l(mu_);
+    return total_;
+  }
+
+ private:
+  void RecordLocked(int v) CPDB_REQUIRES(mu_) { total_ += v; }
+
+  mutable cpdb::Mutex mu_;
+  int total_ CPDB_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int Use() {
+  Stats s;
+  s.Record(3);
+  return s.Total();
+}

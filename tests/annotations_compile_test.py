@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Negative-compilation harness for the thread-safety annotations.
+
+Compiles every snippet under tests/annotations/ with Clang's
+-Wthread-safety promoted to an error:
+
+  * bad_*.cc  MUST fail, and the diagnostic must be a thread-safety one
+    (each snippet names an expected fragment in an
+    `// expect-diagnostic:` line);
+  * good_*.cc MUST compile cleanly — guarding against annotations so
+    strict the sanctioned patterns stop building.
+
+This is what keeps util/thread_annotations.h honest: on GCC the macros
+are no-ops, so only this harness (and CI's `analyze` job) proves the
+attributes still reject the misuse they are there to reject.
+
+Exit codes: 0 all snippets behave, 1 mismatch, 77 skipped (no clang++
+on PATH — ctest maps 77 to SKIPPED via SKIP_RETURN_CODE).
+"""
+
+import pathlib
+import re
+import shutil
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+SNIPPETS = ROOT / "tests" / "annotations"
+SKIP = 77
+
+
+def find_clang():
+    for name in ("clang++", "clang++-20", "clang++-19", "clang++-18",
+                 "clang++-17", "clang++-16", "clang++-15", "clang++-14"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def compile_snippet(clang, path):
+    cmd = [
+        clang, "-std=c++17", "-fsyntax-only",
+        "-I", str(ROOT / "src"),
+        "-Wthread-safety", "-Werror=thread-safety",
+        str(path),
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    return proc.returncode, proc.stderr
+
+
+def expected_fragment(path):
+    m = re.search(r"//\s*expect-diagnostic:\s*(.+)", path.read_text())
+    return m.group(1).strip() if m else None
+
+
+def main():
+    clang = find_clang()
+    if clang is None:
+        print("SKIP: no clang++ on PATH; thread-safety analysis "
+              "requires Clang")
+        return SKIP
+
+    snippets = sorted(SNIPPETS.glob("*.cc"))
+    if not snippets:
+        print(f"no snippets under {SNIPPETS}", file=sys.stderr)
+        return 1
+
+    failures = []
+    for path in snippets:
+        rc, stderr = compile_snippet(clang, path)
+        name = path.name
+        if name.startswith("bad_"):
+            if rc == 0:
+                failures.append(f"{name}: compiled, but must be rejected")
+                continue
+            if "thread-safety" not in stderr and "-Wthread-safety" not in stderr:
+                failures.append(
+                    f"{name}: rejected, but not by the thread-safety "
+                    f"analysis:\n{stderr}")
+                continue
+            frag = expected_fragment(path)
+            if frag and frag not in stderr:
+                failures.append(
+                    f"{name}: expected diagnostic fragment {frag!r} "
+                    f"not found in:\n{stderr}")
+                continue
+            print(f"ok (rejected as it must be): {name}")
+        else:
+            if rc != 0:
+                failures.append(
+                    f"{name}: must compile cleanly, but failed:\n{stderr}")
+                continue
+            print(f"ok (compiles cleanly): {name}")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL {f}", file=sys.stderr)
+        return 1
+    print(f"all {len(snippets)} annotation snippets behave")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

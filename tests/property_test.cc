@@ -225,10 +225,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(7u, 99u, 2024u),
                        ::testing::Values(Pattern::kMix, Pattern::kReal,
                                          Pattern::kAcMix)),
-    [](const ::testing::TestParamInfo<SeedPattern>& info) {
-      std::string name = std::string("seed") +
-                         std::to_string(std::get<0>(info.param)) + "_" +
-                         workload::PatternName(std::get<1>(info.param));
+    [](const ::testing::TestParamInfo<SeedPattern>& param_info) {
+      std::string name =
+          std::string("seed") + std::to_string(std::get<0>(param_info.param)) +
+          "_" + workload::PatternName(std::get<1>(param_info.param));
       name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
       return name;
     });

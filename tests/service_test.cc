@@ -455,9 +455,9 @@ TEST_P(ServiceOracleTest, WritersAndReadersMatchSingleThreadedReplay) {
 
 INSTANTIATE_TEST_SUITE_P(AllStrategies, ServiceOracleTest,
                          ::testing::ValuesIn(kStrategies),
-                         [](const auto& info) {
+                         [](const auto& param_info) {
                            return std::string(
-                               provenance::StrategyShortName(info.param));
+                               provenance::StrategyShortName(param_info.param));
                          });
 
 // ----- Session pool and cost aggregation -----------------------------------

@@ -93,8 +93,8 @@ INSTANTIATE_TEST_SUITE_P(
     AllPatterns, GeneratorPatternTest,
     ::testing::Values(Pattern::kAdd, Pattern::kDelete, Pattern::kCopy,
                       Pattern::kAcMix, Pattern::kMix, Pattern::kReal),
-    [](const ::testing::TestParamInfo<Pattern>& info) {
-      std::string n = PatternName(info.param);
+    [](const ::testing::TestParamInfo<Pattern>& param_info) {
+      std::string n = PatternName(param_info.param);
       n.erase(std::remove(n.begin(), n.end(), '-'), n.end());
       return n;
     });

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Changed-files-only clang-format check (CI `analyze` job; fine locally).
+#
+#   tools/lint/check_format.sh [base-ref]
+#
+# Diffs HEAD against the merge base with base-ref (default origin/main),
+# and runs `clang-format --dry-run --Werror` on the changed .cc/.h files
+# only — the whole tree is NOT required to be formatted, so the check
+# never punishes a PR for code it didn't touch. Exits 0 when nothing
+# relevant changed or when clang-format is not installed (prints a
+# notice; CI always installs it).
+set -euo pipefail
+
+base_ref="${1:-origin/main}"
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "check_format: clang-format not installed; skipping" >&2
+  exit 0
+fi
+
+if ! base="$(git merge-base "$base_ref" HEAD 2>/dev/null)"; then
+  echo "check_format: cannot resolve merge base with $base_ref; skipping" >&2
+  exit 0
+fi
+
+mapfile -t changed < <(git diff --name-only --diff-filter=ACMR "$base" HEAD \
+  -- '*.cc' '*.h' | grep -E '^(src|tests|bench|examples|tools)/' || true)
+
+if [ "${#changed[@]}" -eq 0 ]; then
+  echo "check_format: no changed C++ files vs $base_ref"
+  exit 0
+fi
+
+echo "check_format: checking ${#changed[@]} changed file(s) vs $base_ref"
+clang-format --dry-run --Werror "${changed[@]}"
+echo "check_format: OK"

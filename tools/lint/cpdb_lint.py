@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""cpdb_lint: repo-specific invariants that neither the compiler nor
+clang-tidy can express. Runs in CI (the `analyze` job) and locally:
+
+    python3 tools/lint/cpdb_lint.py [--root .]
+
+Exit status 0 means every rule holds; 1 means findings were printed,
+one per line, as `RULE path:line: message`.
+
+Rules
+-----
+DURABILITY-FSYNC
+    fsync/fdatasync may appear only under src/storage/. The durability
+    story (one group-commit fsync per cohort, counted in
+    DurabilityStats and charged on the CostModel) depends on every
+    barrier going through Wal::Sync; a stray fsync elsewhere silently
+    breaks both the perf model and the crash-consistency argument.
+
+ANNOTATED-MUTEX
+    src/service/ and src/storage/ must use the annotated primitives
+    from util/mutex.h (cpdb::Mutex, cpdb::MutexLock, cpdb::CondVar),
+    never raw std::mutex & friends: Clang's thread-safety analysis
+    cannot see through libstdc++'s unannotated types, so a raw mutex
+    in those layers is an unchecked lock. The escape hatch
+    CPDB_NO_THREAD_SAFETY_ANALYSIS is likewise banned there — the
+    concurrency core must stay fully analyzed (zero suppressions).
+    util/mutex.h itself is the one sanctioned wrapper site.
+
+PROV-TABLE-WRITES
+    The Prov/TxnMeta tables may be touched by name only inside
+    provenance/backend.cc: all writes funnel through
+    ProvBackend::WriteRecords / WriteTxnMeta (that is what makes the
+    round-trip accounting and the service layer's shared-table
+    contract enforceable). Production code and benches must go through
+    the backend; tests/ may read the tables to assert on them.
+
+BENCH-JSON
+    Every figure bench in bench/*.cc must emit the harness JSON schema
+    ({"bench":..., "config":..., "rows":[...]}) behind a --json flag,
+    via bench::JsonReport, so BENCH_*.json perf-trajectory tracking
+    can diff any bench across PRs. bench_micro.cc is exempt: it is a
+    google-benchmark binary with that framework's own JSON reporter.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+FINDINGS = []
+
+
+def finding(rule, path, lineno, msg):
+    FINDINGS.append(f"{rule} {path}:{lineno}: {msg}")
+
+
+def strip_comments(line):
+    """Drop // comments; enough for these rules (no /* */ spans in rules'
+    target patterns that matter, and string literals never contain them)."""
+    pos = line.find("//")
+    return line if pos < 0 else line[:pos]
+
+
+def iter_source(root, subdir, suffixes=(".cc", ".h")):
+    base = root / subdir
+    if not base.is_dir():
+        return
+    for path in sorted(base.rglob("*")):
+        if path.suffix in suffixes and path.is_file():
+            yield path
+
+
+FSYNC_RE = re.compile(r"\b(?:::)?f(?:data)?sync\s*\(")
+# ChargeFsync()/Fsyncs() are cost-model accounting, not barriers.
+FSYNC_OK_RE = re.compile(r"(?:ChargeFsync|Fsyncs)\s*\(")
+
+
+def check_fsync(root):
+    for path in iter_source(root, "src"):
+        rel = path.relative_to(root)
+        if rel.parts[:2] == ("src", "storage"):
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            code = strip_comments(line)
+            if FSYNC_OK_RE.search(code):
+                code = FSYNC_OK_RE.sub("", code)
+            if FSYNC_RE.search(code):
+                finding("DURABILITY-FSYNC", rel, lineno,
+                        "fsync/fdatasync outside src/storage/ "
+                        "(barriers must go through Wal::Sync)")
+
+
+RAW_SYNC_RE = re.compile(
+    r"std::(?:mutex|timed_mutex|recursive_mutex|shared_mutex|"
+    r"condition_variable(?:_any)?|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock)\b")
+
+
+def check_annotated_mutex(root):
+    for subdir in ("src/service", "src/storage"):
+        for path in iter_source(root, subdir):
+            rel = path.relative_to(root)
+            for lineno, line in enumerate(path.read_text().splitlines(), 1):
+                code = strip_comments(line)
+                m = RAW_SYNC_RE.search(code)
+                if m:
+                    finding("ANNOTATED-MUTEX", rel, lineno,
+                            f"raw {m.group(0)} in a concurrency layer; "
+                            "use cpdb::Mutex/MutexLock/CondVar "
+                            "(util/mutex.h) so -Wthread-safety sees it")
+                if "CPDB_NO_THREAD_SAFETY_ANALYSIS" in code:
+                    finding("ANNOTATED-MUTEX", rel, lineno,
+                            "thread-safety suppression in a concurrency "
+                            "layer; src/service and src/storage must stay "
+                            "fully analyzed")
+
+
+PROV_TABLE_RE = re.compile(
+    r"kProvTable|kMetaTable|"
+    r"(?:GetTable|CreateTable|DropTable)\s*\(\s*\"(?:Prov|TxnMeta)\"")
+PROV_ALLOWED = {
+    pathlib.PurePath("src/provenance/backend.cc"),
+    pathlib.PurePath("src/provenance/backend.h"),
+}
+
+
+def check_prov_table_writes(root):
+    dirs = ["src", "bench", "examples"]
+    for subdir in dirs:
+        for path in iter_source(root, subdir):
+            rel = path.relative_to(root)
+            if pathlib.PurePath(rel) in PROV_ALLOWED:
+                continue
+            for lineno, line in enumerate(path.read_text().splitlines(), 1):
+                if PROV_TABLE_RE.search(strip_comments(line)):
+                    finding("PROV-TABLE-WRITES", rel, lineno,
+                            "direct Prov/TxnMeta table access outside "
+                            "ProvBackend; writes must funnel through "
+                            "WriteRecords/WriteTxnMeta")
+
+
+BENCH_EXEMPT = {"bench_micro.cc"}  # google-benchmark's own reporter
+
+
+def check_bench_json(root):
+    bench = root / "bench"
+    if not bench.is_dir():
+        return
+    for path in sorted(bench.glob("*.cc")):
+        if path.name in BENCH_EXEMPT:
+            continue
+        rel = path.relative_to(root)
+        text = path.read_text()
+        missing = []
+        if not re.search(r'#include\s+"harness\.h"', text):
+            missing.append('#include "harness.h"')
+        if "JsonReport" not in text:
+            missing.append("a bench::JsonReport")
+        if not re.search(r'GetString\s*\(\s*"json"', text):
+            missing.append('the --json flag (GetString("json", ...))')
+        if missing:
+            finding("BENCH-JSON", rel, 1,
+                    "bench does not emit the harness JSON schema; "
+                    "missing " + ", ".join(missing))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    args = parser.parse_args()
+    root = pathlib.Path(args.root).resolve()
+    if not (root / "src").is_dir():
+        print(f"cpdb_lint: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    check_fsync(root)
+    check_annotated_mutex(root)
+    check_prov_table_writes(root)
+    check_bench_json(root)
+
+    for f in FINDINGS:
+        print(f)
+    if FINDINGS:
+        print(f"cpdb_lint: {len(FINDINGS)} finding(s)", file=sys.stderr)
+        return 1
+    print("cpdb_lint: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
