@@ -24,10 +24,12 @@
 #include <string>
 #include <system_error>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "cpdb/cpdb.h"
 #include "harness.h"
+#include "workload/zipf.h"
 
 namespace {
 
@@ -85,6 +87,40 @@ Script MakeTxn(size_t thread, size_t txn, size_t txn_len) {
   return script;
 }
 
+/// How a transaction picks the node it edits. kSeq is the historical
+/// default — txn i always creates the fresh node n<i> — and stays
+/// byte-identical so the CI fsync/commit pins keep meaning the same
+/// thing. kUniform/kZipf edit a bounded key space of --keys nodes per
+/// thread, with kZipf concentrating edits on hot ranks (--theta): the
+/// curator hot-record pattern the network load rig also models.
+enum class KeyDist { kSeq, kUniform, kZipf };
+
+/// Skewed variant of MakeTxn: the edited node is n<key> (possibly
+/// revisited). Field labels carry the txn number so revisiting a hot
+/// node adds fresh fields instead of colliding with an earlier insert.
+Script MakeSkewedTxn(size_t thread, size_t txn, size_t txn_len, uint64_t key,
+                     std::unordered_set<uint64_t>* created) {
+  std::string root = "t" + std::to_string(thread);
+  Path base = Path::MustParse("T").Child(root);
+  Script script;
+  if (txn == 0) {
+    script.push_back(Update::Insert(Path::MustParse("T"), root));
+    if (script.size() == txn_len) return script;
+  }
+  std::string n = "n" + std::to_string(key);
+  if (created->insert(key).second) {
+    script.push_back(Update::Insert(base, n));
+    if (script.size() == txn_len) return script;
+  }
+  size_t k = 0;
+  while (script.size() < txn_len) {
+    script.push_back(Update::Insert(
+        base.Child(n), "f" + std::to_string(txn) + "_" + std::to_string(k++),
+        tree::Value(static_cast<int64_t>(txn * 1000 + script.size()))));
+  }
+  return script;
+}
+
 struct RunResult {
   size_t commits = 0;
   size_t ops = 0;
@@ -99,7 +135,8 @@ struct RunResult {
 
 RunResult RunOnce(provenance::Strategy strategy, size_t threads,
                   size_t txn_len, size_t txns_per_thread,
-                  const std::string& durable_dir) {
+                  const std::string& durable_dir, KeyDist dist, double theta,
+                  uint64_t keys) {
   RunResult res;
   std::unique_ptr<relstore::Database> db;
   if (durable_dir.empty()) {
@@ -138,8 +175,18 @@ RunResult RunOnce(provenance::Strategy strategy, size_t threads,
       }
       std::unique_ptr<service::Session> session = std::move(*acquired);
       latencies[t].reserve(txns_per_thread);
+      // theta=0 degenerates to uniform, so one sampler covers both
+      // non-sequential distributions. Seeded per thread: reproducible,
+      // but threads do not march over identical rank sequences.
+      workload::ZipfGenerator sampler(
+          keys, dist == KeyDist::kZipf ? theta : 0.0, 0x5EEDu + t);
+      std::unordered_set<uint64_t> created;
       for (size_t i = 0; i < txns_per_thread; ++i) {
-        Script script = MakeTxn(t, i, txn_len);
+        Script script =
+            dist == KeyDist::kSeq
+                ? MakeTxn(t, i, txn_len)
+                : MakeSkewedTxn(t, i, txn_len, sampler.NextScrambled(),
+                                &created);
         Status st;
         Stopwatch commit_clock;
         if (PerOp(strategy)) {
@@ -200,25 +247,56 @@ int main(int argc, char** argv) {
       ParseStrategy(flags.GetString("strategy", "HT"));
   std::string durable_dir =
       flags.GetString("durable", "bench-concurrent-wal");
+  std::string dist_name = flags.GetString("dist", "seq");
+  KeyDist dist;
+  if (dist_name == "seq") {
+    dist = KeyDist::kSeq;
+  } else if (dist_name == "uniform") {
+    dist = KeyDist::kUniform;
+  } else if (dist_name == "zipf") {
+    dist = KeyDist::kZipf;
+  } else {
+    std::fprintf(stderr, "--dist must be seq, uniform, or zipf\n");
+    return 2;
+  }
+  double theta = flags.GetDouble("theta", 0.99);
+  uint64_t keys =
+      static_cast<uint64_t>(std::max<int64_t>(1, flags.GetInt("keys", 1000)));
 
   JsonReport report("concurrent");
   report.config()
       .Set("strategy", provenance::StrategyShortName(strategy))
       .Set("txns_per_thread", txns)
       .Set("durable", !durable_dir.empty());
+  // The default (seq) config and rows stay byte-compatible with every
+  // earlier BENCH_concurrent.json; the distribution knobs only appear
+  // when they are in play.
+  if (dist != KeyDist::kSeq) {
+    report.config().Set("dist", dist_name).Set("keys", keys);
+    if (dist == KeyDist::kZipf) report.config().Set("theta", theta);
+  }
 
   PrintHeader("Service layer",
               "multi-session group commit (closed loop, real time)");
-  std::printf("strategy=%s txns/thread=%zu durable=%s\n\n",
+  std::printf("strategy=%s txns/thread=%zu durable=%s\n",
               provenance::StrategyShortName(strategy), txns,
               durable_dir.empty() ? "no" : durable_dir.c_str());
+  if (dist != KeyDist::kSeq) {
+    std::printf("dist=%s keys=%llu%s\n", dist_name.c_str(),
+                static_cast<unsigned long long>(keys),
+                dist == KeyDist::kZipf
+                    ? (" theta=" + std::to_string(theta)).c_str()
+                    : "");
+  }
+  std::printf("\n");
   std::printf("%-8s %-8s %9s %10s %8s %10s %9s %11s %11s\n", "threads",
               "txn-len", "commits", "commits/s", "fsyncs", "fsync/cmt",
               "maxcohort", "p50(us)", "p99(us)");
 
   for (size_t threads : thread_counts) {
     for (size_t txn_len : txn_lens) {
-      RunResult r = RunOnce(strategy, threads, txn_len, txns, durable_dir);
+      RunResult r = RunOnce(strategy, threads, txn_len, txns, durable_dir,
+                            dist, theta, keys);
       double commits_per_sec =
           r.wall_ms <= 0 ? 0 : r.commits / (r.wall_ms / 1000.0);
       double fsyncs_per_commit =

@@ -14,6 +14,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <filesystem>
 #include <string>
 #include <system_error>
@@ -35,7 +36,12 @@ namespace cpdb::bench {
 //
 // with per-row counters (ops, simulated wall time, modelled round trips,
 // bytes) so BENCH_*.json perf-trajectory tracking can diff runs across
-// PRs. Keys are stable; values are JSON numbers or strings. Since the
+// PRs. Keys are stable; values are JSON numbers or strings. Every report
+// also carries three provenance-of-the-measurement fields — "git_sha"
+// (env CPDB_GIT_SHA, "unknown" otherwise), "utc_timestamp", and "run_id"
+// (env CPDB_RUN_ID, "local" otherwise) — so a checked-in BENCH_*.json
+// says which commit and which run produced it (tools/bench/record.sh
+// sets both env vars). Since the
 // batched write path, the op-time benches (fig9/fig10/fig12) additionally
 // report measured write round trips and write rows (the CostModel's
 // write-side counters) for the provenance store and the target database,
@@ -129,8 +135,30 @@ class JsonReport {
     return rows_.back();
   }
 
+  /// Where/when this report was produced, as a JSON fragment
+  /// `"git_sha":...,"utc_timestamp":...,"run_id":...`. git_sha and
+  /// run_id come from the environment (record.sh exports them); the
+  /// timestamp is computed here so even ad-hoc local runs are datable.
+  static std::string MetaFragment() {
+    const char* sha = std::getenv("CPDB_GIT_SHA");
+    std::time_t now = std::time(nullptr);
+    std::tm utc{};
+    char stamp[32] = "unknown";
+    if (gmtime_r(&now, &utc) != nullptr) {
+      std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ", &utc);
+    }
+    const char* run = std::getenv("CPDB_RUN_ID");
+    JsonDict meta;
+    meta.Set("git_sha", sha != nullptr && *sha != '\0' ? sha : "unknown")
+        .Set("utc_timestamp", stamp)
+        .Set("run_id", run != nullptr && *run != '\0' ? run : "local");
+    std::string obj = meta.ToString();  // "{...}" -> strip the braces
+    return obj.substr(1, obj.size() - 2);
+  }
+
   std::string ToString() const {
     std::string out = "{\"bench\":\"" + JsonEscape(bench_) + "\"";
+    out += "," + MetaFragment();
     out += ",\"config\":" + config_.ToString();
     out += ",\"rows\":[";
     for (size_t i = 0; i < rows_.size(); ++i) {

@@ -118,6 +118,18 @@
 /// the durability barrier. Never mix the two against one live backend:
 /// a standalone editor's writes would bypass the engine's latch.
 ///
+/// Network service (README "Network service"; src/net/): the service
+/// layer on a socket. cpdb_serve fronts one Engine over TCP with
+/// checksummed length-prefixed frames (net/frame.h, the WAL's framing
+/// discipline), one pooled Session per connection, transaction-atomic
+/// RETRY shedding under commit-queue overload, and a graceful
+/// SIGTERM/DRAIN path (finish in-flight, checkpoint, exit 0; a restart
+/// serves bit-identical state). net/client.h is the pipelining client
+/// library; tools/cpdb_bench_client drives it (QD sweeps, zipf keys,
+/// open-loop pacing, p50/p99/p999). Deliberately NOT exported here:
+/// servers and clients include net/ headers directly; embedding callers
+/// never pay for the socket layer.
+///
 /// The latching rules above are compiler-checked, not just documented:
 /// util/thread_annotations.h wraps Clang's Thread Safety Analysis
 /// attributes (CPDB_GUARDED_BY, CPDB_REQUIRES, ...; no-ops on GCC),

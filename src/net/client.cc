@@ -1,0 +1,143 @@
+#include "net/client.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace cpdb::net {
+
+Client::~Client() { Close(); }
+
+Status Client::Connect(const std::string& host, int port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad server address " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    Status st =
+        Status::Unavailable(std::string("connect: ") + std::strerror(errno));
+    Close();
+    return st;
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  reader_ = FrameReader();
+  inflight_ = 0;
+  return Status::OK();
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  inflight_ = 0;
+}
+
+Status Client::Send(const Request& req) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  std::string payload;
+  EncodeRequest(req, &payload);
+  Status st = WriteFrame(fd_, payload);
+  if (st.ok()) ++inflight_;
+  return st;
+}
+
+Result<Response> Client::Recv() {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  if (inflight_ == 0) {
+    return Status::FailedPrecondition("no request in flight");
+  }
+  std::string payload;
+  CPDB_RETURN_IF_ERROR(ReadFrame(fd_, &reader_, &payload));
+  --inflight_;
+  return DecodeResponse(payload);
+}
+
+Result<Response> Client::Call(const Request& req) {
+  CPDB_RETURN_IF_ERROR(Send(req));
+  return Recv();
+}
+
+Status Client::ToStatus(const Response& resp) {
+  switch (resp.code) {
+    case RespCode::kOk:
+      return Status::OK();
+    case RespCode::kRetry:
+      return Status::Unavailable("RETRY: " + resp.body);
+    case RespCode::kDraining:
+      return Status::Unavailable("DRAINING: " + resp.body);
+    case RespCode::kError:
+      return Status::Internal(resp.body);
+  }
+  return Status::Internal("bad response code");
+}
+
+Status Client::Ping() {
+  CPDB_ASSIGN_OR_RETURN(Response resp, Call(Request::Ping()));
+  return ToStatus(resp);
+}
+
+Status Client::Apply(const update::Update& u) {
+  CPDB_ASSIGN_OR_RETURN(Response resp, Call(Request::Apply(u)));
+  return ToStatus(resp);
+}
+
+Status Client::Commit() {
+  CPDB_ASSIGN_OR_RETURN(Response resp, Call(Request::Commit()));
+  return ToStatus(resp);
+}
+
+Status Client::Abort() {
+  CPDB_ASSIGN_OR_RETURN(Response resp, Call(Request::Abort()));
+  return ToStatus(resp);
+}
+
+Result<std::vector<int64_t>> Client::GetMod(const tree::Path& p) {
+  CPDB_ASSIGN_OR_RETURN(Response resp, Call(Request::GetMod(p)));
+  CPDB_RETURN_IF_ERROR(ToStatus(resp));
+  return DecodeTids(resp.body);
+}
+
+Result<std::string> Client::TraceBack(const tree::Path& p) {
+  CPDB_ASSIGN_OR_RETURN(Response resp, Call(Request::TraceBack(p)));
+  CPDB_RETURN_IF_ERROR(ToStatus(resp));
+  return std::move(resp.body);
+}
+
+Result<std::string> Client::Get(const tree::Path& p) {
+  CPDB_ASSIGN_OR_RETURN(Response resp, Call(Request::Get(p)));
+  CPDB_RETURN_IF_ERROR(ToStatus(resp));
+  return std::move(resp.body);
+}
+
+Result<std::string> Client::Stats() {
+  CPDB_ASSIGN_OR_RETURN(Response resp, Call(Request::Stats()));
+  CPDB_RETURN_IF_ERROR(ToStatus(resp));
+  return std::move(resp.body);
+}
+
+Status Client::Checkpoint() {
+  CPDB_ASSIGN_OR_RETURN(Response resp, Call(Request::Checkpoint()));
+  return ToStatus(resp);
+}
+
+Status Client::Drain() {
+  CPDB_ASSIGN_OR_RETURN(Response resp, Call(Request::Drain()));
+  return ToStatus(resp);
+}
+
+}  // namespace cpdb::net

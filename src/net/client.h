@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/protocol.h"
+#include "util/result.h"
+
+namespace cpdb::net {
+
+/// Client connection to a cpdb_serve endpoint.
+///
+/// The transport is deliberately simple — one blocking TCP socket — but
+/// requests and responses are decoupled so callers can *pipeline*: issue
+/// up to `queue depth` Send() calls before draining responses with
+/// Recv(), which is the PRISM-style client-side batching knob the load
+/// driver sweeps. Responses arrive strictly in request order (the server
+/// executes one connection's requests in pipeline order), so the caller
+/// matches them by counting. Not thread-safe; one Client per thread.
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  Status Connect(const std::string& host, int port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Issues one request without waiting for its response. Increments the
+  /// in-flight count; match responses by calling Recv() once per Send().
+  Status Send(const Request& req);
+
+  /// Blocks for the next in-order response.
+  Result<Response> Recv();
+
+  /// Send + Recv for the callers that do not pipeline.
+  Result<Response> Call(const Request& req);
+
+  size_t inflight() const { return inflight_; }
+
+  // ----- One-shot conveniences (no pipelining) -----------------------------
+
+  /// OK iff the server answered the ping.
+  Status Ping();
+  Status Apply(const update::Update& u);
+  Status Commit();
+  Status Abort();
+  Result<std::vector<int64_t>> GetMod(const tree::Path& p);
+  Result<std::string> TraceBack(const tree::Path& p);
+  /// Deterministic rendering of the subtree at `p` in the server-side
+  /// session's snapshot ("<absent>" if no such node).
+  Result<std::string> Get(const tree::Path& p);
+  Result<std::string> Stats();
+  Status Checkpoint();
+  Status Drain();
+
+ private:
+  /// Maps a non-kOk response onto a Status (RETRY/DRAINING ->
+  /// Unavailable, ERROR -> Internal), so the sync helpers stay terse.
+  static Status ToStatus(const Response& resp);
+
+  int fd_ = -1;
+  FrameReader reader_;
+  size_t inflight_ = 0;
+};
+
+}  // namespace cpdb::net

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tree/path.h"
+#include "update/update.h"
+#include "util/result.h"
+
+namespace cpdb::net {
+
+// The request/response vocabulary of the network service — what rides
+// inside each frame (net/frame.h). All field coding uses the shared
+// varint/length-prefixed helpers (util/crc32.h), so the wire format obeys
+// the same discipline as the WAL and checkpoint files.
+//
+// Protocol grammar (README "Network service"):
+//
+//   frame    ::= varint(len) crc32 payload
+//   request  ::= type:varint body
+//   body     ::= APPLY update | GETMOD path | TRACEBACK path | GET path
+//              | COMMIT | ABORT | PING | STATS | CHECKPOINT | DRAIN
+//   update   ::= kind:varint lp(target) lp(label) value lp(source)
+//   value    ::= 0 | 1 | 2 zigzag | 3 f64le | 4 lp(bytes)
+//   response ::= code:varint lp(body)
+//
+// Transactions are per connection and implicit: the first APPLY after a
+// COMMIT/ABORT begins the next transaction (exactly the Editor's model).
+
+enum class ReqType : uint8_t {
+  kPing = 1,
+  kApply = 2,       ///< stage (T/HT) or group-commit (N/H) one update
+  kCommit = 3,      ///< commit the staged transaction through the engine
+  kAbort = 4,       ///< discard the staged transaction
+  kGetMod = 5,      ///< Mod(p): tids that modified the subtree under p
+  kTraceBack = 6,   ///< full backwards provenance walk from p
+  kGet = 7,         ///< current subtree at p in this session's snapshot
+  kStats = 8,       ///< admin: server/engine counters as JSON text
+  kCheckpoint = 9,  ///< admin: checkpoint the store under the latch
+  kDrain = 10,      ///< admin: begin graceful drain (like SIGTERM)
+};
+
+const char* ReqTypeName(ReqType t);
+
+/// Response status. kRetry and kDraining are *typed overload answers*:
+/// the request was not executed and the client should back off and retry
+/// (kRetry) or move to another endpoint (kDraining) — the server sheds
+/// load instead of stalling the event loop.
+enum class RespCode : uint8_t {
+  kOk = 0,
+  kError = 1,     ///< request executed or parsed with an error; body = status text
+  kRetry = 2,     ///< shed by admission control; retry after backoff
+  kDraining = 3,  ///< server is draining; no new work accepted
+};
+
+const char* RespCodeName(RespCode c);
+
+struct Request {
+  ReqType type = ReqType::kPing;
+  update::Update update;  ///< kApply
+  tree::Path path;        ///< kGetMod / kTraceBack / kGet
+
+  static Request Ping() { return Request{ReqType::kPing, {}, {}}; }
+  static Request Apply(update::Update u) {
+    return Request{ReqType::kApply, std::move(u), {}};
+  }
+  static Request Commit() { return Request{ReqType::kCommit, {}, {}}; }
+  static Request Abort() { return Request{ReqType::kAbort, {}, {}}; }
+  static Request GetMod(tree::Path p) {
+    return Request{ReqType::kGetMod, {}, std::move(p)};
+  }
+  static Request TraceBack(tree::Path p) {
+    return Request{ReqType::kTraceBack, {}, std::move(p)};
+  }
+  static Request Get(tree::Path p) {
+    return Request{ReqType::kGet, {}, std::move(p)};
+  }
+  static Request Stats() { return Request{ReqType::kStats, {}, {}}; }
+  static Request Checkpoint() { return Request{ReqType::kCheckpoint, {}, {}}; }
+  static Request Drain() { return Request{ReqType::kDrain, {}, {}}; }
+};
+
+struct Response {
+  RespCode code = RespCode::kOk;
+  /// kOk: result payload (type-specific; see EncodeTids/DecodeTids for
+  /// kGetMod, text for kStats/kTraceBack/kGet). Otherwise: the error text.
+  std::string body;
+
+  static Response Ok(std::string body = "") {
+    return Response{RespCode::kOk, std::move(body)};
+  }
+  static Response Error(std::string msg) {
+    return Response{RespCode::kError, std::move(msg)};
+  }
+  static Response Retry(std::string msg) {
+    return Response{RespCode::kRetry, std::move(msg)};
+  }
+  static Response Draining(std::string msg) {
+    return Response{RespCode::kDraining, std::move(msg)};
+  }
+};
+
+// Frame payload codecs. Decoders are strict: trailing bytes, truncated
+// fields, or out-of-range tags fail (the robustness tests bit-flip these).
+void EncodeRequest(const Request& req, std::string* out);
+Result<Request> DecodeRequest(const std::string& in);
+void EncodeResponse(const Response& resp, std::string* out);
+Result<Response> DecodeResponse(const std::string& in);
+
+/// GetMod result coding: varint count, then each tid as a varint delta
+/// from the previous (tids are reported sorted ascending).
+void EncodeTids(const std::vector<int64_t>& tids, std::string* out);
+Result<std::vector<int64_t>> DecodeTids(const std::string& in);
+
+}  // namespace cpdb::net

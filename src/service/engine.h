@@ -83,6 +83,23 @@ class Engine {
     return queue_.Commit(std::move(apply));
   }
 
+  /// Committers currently enqueued behind the leader — the admission
+  /// signal the network front end sheds on (net::Server answers RETRY
+  /// when this is deeper than its configured bound, instead of stacking
+  /// more work behind a saturated group-commit queue).
+  size_t CommitQueueDepth() const { return queue_.Pending(); }
+
+  /// Checkpoints the shared store under the exclusive latch, so the
+  /// snapshot covers a committed prefix and no in-flight cohort. Used by
+  /// the network server's CHECKPOINT admin verb and by graceful drain
+  /// (checkpoint-on-drain: recovery after a drained shutdown replays no
+  /// log at all). A no-op for in-memory stores.
+  Status Checkpoint() CPDB_EXCLUDES(latch_) {
+    if (!backend_->db()->durable()) return Status::OK();
+    SharedLatch::WriteGuard guard(latch_);
+    return backend_->db()->Checkpoint();
+  }
+
   /// The cohort seal: ONE durable group commit covering everything the
   /// cohort wrote — Database::Sync seals the provenance store's (and a
   /// shared relational target's) journal into one WAL record + one fsync,

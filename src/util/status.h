@@ -28,6 +28,9 @@ enum class StatusCode {
   kInternal,
   /// Feature is recognised but not supported by this build/configuration.
   kNotSupported,
+  /// A peer or resource is transiently gone (connection closed/reset,
+  /// server draining); retrying against a live endpoint may succeed.
+  kUnavailable,
 };
 
 /// Human-readable name for a StatusCode (e.g. "NotFound").
@@ -65,6 +68,9 @@ class [[nodiscard]] Status {
   static Status NotSupported(std::string msg) {
     return Status(StatusCode::kNotSupported, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
   [[nodiscard]] StatusCode code() const { return code_; }
@@ -84,6 +90,9 @@ class [[nodiscard]] Status {
   }
   [[nodiscard]] bool IsInternal() const {
     return code_ == StatusCode::kInternal;
+  }
+  [[nodiscard]] bool IsUnavailable() const {
+    return code_ == StatusCode::kUnavailable;
   }
 
   /// "OK" or "<Code>: <message>".

@@ -1,0 +1,60 @@
+#include "workload/zipf.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace cpdb::workload {
+
+namespace {
+
+double Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  return sum;
+}
+
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  assert(n_ > 0);
+  assert(theta_ >= 0.0 && theta_ < 1.0);
+  zetan_ = Zeta(n_, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  double zeta2 = Zeta(2 < n_ ? 2 : n_, theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+  half_pow_theta_ = 1.0 + std::pow(0.5, theta_);
+}
+
+uint64_t ZipfGenerator::Next() {
+  // Gray et al., "Quickly generating billion-record synthetic databases"
+  // (SIGMOD '94), as used by YCSB's ZipfianGenerator.
+  double u = rng_.NextDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < half_pow_theta_) return 1;
+  uint64_t rank = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+uint64_t ZipfGenerator::NextScrambled() {
+  // FNV-1a over the rank's bytes, folded back into [0, n). Collisions
+  // merely merge two ranks' mass onto one key — acceptable for load
+  // generation, and deterministic.
+  uint64_t rank = Next();
+  uint64_t h = 1469598103934665603ULL;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (rank >> (8 * i)) & 0xFF;
+    h *= 1099511628211ULL;
+  }
+  return h % n_;
+}
+
+double ZipfGenerator::Probability(uint64_t rank) const {
+  assert(rank < n_);
+  return 1.0 / (std::pow(static_cast<double>(rank + 1), theta_) * zetan_);
+}
+
+}  // namespace cpdb::workload

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cpdb::workload {
+
+/// Constant-time (rejection-free) Zipfian key sampler over [0, n).
+///
+/// Curated databases are the canonical skewed workload: a few hot records
+/// receive most of the edits. This is the YCSB/Gray "quick zipf"
+/// construction: zeta(n, theta) is computed once up front, and every
+/// Next() maps one uniform draw through the closed-form inverse CDF —
+/// no rejection loop, so the cost per sample is O(1) and independent of
+/// the skew. Rank 0 is the hottest key.
+///
+/// `theta` in [0, 1): 0 degenerates to uniform, 0.99 is the YCSB default
+/// hot-key skew. The sampler is deterministic from its Rng, so workloads
+/// are exactly reproducible from a seed (the repo-wide rule).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed);
+
+  /// The next sampled rank in [0, n); rank 0 is the most popular.
+  uint64_t Next();
+
+  /// Like Next(), but ranks are scattered over [0, n) by an FNV-1a style
+  /// hash so the hot keys are not clustered at the low indices (the YCSB
+  /// "scrambled zipfian"). Same distribution of *frequencies*, different
+  /// assignment of frequency to key.
+  uint64_t NextScrambled();
+
+  /// P(rank) under the fitted distribution — exposed so tests can pin the
+  /// sampled histogram against the analytic mass function.
+  double Probability(uint64_t rank) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double zetan_;   ///< zeta(n, theta)
+  double alpha_;   ///< 1 / (1 - theta)
+  double eta_;
+  double half_pow_theta_;  ///< 0.5^theta
+  Rng rng_;
+};
+
+}  // namespace cpdb::workload

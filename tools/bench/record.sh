@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# Records the pinned network-service benchmark into BENCH_service.json
+# at the repo root: N repeats of the same cpdb_serve + cpdb_bench_client
+# scenario, aggregated per queue depth by MEDIAN so one noisy repeat
+# cannot move the checked-in trajectory.
+#
+#   tools/bench/record.sh [repeats]          (default 3)
+#
+# Environment:
+#   BUILD_DIR   where cpdb_serve/cpdb_bench_client live (default: build)
+#   PORT        server port (default: 7181, off the 7170 default so a
+#               stray dev server cannot be mistaken for ours)
+#   OUT         output path (default: BENCH_service.json in the root)
+#
+# The scenario is deliberately fixed — strategy HT, durable WAL, 2
+# connections, zipf(0.99) over 1000 keys, txn-len 4, QD sweep 1..32 —
+# because the point of the checked-in file is comparability ACROSS PRs,
+# not tunability. Change the scenario and you reset the trajectory.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/../.."
+REPEATS="${1:-3}"
+BUILD_DIR="${BUILD_DIR:-build}"
+PORT="${PORT:-7181}"
+OUT="${OUT:-BENCH_service.json}"
+
+SERVE="$BUILD_DIR/cpdb_serve"
+CLIENT="$BUILD_DIR/cpdb_bench_client"
+for bin in "$SERVE" "$CLIENT"; do
+  if [ ! -x "$bin" ]; then
+    echo "record.sh: $bin not built (cmake --build $BUILD_DIR -j)" >&2
+    exit 2
+  fi
+done
+
+# Provenance of the measurement itself: the harness stamps these three
+# into every JSON report (bench/harness.h).
+CPDB_GIT_SHA="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+CPDB_RUN_ID="${CPDB_RUN_ID:-record-$(date -u +%Y%m%dT%H%M%SZ)-$$}"
+export CPDB_GIT_SHA CPDB_RUN_ID
+
+WORK="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill -TERM "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "record.sh: $REPEATS repeat(s), sha=$CPDB_GIT_SHA run_id=$CPDB_RUN_ID"
+
+for i in $(seq 1 "$REPEATS"); do
+  DB="$WORK/db-$i"
+  "$SERVE" --dir="$DB" --port="$PORT" --strategy=HT --wipe=true \
+    >"$WORK/serve-$i.log" 2>&1 &
+  SERVER_PID=$!
+  "$CLIENT" --port="$PORT" --mode=ping --timeout-sec=10 >/dev/null
+
+  "$CLIENT" --port="$PORT" --mode=load \
+    --connections=2 --qd=1,2,4,8,16,32 --txns=300 --txn-len=4 \
+    --dist=zipf --theta=0.99 --keys=1000 --seed=42 \
+    --json="$WORK/repeat-$i.json" >"$WORK/load-$i.log"
+
+  kill -TERM "$SERVER_PID"
+  wait "$SERVER_PID" || {
+    echo "record.sh: server exited non-zero on repeat $i" >&2
+    tail -5 "$WORK/serve-$i.log" >&2
+    exit 2
+  }
+  SERVER_PID=""
+  echo "record.sh: repeat $i/$REPEATS done"
+done
+
+python3 - "$OUT" "$WORK"/repeat-*.json <<'EOF'
+import json
+import statistics
+import sys
+
+out_path, *paths = sys.argv[1:]
+docs = [json.load(open(p)) for p in paths]
+
+# Per-QD median across repeats for every numeric row field; count
+# fields (txns_sent etc.) are identical across repeats by construction,
+# so the median is exact, not a compromise.
+by_qd = {}
+for doc in docs:
+    for row in doc["rows"]:
+        by_qd.setdefault(row["qd"], []).append(row)
+
+rows = []
+for qd in sorted(by_qd):
+    group = by_qd[qd]
+    merged = {}
+    for key in group[0]:
+        vals = [r[key] for r in group]
+        if all(isinstance(v, (int, float)) and not isinstance(v, bool)
+               for v in vals):
+            med = statistics.median(vals)
+            merged[key] = int(med) if all(
+                isinstance(v, int) for v in vals) else med
+        else:
+            merged[key] = vals[0]
+    rows.append(merged)
+
+first = docs[0]
+result = {
+    "bench": first["bench"],
+    "git_sha": first.get("git_sha", "unknown"),
+    "utc_timestamp": first.get("utc_timestamp", ""),
+    "run_id": first.get("run_id", "local"),
+    "config": dict(first["config"], repeats=len(docs)),
+    "rows": rows,
+}
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=1)
+    f.write("\n")
+print(f"record.sh: wrote {out_path} "
+      f"({len(rows)} rows, median of {len(docs)} repeats)")
+EOF

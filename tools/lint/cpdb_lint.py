@@ -40,6 +40,17 @@ BENCH-JSON
     via bench::JsonReport, so BENCH_*.json perf-trajectory tracking
     can diff any bench across PRs. bench_micro.cc is exempt: it is a
     google-benchmark binary with that framework's own JSON reporter.
+
+NET-FRAMING
+    Raw socket byte movement (send/recv/sendto/recvfrom/sendmsg/
+    recvmsg) may appear only in src/net/frame.cc: every wire byte in
+    src/net/ and tools/ travels as a `varint(len)|crc32|payload` frame
+    through the helpers there, so no unframed payload can ever reach
+    the wire and the robustness guarantees (torn/oversized/bit-flipped
+    input -> typed error + close, never a crash or partial apply) hold
+    at a single choke point. Even the tests' deliberate violations go
+    through frame.cc's WriteRaw. Pipe/file read(2)/write(2) are fine —
+    the rule names only the socket verbs.
 """
 
 import argparse
@@ -164,6 +175,25 @@ def check_bench_json(root):
                     "missing " + ", ".join(missing))
 
 
+SOCKET_VERB_RE = re.compile(
+    r"\b(?:::)?(?:send|recv|sendto|recvfrom|sendmsg|recvmsg)\s*\(")
+NET_FRAMING_ALLOWED = {pathlib.PurePath("src/net/frame.cc")}
+
+
+def check_net_framing(root):
+    for subdir in ("src/net", "tools"):
+        for path in iter_source(root, subdir, suffixes=(".cc", ".h")):
+            rel = path.relative_to(root)
+            if pathlib.PurePath(rel) in NET_FRAMING_ALLOWED:
+                continue
+            for lineno, line in enumerate(path.read_text().splitlines(), 1):
+                if SOCKET_VERB_RE.search(strip_comments(line)):
+                    finding("NET-FRAMING", rel, lineno,
+                            "raw socket send/recv outside src/net/frame.cc; "
+                            "wire bytes must travel as frames through "
+                            "WriteFrame/ReadFrame (net/frame.h)")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--root", default=".",
@@ -178,6 +208,7 @@ def main():
     check_annotated_mutex(root)
     check_prov_table_writes(root)
     check_bench_json(root)
+    check_net_framing(root)
 
     for f in FINDINGS:
         print(f)
