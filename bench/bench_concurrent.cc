@@ -128,6 +128,9 @@ struct RunResult {
   size_t fsyncs = 0;
   size_t log_bytes = 0;
   service::CommitQueue::Stats queue;
+  service::SnapshotManager::Stats snaps;  ///< version-chain counters
+  size_t sessions_built = 0;
+  size_t sessions_refreshed = 0;
   relstore::CostSnapshot cost;  ///< engine aggregate over all sessions
   double p50_commit_us = 0;
   double p99_commit_us = 0;
@@ -136,7 +139,7 @@ struct RunResult {
 RunResult RunOnce(provenance::Strategy strategy, size_t threads,
                   size_t txn_len, size_t txns_per_thread,
                   const std::string& durable_dir, KeyDist dist, double theta,
-                  uint64_t keys) {
+                  uint64_t keys, size_t apply_workers) {
   RunResult res;
   std::unique_ptr<relstore::Database> db;
   if (durable_dir.empty()) {
@@ -155,6 +158,7 @@ RunResult RunOnce(provenance::Strategy strategy, size_t threads,
   provenance::ProvBackend backend(db.get());
   wrap::TreeTargetDb target("T", workload::GenMimiLike(200, 7));
   service::Engine engine(&backend, &target);
+  if (apply_workers > 0) engine.EnableParallelApply(apply_workers);
   service::SessionOptions opts;
   opts.strategy = strategy;
   service::SessionPool pool(&engine, opts);
@@ -216,6 +220,9 @@ RunResult RunOnce(provenance::Strategy strategy, size_t threads,
   res.fsyncs = db->cost().Fsyncs() - fsyncs0;
   res.log_bytes = db->cost().LogBytes() - log0;
   res.queue = engine.commit_queue().stats();
+  res.snaps = engine.snapshot_stats();
+  res.sessions_built = pool.built();
+  res.sessions_refreshed = pool.refreshed();
   res.cost = engine.cost_totals().Snap();
 
   std::vector<double> all;
@@ -262,12 +269,18 @@ int main(int argc, char** argv) {
   double theta = flags.GetDouble("theta", 0.99);
   uint64_t keys =
       static_cast<uint64_t>(std::max<int64_t>(1, flags.GetInt("keys", 1000)));
+  // Default 2: the disjoint-subtree apply pool is the shipped service
+  // configuration (threads' T/t<i> writesets are disjoint, so cohorts
+  // batch onto the pool); --apply-workers=0 measures the serial path.
+  size_t apply_workers = static_cast<size_t>(
+      std::max<int64_t>(0, flags.GetInt("apply-workers", 2)));
 
   JsonReport report("concurrent");
   report.config()
       .Set("strategy", provenance::StrategyShortName(strategy))
       .Set("txns_per_thread", txns)
       .Set("durable", !durable_dir.empty());
+  if (apply_workers > 0) report.config().Set("apply_workers", apply_workers);
   // The default (seq) config and rows stay byte-compatible with every
   // earlier BENCH_concurrent.json; the distribution knobs only appear
   // when they are in play.
@@ -296,7 +309,7 @@ int main(int argc, char** argv) {
   for (size_t threads : thread_counts) {
     for (size_t txn_len : txn_lens) {
       RunResult r = RunOnce(strategy, threads, txn_len, txns, durable_dir,
-                            dist, theta, keys);
+                            dist, theta, keys, apply_workers);
       double commits_per_sec =
           r.wall_ms <= 0 ? 0 : r.commits / (r.wall_ms / 1000.0);
       double fsyncs_per_commit =
@@ -325,7 +338,19 @@ int main(int argc, char** argv) {
           .Set("round_trips", r.cost.calls)
           .Set("rows_moved", r.cost.rows)
           .Set("write_round_trips", r.cost.write_calls)
-          .Set("write_rows", r.cost.write_rows);
+          .Set("write_rows", r.cost.write_rows)
+          .Set("parallel_cohorts", static_cast<size_t>(r.queue.parallel_cohorts))
+          .Set("parallel_applies", static_cast<size_t>(r.queue.parallel_applies))
+          .Set("versions_live", r.snaps.versions_live)
+          .Set("versions_gced", static_cast<size_t>(r.snaps.versions_gced))
+          .Set("snapshot_rebuilds",
+               static_cast<size_t>(r.snaps.snapshot_rebuilds))
+          .Set("snapshot_rebuild_rows",
+               static_cast<size_t>(r.snaps.snapshot_rebuild_rows))
+          .Set("snapshot_refreshes",
+               static_cast<size_t>(r.snaps.snapshot_refreshes))
+          .Set("sessions_built", r.sessions_built)
+          .Set("sessions_refreshed", r.sessions_refreshed);
     }
   }
 

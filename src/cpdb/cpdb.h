@@ -106,8 +106,27 @@
 /// leader/follower group commit: concurrent committers form a cohort
 /// that seals under ONE WAL record + ONE fsync (crash-atomic as a unit),
 /// and every transaction number comes from the engine's atomic allocator
-/// so sessions never mint the same tid. Reads (queries, cursor scans)
+/// so sessions never mint the same tid. When the cohort's staged
+/// writesets claim pairwise-disjoint target subtrees, the leader applies
+/// them in parallel across Engine::EnableParallelApply's worker pool —
+/// same single grant, same single fsync. Reads (queries, cursor scans)
 /// run concurrently under shared grants; never commit while holding one.
+///
+/// Snapshots are versioned, not copied (MVCC-lite): the committed state
+/// carries a commit-ordered tid watermark (Engine::CommittedTid), and a
+/// session opens a consistent view at Session::snapshot_tid() by pinning
+/// a copy-on-write version of the target at that watermark — O(1), no
+/// scan — with provenance reads bounded at the same tid.
+///
+/// Migration note (epoch stamp -> tid watermark): sessions are no longer
+/// stamped with the latch epoch. Staleness is a tid comparison —
+/// snapshot_tid() < Engine::CommittedTid() — and a stale pooled session
+/// is refreshed in place by re-pinning, not torn down and rebuilt, so
+/// SessionPool::built() stays flat under churn. SharedLatch::Epoch()
+/// still advances per exclusive release (the latch's own bookkeeping)
+/// but no session-visible semantics hang off it anymore; code that
+/// compared epochs to detect "committed state moved" should compare tid
+/// watermarks instead.
 ///
 /// Migration note (sessions vs standalone Editor): a directly created
 /// Editor is unchanged — private sequential tids from first_tid, its own

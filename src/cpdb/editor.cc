@@ -1,5 +1,7 @@
 #include "cpdb/editor.h"
 
+#include <utility>
+
 #include "update/parser.h"
 
 namespace cpdb {
@@ -11,11 +13,18 @@ using update::Update;
 Result<std::unique_ptr<Editor>> Editor::Create(
     wrap::TargetDb* target, provenance::ProvBackend* backend,
     EditorOptions options) {
+  CPDB_ASSIGN_OR_RETURN(tree::Tree initial, target->TreeFromDb());
+  return CreateWithSnapshot(target, backend, std::move(initial),
+                            std::move(options));
+}
+
+Result<std::unique_ptr<Editor>> Editor::CreateWithSnapshot(
+    wrap::TargetDb* target, provenance::ProvBackend* backend,
+    tree::Tree target_snapshot, EditorOptions options) {
   std::unique_ptr<Editor> ed(new Editor(target, std::move(options)));
   ed->target_root_ = tree::Path({target->name()});
-  CPDB_ASSIGN_OR_RETURN(tree::Tree initial, target->TreeFromDb());
   CPDB_RETURN_IF_ERROR(
-      ed->universe_.AddChild(target->name(), std::move(initial)));
+      ed->universe_.AddChild(target->name(), std::move(target_snapshot)));
   ed->store_ = provenance::MakeStore(ed->options_.strategy, backend,
                                      ed->options_.first_tid);
   if (ed->options_.tid_allocator) {
@@ -27,6 +36,48 @@ Result<std::unique_ptr<Editor>> Editor::Create(
     ed->approx_ = std::make_unique<query::ApproxProvStore>();
   }
   return ed;
+}
+
+Status Editor::ResetTargetSnapshot(tree::Tree snapshot) {
+  if (!txn_script_.empty() || batching_ || store_->HasPending()) {
+    return Status::FailedPrecondition(
+        "cannot refresh the target snapshot with a transaction staged");
+  }
+  // O(1): unlink the old subtree, link the new one. The old nodes stay
+  // alive exactly as long as some version (or another session) shares
+  // them — copy-on-write reference counting is the deallocation policy.
+  return universe_.ReplaceAt(target_root_, std::move(snapshot));
+}
+
+std::vector<tree::Path> Editor::StagedWriteClaims() const {
+  std::vector<tree::Path> claims;
+  claims.reserve(txn_script_.size());
+  for (const Update& u : txn_script_) {
+    // The node whose child map the native replay mutates: the insert/
+    // delete target itself, the destination's parent for a paste
+    // (TreeTargetDb::ApplyOne writes via PutChild on the parent).
+    const tree::Path& p =
+        u.kind == OpKind::kCopy ? u.target.Parent() : u.target;
+    auto rel = p.RelativeTo(target_root_);
+    if (!rel.ok()) return {};  // not rebasable: never parallelize
+    claims.push_back(*std::move(rel));
+  }
+  // Normalize to a prefix-free set: drop duplicates and claims already
+  // covered by an ancestor claim.
+  std::vector<tree::Path> minimal;
+  for (size_t i = 0; i < claims.size(); ++i) {
+    bool covered = false;
+    for (size_t j = 0; j < claims.size() && !covered; ++j) {
+      if (i == j) continue;
+      if (claims[j] == claims[i]) {
+        covered = j < i;  // keep the first occurrence only
+      } else {
+        covered = claims[j].IsPrefixOf(claims[i]);
+      }
+    }
+    if (!covered) minimal.push_back(claims[i]);
+  }
+  return minimal;
 }
 
 Status Editor::MountSource(wrap::SourceDb* source) {
@@ -190,7 +241,8 @@ Status Editor::ApplyUpdate(const Update& u) {
     // the universe can serve as the paste payload.
     CPDB_RETURN_IF_ERROR(FinishCommitted([&]() -> Status {
       const tree::Tree* pasted =
-          u.kind == OpKind::kCopy ? universe_.Find(u.target) : nullptr;
+          u.kind == OpKind::kCopy ? std::as_const(universe_).Find(u.target)
+                                  : nullptr;
       CPDB_RETURN_IF_ERROR(PushNative(u, pasted));
       int64_t tid = store_->LastCommittedTid();
       if (archive_ != nullptr) {

@@ -81,6 +81,28 @@ class Editor {
       wrap::TargetDb* target, provenance::ProvBackend* backend,
       EditorOptions options = {});
 
+  /// Service-layer variant: mounts the supplied committed snapshot of the
+  /// target instead of calling target->TreeFromDb(). The session pool
+  /// passes a clone of a pinned SnapshotManager version — O(1) by
+  /// copy-on-write structural sharing — so building a session never scans
+  /// the target database.
+  static Result<std::unique_ptr<Editor>> CreateWithSnapshot(
+      wrap::TargetDb* target, provenance::ProvBackend* backend,
+      tree::Tree target_snapshot, EditorOptions options);
+
+  /// Swaps the universe's target subtree for a newer committed snapshot
+  /// — the O(1) refresh behind SessionPool reuse (no rebuild, no scan).
+  /// Only legal between transactions; fails with FailedPrecondition when
+  /// anything is staged.
+  Status ResetTargetSnapshot(tree::Tree snapshot);
+
+  /// The staged transaction's writeset: target-relative roots of every
+  /// subtree its commit-time native replay writes (for T/HT, the child
+  /// maps its inserts/deletes/pastes mutate). The commit queue batches
+  /// transactions with pairwise-disjoint writesets onto the apply pool.
+  /// Empty when any op cannot be rebased (never parallelized).
+  std::vector<tree::Path> StagedWriteClaims() const;
+
   /// Mounts a read-only source database; must precede the first update.
   Status MountSource(wrap::SourceDb* source);
 

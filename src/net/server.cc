@@ -576,10 +576,21 @@ std::string Server::StatsJson() {
   add("cohorts", queue.cohorts);
   add("combined", queue.combined);
   add("max_cohort", queue.max_cohort);
+  add("parallel_cohorts", queue.parallel_cohorts);
+  add("parallel_applies", queue.parallel_applies);
   add("last_tid", static_cast<uint64_t>(engine_->LastAllocatedTid()));
+  add("committed_tid", static_cast<uint64_t>(engine_->CommittedTid()));
   add("epoch", engine_->latch().Epoch());
   add("sessions_built", pool_->built());
   add("sessions_reused", pool_->reused());
+  add("sessions_refreshed", pool_->refreshed());
+  auto snaps = engine_->snapshot_stats();
+  add("versions_live", snaps.versions_live);
+  add("versions_published", snaps.versions_published);
+  add("versions_gced", snaps.versions_gced);
+  add("snapshot_rebuilds", snaps.snapshot_rebuilds);
+  add("snapshot_rebuild_rows", snaps.snapshot_rebuild_rows);
+  add("snapshot_refreshes", snaps.snapshot_refreshes);
   if (engine_->db()->durable()) {
     auto d = engine_->db()->durability()->stats();
     add("durable", 1);

@@ -57,11 +57,13 @@ ProvBackend ProvBackend::View(ProvBackend* shared,
   view.meta_ = shared->meta_;
   view.use_indexes_ = shared->use_indexes_;
   view.sink_ = sink;
+  view.write_mu_ = shared->write_mu_;
   return view;
 }
 
 ProvBackend::ProvBackend(relstore::Database* db, bool use_indexes)
-    : db_(db), use_indexes_(use_indexes), sink_(&db->cost()) {
+    : db_(db), use_indexes_(use_indexes), sink_(&db->cost()),
+      write_mu_(std::make_shared<Mutex>()) {
   Schema prov_schema({{"Tid", ColumnType::kInt64, false},
                       {"Op", ColumnType::kString, false},
                       {"Loc", ColumnType::kString, false},
@@ -214,6 +216,7 @@ bool ProvCursor::Next(ProvRecord* rec) {
 // ----- Writes --------------------------------------------------------------
 
 Status ProvBackend::WriteRecords(const std::vector<ProvRecord>& records) {
+  MutexLock write_gate(*write_mu_);
   relstore::WriteBatch batch;
   size_t bytes = 0;
   for (const ProvRecord& rec : records) {
@@ -229,6 +232,7 @@ Status ProvBackend::WriteRecords(const std::vector<ProvRecord>& records) {
 }
 
 Status ProvBackend::WriteTxnMeta(const TxnMeta& meta) {
+  MutexLock write_gate(*write_mu_);
   CPDB_RETURN_IF_ERROR(
       meta_
           ->Insert(Row{Datum(meta.tid), Datum(meta.user),
@@ -244,7 +248,7 @@ ProvCursor ProvBackend::ScanAll() {
   ProvCursor cur = MakeCursor();
   ScanSpec spec;
   spec.index = "pk_tid_loc";
-  cur.AddSegment(std::move(spec));
+  cur.AddSegment(Bounded(std::move(spec)));
   return cur;
 }
 
@@ -253,7 +257,7 @@ ProvCursor ProvBackend::ScanForTid(int64_t tid) {
   ScanSpec spec;
   spec.index = "pk_tid_loc";
   spec.eq = Row{Datum(tid)};
-  cur.AddSegment(std::move(spec));
+  cur.AddSegment(Bounded(std::move(spec)));
   return cur;
 }
 
@@ -262,7 +266,7 @@ ProvCursor ProvBackend::ScanAtLoc(const tree::Path& loc) {
   ScanSpec spec;
   spec.index = "idx_loc_tid";
   spec.eq = Row{Datum(loc.ToString())};
-  cur.AddSegment(std::move(spec));
+  cur.AddSegment(Bounded(std::move(spec)));
   return cur;
 }
 
@@ -272,7 +276,7 @@ ProvCursor ProvBackend::ScanUnder(const tree::Path& loc) {
     // Everything is under the universe root.
     ScanSpec spec;
     spec.index = "idx_loc_tid";
-    cur.AddSegment(std::move(spec));
+    cur.AddSegment(Bounded(std::move(spec)));
     return cur;
   }
   // The node itself plus everything strictly below it. The two ranges are
@@ -282,11 +286,11 @@ ProvCursor ProvBackend::ScanUnder(const tree::Path& loc) {
   ScanSpec self;
   self.index = "idx_loc_tid";
   self.eq = Row{Datum(loc.ToString())};
-  cur.AddSegment(std::move(self));
+  cur.AddSegment(Bounded(std::move(self)));
   ScanSpec below;
   below.index = "idx_loc_tid";
   below.prefix = loc.ToString() + "/";
-  cur.AddSegment(std::move(below));
+  cur.AddSegment(Bounded(std::move(below)));
   return cur;
 }
 
@@ -307,7 +311,7 @@ ProvCursor ProvBackend::ScanAtLocOrAncestors(const tree::Path& loc,
     ScanSpec spec;
     spec.index = "idx_loc_tid";
     spec.eq = Row{Datum(t.ToString())};
-    cur.AddSegment(std::move(spec));
+    cur.AddSegment(Bounded(std::move(spec)));
   }
   return cur;
 }
@@ -318,6 +322,12 @@ Result<std::vector<ProvRecord>> ProvBackend::LookupMany(
     int64_t tid, const std::vector<tree::Path>& locs) {
   std::vector<ProvRecord> out;
   if (locs.empty()) return out;  // empty statement: nothing to send
+  if (read_watermark_ >= 0 && tid > read_watermark_) {
+    // The statement's own constant is past this handle's snapshot bound:
+    // every row it could match is invisible. Decided client-side (the
+    // session knows its watermark), so no round trip is issued.
+    return out;
+  }
   std::vector<Row> keys;
   keys.reserve(locs.size());
   for (const tree::Path& loc : locs) {

@@ -5,8 +5,11 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "provenance/prov_record.h"
 #include "relstore/database.h"
+#include "util/mutex.h"
 #include "util/result.h"
 #include "util/thread_annotations.h"
 
@@ -112,7 +115,14 @@ class ProvCursor {
 ///
 ///  * WriteRecords / WriteTxnMeta mutate the shared tables and must run
 ///    inside the engine's exclusive grant (commit closures do — they
-///    execute on the CommitQueue leader, which holds the latch);
+///    execute on the CommitQueue leader or its apply pool, which hold the
+///    latch). Within that grant the backend adds its own serialization: a
+///    write mutex shared by the owning handle and every View(), so the
+///    disjoint-subtree parallel apply can run commit closures of SEVERAL
+///    transactions concurrently — their target writes are disjoint by
+///    construction, and their provenance writes interleave safely here
+///    (whole batches serialize; {Tid, Loc} keys never collide across
+///    transactions, so order between batches is immaterial);
 ///  * every Scan*/Get*/Lookup* factory and the cursors it returns must
 ///    run inside a shared grant, drained before the grant is released;
 ///  * cost charges land on `cost_sink()`, which the service layer points
@@ -235,6 +245,17 @@ class ProvBackend {
   bool use_indexes() const { return use_indexes_; }
   void set_use_indexes(bool v) { use_indexes_ = v; }
 
+  /// Bounds every read through THIS handle to records with Tid <= `tid`
+  /// (-1 = unbounded, the default). The service layer stamps each
+  /// session's view with its pinned snapshot watermark, so a reader at an
+  /// old version queries provenance as of that version — the relational
+  /// half of the MVCC-lite snapshot (the tree half is the pinned CoW
+  /// root). Pushed into the relstore scan as ScanSpec::visible_col, not
+  /// filtered client-side; out-of-band stats (RowCount, MaxTid) stay
+  /// unbounded.
+  void set_read_watermark(int64_t tid) { read_watermark_ = tid; }
+  int64_t read_watermark() const { return read_watermark_; }
+
   static const char* kProvTable;
   static const char* kMetaTable;
 
@@ -242,6 +263,17 @@ class ProvBackend {
   friend class ProvCursor;
 
   ProvCursor MakeCursor() { return ProvCursor(sink_, prov_, use_indexes_); }
+
+  /// Applies this handle's read watermark to a scan about to be issued
+  /// (Tid is column 0 of the Prov table; visibility is evaluated on the
+  /// fetched row, so the bound works under either index order).
+  relstore::ScanSpec Bounded(relstore::ScanSpec spec) const {
+    if (read_watermark_ >= 0) {
+      spec.visible_col = 0;
+      spec.visible_max = read_watermark_;
+    }
+    return spec;
+  }
   static Result<std::vector<ProvRecord>> Drain(ProvCursor cursor);
   static Result<ProvRecord> FromRow(const relstore::Row& row);
   static relstore::Row ToRow(const ProvRecord& rec);
@@ -252,6 +284,12 @@ class ProvBackend {
   relstore::Table* meta_ = nullptr;
   bool use_indexes_ = true;
   relstore::CostModel* sink_ = nullptr;  ///< defaults to &db_->cost()
+  int64_t read_watermark_ = -1;  ///< per-handle snapshot bound; -1 = all
+  /// Serializes table mutations across this handle and all its Views —
+  /// the parallel-apply write gate (see the thread-safety contract above).
+  /// shared_ptr so View-copies share the owner's mutex; null only on a
+  /// detached handle.
+  std::shared_ptr<Mutex> write_mu_;
 };
 
 }  // namespace cpdb::provenance

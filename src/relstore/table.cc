@@ -523,6 +523,15 @@ bool Table::Cursor::Next(Row* row, Rid* rid) {
       done_ = true;
       return false;
     }
+    if (spec_.visible_col >= 0) {
+      const Row& r = fetched.value();
+      size_t col = static_cast<size_t>(spec_.visible_col);
+      if (col < r.size() && r[col].is_int() &&
+          r[col].AsInt() > spec_.visible_max) {
+        pos_.Advance();  // younger than the reader's snapshot
+        continue;
+      }
+    }
     if (spec_.predicate != nullptr && !spec_.predicate(fetched.value())) {
       pos_.Advance();
       continue;

@@ -41,6 +41,14 @@ struct ScanSpec {
   std::string prefix;
   std::function<bool(const Row&)> predicate;
   size_t limit = 0;
+  /// MVCC-lite visibility bound (the service layer's snapshot reads):
+  /// when `visible_col` >= 0, rows whose int64 column `visible_col`
+  /// exceeds `visible_max` are invisible to this scan — a reader pinned
+  /// at a commit watermark never sees younger versions. Filtered at the
+  /// read path like `predicate` (never surfaced, never charged as
+  /// transferred). Non-int values in the bound column stay visible.
+  int visible_col = -1;
+  int64_t visible_max = 0;
 };
 
 /// A heap-backed table with optional unique constraint and secondary

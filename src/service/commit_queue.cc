@@ -1,21 +1,60 @@
 #include "service/commit_queue.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <utility>
-#include <vector>
 
 namespace cpdb::service {
 
-Status CommitQueue::Commit(std::function<Status()> apply) {
+namespace {
+
+/// Writeset conflict = one claim is a prefix of (or equal to) another:
+/// mutating a node's child map while another member descends through or
+/// mutates inside that subtree. Disjoint (prefix-free) claims touch
+/// disjoint node sets — see TreeTargetDb::PrepareParallelApply for why
+/// the shared ancestors above the claims stay read-only.
+bool Conflicts(const std::vector<tree::Path>& a,
+               const std::vector<tree::Path>& b) {
+  for (const tree::Path& pa : a) {
+    for (const tree::Path& pb : b) {
+      if (pa.IsPrefixOf(pb) || pb.IsPrefixOf(pa)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+CommitQueue::~CommitQueue() {
+  {
+    MutexLock l(pool_mu_);
+    pool_stop_ = true;
+    pool_work_.NotifyAll();
+  }
+  for (std::thread& w : workers_) w.join();
+}
+
+void CommitQueue::EnableParallelApply(size_t workers) {
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Status CommitQueue::Commit(std::function<Status()> apply,
+                           std::vector<tree::Path> claims) {
   Request req;
   req.apply = std::move(apply);
+  req.claims = std::move(claims);
 
   MutexLock l(mu_);
   queue_.push_back(&req);
   if (leader_active_) {
     // Follow: a leader is combining. Wake when our cohort sealed, or when
-    // the finishing leader promoted us to run the next one. (Explicit
-    // predicate loop: the analysis cannot see lock state inside lambdas.)
-    while (!req.done && !req.leader) wake_.Wait(mu_);
+    // the finishing leader promoted us to run the next one. The wait is
+    // on OUR request's CondVar — the leader wakes exactly the threads
+    // whose state changed, not every committer in the building.
+    while (!req.done && !req.leader) req.cv.Wait(mu_);
     if (req.done) return req.result;
   }
   leader_active_ = true;
@@ -35,12 +74,25 @@ void CommitQueue::RunCohort() {
   TestHooks hooks = hooks_;  // per-cohort snapshot; hooks_ stays under mu_
   mu_.Unlock();
 
-  for (Request* r : cohort) {
-    r->result = r->apply();
-  }
+  uint64_t syncs_before = sync_probe_ ? sync_probe_() : 0;
+  ApplyCohort(cohort);
   if (hooks.before_seal) hooks.before_seal(cohort.size());
   Status sealed = seal_(cohort.size());
   if (hooks.after_seal) hooks.after_seal(cohort.size());
+  if (sync_probe_ && sync_probe_() != syncs_before + 1) {
+    // The ONE-seal contract is load-bearing for both durability (cohort =
+    // one WAL record) and the perf model (fsyncs_per_commit = 1/cohort);
+    // a member's apply closure running its own barrier silently breaks
+    // crash atomicity, so this is a fail-stop, parallel apply or not.
+    std::fprintf(stderr,
+                 "CommitQueue: cohort of %zu sealed with %llu barriers, "
+                 "expected exactly 1\n",
+                 cohort.size(),
+                 static_cast<unsigned long long>(sync_probe_() -
+                                                 syncs_before));
+    std::abort();
+  }
+  if (publish_) publish_();
   latch_->UnlockExclusive();
 
   mu_.Lock();
@@ -51,15 +103,103 @@ void CommitQueue::RunCohort() {
   for (Request* r : cohort) {
     if (!sealed.ok() && r->result.ok()) r->result = sealed;
     r->done = true;
+    r->cv.NotifyOne();
   }
   // One cohort per leader: pass the baton so a hot queue cannot pin one
   // committer into combining forever.
   if (!queue_.empty()) {
     queue_.front()->leader = true;
+    queue_.front()->cv.NotifyOne();
   } else {
     leader_active_ = false;
   }
-  wake_.NotifyAll();
+}
+
+void CommitQueue::ApplyCohort(const std::vector<Request*>& cohort) {
+  uint64_t parallel_cohorts = 0;
+  uint64_t parallel_applies = 0;
+  size_t i = 0;
+  while (i < cohort.size()) {
+    // Grow a maximal run of consecutive members with declared writesets
+    // that are pairwise disjoint. Members without claims, or the first
+    // conflicting member, end the run (and apply in enqueue order, which
+    // preserves their relative order with everything they overlap).
+    size_t end = i + 1;
+    if (!workers_.empty() && prepare_parallel_ && !cohort[i]->claims.empty()) {
+      while (end < cohort.size() && !cohort[end]->claims.empty()) {
+        bool disjoint = true;
+        for (size_t k = i; k < end && disjoint; ++k) {
+          disjoint = !Conflicts(cohort[k]->claims, cohort[end]->claims);
+        }
+        if (!disjoint) break;
+        ++end;
+      }
+    }
+    bool parallel = end - i >= 2;
+    if (parallel) {
+      std::vector<tree::Path> all_claims;
+      for (size_t k = i; k < end; ++k) {
+        all_claims.insert(all_claims.end(), cohort[k]->claims.begin(),
+                          cohort[k]->claims.end());
+      }
+      parallel = prepare_parallel_(all_claims);
+    }
+    if (parallel) {
+      std::vector<Request*> batch(cohort.begin() + static_cast<long>(i),
+                                  cohort.begin() + static_cast<long>(end));
+      RunParallelBatch(batch);
+      ++parallel_cohorts;
+      parallel_applies += batch.size();
+    } else {
+      for (size_t k = i; k < end; ++k) {
+        cohort[k]->result = cohort[k]->apply();
+      }
+    }
+    i = end;
+  }
+  if (parallel_cohorts > 0) {
+    MutexLock l(mu_);
+    stats_.parallel_cohorts += parallel_cohorts;
+    stats_.parallel_applies += parallel_applies;
+  }
+}
+
+void CommitQueue::RunParallelBatch(const std::vector<Request*>& batch) {
+  pool_mu_.Lock();
+  batch_ = &batch;
+  batch_next_ = 0;
+  batch_pending_ = batch.size();
+  pool_work_.NotifyAll();
+  // The leader applies too — with N workers, N+1 appliers drain the
+  // batch, and on a loaded pool the leader never just waits.
+  while (batch_next_ < batch_->size()) {
+    size_t idx = batch_next_++;
+    Request* r = (*batch_)[idx];
+    pool_mu_.Unlock();
+    r->result = r->apply();
+    pool_mu_.Lock();
+    if (--batch_pending_ == 0) pool_done_.NotifyAll();
+  }
+  while (batch_pending_ > 0) pool_done_.Wait(pool_mu_);
+  batch_ = nullptr;
+  pool_mu_.Unlock();
+}
+
+void CommitQueue::WorkerLoop() {
+  pool_mu_.Lock();
+  while (!pool_stop_) {
+    if (batch_ == nullptr || batch_next_ >= batch_->size()) {
+      pool_work_.Wait(pool_mu_);
+      continue;
+    }
+    size_t idx = batch_next_++;
+    Request* r = (*batch_)[idx];
+    pool_mu_.Unlock();
+    r->result = r->apply();
+    pool_mu_.Lock();
+    if (--batch_pending_ == 0) pool_done_.NotifyAll();
+  }
+  pool_mu_.Unlock();
 }
 
 size_t CommitQueue::Pending() const {

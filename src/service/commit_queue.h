@@ -3,8 +3,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <thread>
+#include <vector>
 
 #include "service/latch.h"
+#include "tree/path.h"
 #include "util/mutex.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
@@ -23,9 +26,24 @@ namespace cpdb::service {
 /// the engine's allocator, so tid order and apply order coincide by
 /// construction), seals the whole cohort with ONE call to the engine's
 /// seal function (Database::Sync + TargetDb::Sync: one WAL record, one
-/// fsync), releases the latch, and wakes every follower with its own
-/// result. A leader serves exactly one cohort; if the queue refilled
+/// fsync), publishes the new committed version (SnapshotManager),
+/// releases the latch, and wakes every follower with its own result —
+/// each on its OWN condition variable, so a cohort's completion costs one
+/// targeted wakeup per member instead of a thundering herd on a shared
+/// CondVar. A leader serves exactly one cohort; if the queue refilled
 /// meanwhile, the front waiter is promoted so no thread combines forever.
+///
+/// Disjoint-subtree parallel apply: a committer may declare its WRITESET
+/// — the target-relative subtree roots its apply closure writes. When a
+/// worker pool is enabled (EnableParallelApply) the leader partitions the
+/// cohort into maximal runs of consecutive members with declared,
+/// pairwise-disjoint writesets (no claim a prefix of another's) and runs
+/// each such batch concurrently across the pool — under the SAME single
+/// exclusive grant and the SAME single seal. Members without a writeset,
+/// or overlapping ones, break the run and apply in order, so the
+/// in-order semantics are the universal fallback. Disjoint transactions
+/// commute, so any interleaving of a batch equals some serial order; the
+/// engine's tid-order oracle tests hold verbatim.
 ///
 /// Error semantics: each member keeps its own apply error (one failed
 /// transaction does not poison its cohort-mates — their writes are
@@ -44,13 +62,48 @@ class CommitQueue {
   /// it receives the cohort size and runs under the exclusive latch.
   CommitQueue(SharedLatch* latch, std::function<Status(size_t)> seal)
       : latch_(latch), seal_(std::move(seal)) {}
+  ~CommitQueue();
+
+  CommitQueue(const CommitQueue&) = delete;
+  CommitQueue& operator=(const CommitQueue&) = delete;
 
   /// Commits one transaction: enqueues `apply`, combines with whatever
   /// else is committing, and returns once this transaction is applied and
   /// sealed (or failed). `apply` runs under the exclusive latch, possibly
-  /// on another committer's thread. The caller must hold neither the
-  /// latch nor a read grant (see SharedLatch's reentrancy rule).
-  Status Commit(std::function<Status()> apply) CPDB_EXCLUDES(mu_, *latch_);
+  /// on another committer's (or pool worker's) thread. `claims` is the
+  /// transaction's writeset — the target-relative subtree roots its apply
+  /// writes — or empty when unknown (always safe: empty claims pin the
+  /// member to in-order apply). The caller must hold neither the latch
+  /// nor a read grant (see SharedLatch's reentrancy rule).
+  Status Commit(std::function<Status()> apply,
+                std::vector<tree::Path> claims = {})
+      CPDB_EXCLUDES(mu_, *latch_);
+
+  /// Spins up `workers` pool threads for disjoint-subtree parallel apply.
+  /// Call once, before committers start; 0 keeps the serial path. The
+  /// leader participates, so `workers` counts the EXTRA appliers.
+  void EnableParallelApply(size_t workers) CPDB_EXCLUDES(pool_mu_);
+
+  /// After the cohort's applies, before its seal, with the exclusive
+  /// latch held: the engine publishes the new committed version here.
+  void set_publish(std::function<void()> publish) { publish_ = std::move(publish); }
+
+  /// Invoked with the union of a parallel batch's claims before its
+  /// members run concurrently; returning false demotes the batch to
+  /// in-order apply (wrapper cannot support concurrent application).
+  void set_prepare_parallel(
+      std::function<bool(const std::vector<tree::Path>&)> prepare) {
+    prepare_parallel_ = std::move(prepare);
+  }
+
+  /// Monotonic count of the engine's durability barriers (SyncShared
+  /// calls). When set, RunCohort asserts the ONE-seal contract: exactly
+  /// one barrier per cohort, parallel-applied or not — a member's apply
+  /// closure sneaking its own Database::Sync past the group commit is a
+  /// fail-stop bug, not a perf footnote.
+  void set_sync_probe(std::function<uint64_t()> probe) {
+    sync_probe_ = std::move(probe);
+  }
 
   /// Committers currently enqueued and not yet applied.
   size_t Pending() const CPDB_EXCLUDES(mu_);
@@ -60,6 +113,8 @@ class CommitQueue {
     uint64_t cohorts = 0;   ///< exclusive grants (= seal calls)
     uint64_t combined = 0;  ///< commits that rode another leader's seal
     uint64_t max_cohort = 0;
+    uint64_t parallel_cohorts = 0;  ///< disjoint batches applied in parallel
+    uint64_t parallel_applies = 0;  ///< commits applied on the pool
   };
   Stats stats() const CPDB_EXCLUDES(mu_);
 
@@ -79,9 +134,11 @@ class CommitQueue {
  private:
   struct Request {
     std::function<Status()> apply;
+    std::vector<tree::Path> claims;  ///< declared writeset; empty = unknown
     Status result;        ///< written by the leader, read after `done`
     bool done = false;    ///< guarded by mu_ (cross-thread handshake)
     bool leader = false;  ///< promoted: wake up and run the next cohort
+    CondVar cv;           ///< this member's targeted wakeup (no herd)
   };
 
   /// Runs one cohort. Called with mu_ held and this thread as leader;
@@ -89,15 +146,40 @@ class CommitQueue {
   /// released). Acquires and releases the exclusive latch internally.
   void RunCohort() CPDB_REQUIRES(mu_);
 
+  /// Applies cohort members in order, upgrading maximal disjoint runs to
+  /// the worker pool. Exclusive latch held; mu_ NOT held.
+  void ApplyCohort(const std::vector<Request*>& cohort)
+      CPDB_EXCLUDES(mu_, pool_mu_);
+
+  /// Runs `batch` (>= 2 members, pairwise-disjoint claims) across the
+  /// pool; the calling leader participates. Returns when every member
+  /// has applied.
+  void RunParallelBatch(const std::vector<Request*>& batch)
+      CPDB_EXCLUDES(pool_mu_);
+
+  void WorkerLoop() CPDB_EXCLUDES(pool_mu_);
+
   SharedLatch* latch_;
   std::function<Status(size_t)> seal_;
+  std::function<void()> publish_;
+  std::function<bool(const std::vector<tree::Path>&)> prepare_parallel_;
+  std::function<uint64_t()> sync_probe_;
 
   mutable Mutex mu_;
-  CondVar wake_;
   std::deque<Request*> queue_ CPDB_GUARDED_BY(mu_);
   TestHooks hooks_ CPDB_GUARDED_BY(mu_);
   bool leader_active_ CPDB_GUARDED_BY(mu_) = false;
   Stats stats_ CPDB_GUARDED_BY(mu_);
+
+  // ----- Apply pool (disjoint-subtree parallel apply) ----------------------
+  Mutex pool_mu_;
+  CondVar pool_work_;  ///< batch posted (or shutdown)
+  CondVar pool_done_;  ///< batch fully applied
+  std::vector<std::thread> workers_;  ///< set once in EnableParallelApply
+  const std::vector<Request*>* batch_ CPDB_GUARDED_BY(pool_mu_) = nullptr;
+  size_t batch_next_ CPDB_GUARDED_BY(pool_mu_) = 0;
+  size_t batch_pending_ CPDB_GUARDED_BY(pool_mu_) = 0;
+  bool pool_stop_ CPDB_GUARDED_BY(pool_mu_) = false;
 };
 
 }  // namespace cpdb::service

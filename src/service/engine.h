@@ -3,11 +3,14 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <utility>
+#include <vector>
 
 #include "provenance/backend.h"
 #include "relstore/cost_model.h"
 #include "service/commit_queue.h"
 #include "service/latch.h"
+#include "service/snapshots.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
 #include "wrap/target_db.h"
@@ -18,13 +21,21 @@ namespace cpdb::service {
 /// backend (over one — possibly durable — relstore::Database), served to
 /// N concurrent curator sessions.
 ///
-/// Three shared facilities (see README "Service layer"):
+/// Four shared facilities (see README "Service layer"):
 ///
-///  * the epoch-based SharedLatch — read-only sessions hold shared
-///    grants; committed transactions apply under the commit queue's
-///    exclusive grant, which advances the epoch;
+///  * the SharedLatch — read-only sessions hold shared grants; committed
+///    transactions apply under the commit queue's exclusive grant;
 ///  * the CommitQueue — leader/follower group commit, ONE WAL record and
-///    ONE fsync per cohort via SyncShared();
+///    ONE fsync per cohort via SyncShared(), with optional
+///    disjoint-subtree parallel apply (EnableParallelApply);
+///  * the SnapshotManager — the version chain of committed target states.
+///    Cohorts advance the committed tid watermark; the session pool
+///    publishes the tree at that watermark lazily, on the first acquire
+///    that needs it (O(1) for cheap-snapshot targets: a copy-on-write
+///    clone). Sessions pin the version they read, and versions older than
+///    the oldest live pin are garbage-collected. Session staleness is a
+///    tid comparison (CommittedTid()), replacing the latch-epoch stamp of
+///    earlier revisions;
 ///  * engine-wide monotonic tid allocation — NextTid() is an atomic
 ///    counter fed once at attach from ProvBackend::MaxTid() (which also
 ///    consults TxnMeta), replacing the per-store sequential counters that
@@ -49,7 +60,15 @@ class Engine {
         target_(target),
         base_tid_(backend->MaxTid()),
         next_tid_(base_tid_ + 1),
-        queue_(&latch_, [this](size_t) { return SyncShared(); }) {}
+        committed_tid_(base_tid_),
+        queue_(&latch_, [this](size_t) { return SyncShared(); }) {
+    queue_.set_publish([this] { PublishSnapshot(); });
+    queue_.set_prepare_parallel([this](const std::vector<tree::Path>& c) {
+      return target_->PrepareParallelApply(c);
+    });
+    queue_.set_sync_probe(
+        [this] { return sync_calls_.load(std::memory_order_relaxed); });
+  }
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -67,6 +86,13 @@ class Engine {
   /// no transaction has committed through this engine yet.
   int64_t base_tid() const { return base_tid_; }
 
+  /// Watermark of the committed state: the last tid of the newest sealed
+  /// cohort. A session whose snapshot_tid() matches is current — this tid
+  /// comparison replaced the latch-epoch staleness stamp.
+  int64_t CommittedTid() const {
+    return committed_tid_.load(std::memory_order_acquire);
+  }
+
   /// Shared grant for a batch of reads (queries, scans, snapshots).
   /// Never commit while holding one — the commit would deadlock behind
   /// the leader waiting for the grant to drain (and the analysis flags
@@ -78,10 +104,18 @@ class Engine {
   /// Commits one transaction through the group-commit queue. `apply`
   /// runs under the exclusive latch (possibly on another committer's
   /// thread) and must contain every shared-state write of the
-  /// transaction; the cohort seals with one SyncShared().
-  Status Commit(std::function<Status()> apply) CPDB_EXCLUDES(latch_) {
-    return queue_.Commit(std::move(apply));
+  /// transaction; the cohort seals with one SyncShared(). `claims` — the
+  /// transaction's target-relative writeset — lets the leader batch it
+  /// with disjoint cohort-mates on the apply pool; empty claims always
+  /// fall back to in-order apply.
+  Status Commit(std::function<Status()> apply,
+                std::vector<tree::Path> claims = {}) CPDB_EXCLUDES(latch_) {
+    return queue_.Commit(std::move(apply), std::move(claims));
   }
+
+  /// Spins up the disjoint-subtree apply pool (see CommitQueue). Call
+  /// once, before sessions start committing.
+  void EnableParallelApply(size_t workers) { queue_.EnableParallelApply(workers); }
 
   /// Committers currently enqueued behind the leader — the admission
   /// signal the network front end sheds on (net::Server answers RETRY
@@ -107,14 +141,17 @@ class Engine {
   /// Database or is in-memory). Runs on the commit queue's leader thread
   /// with the exclusive latch held; the contract crosses a std::function
   /// boundary the analysis cannot see through, so it is enforced by the
-  /// CommitQueue's own annotations rather than a REQUIRES here.
+  /// CommitQueue's own annotations rather than a REQUIRES here. The call
+  /// count feeds the queue's ONE-seal-per-cohort assertion.
   Status SyncShared() {
+    sync_calls_.fetch_add(1, std::memory_order_relaxed);
     CPDB_RETURN_IF_ERROR(backend_->db()->Sync());
     return target_->Sync();
   }
 
   SharedLatch& latch() CPDB_RETURN_CAPABILITY(latch_) { return latch_; }
   CommitQueue& commit_queue() { return queue_; }
+  SnapshotManager& snapshots() { return snapshots_; }
   provenance::ProvBackend* backend() { return backend_; }
   wrap::TargetDb* target() { return target_; }
   relstore::Database* db() { return backend_->db(); }
@@ -123,12 +160,30 @@ class Engine {
   /// folded in explicitly). Thread-safe.
   relstore::CostAggregate& cost_totals() { return cost_totals_; }
 
+  /// Snapshot/version counters for STATS and the benches.
+  SnapshotManager::Stats snapshot_stats() const { return snapshots_.stats(); }
+
  private:
+  /// Runs on the commit queue's leader thread after a cohort's applies
+  /// and seal, exclusive latch held: advances the committed watermark.
+  /// Versions are published LAZILY — by the session pool, on the first
+  /// acquire/refresh that needs this watermark — not here. Eager
+  /// publishing would share the target's tree with a version after every
+  /// cohort, making every subsequent commit's native replay re-privatize
+  /// its copy-on-write path (one child-map clone per node per cohort);
+  /// lazy publishing pays that wave once per session acquire instead.
+  void PublishSnapshot() {
+    committed_tid_.store(LastAllocatedTid(), std::memory_order_release);
+  }
+
   provenance::ProvBackend* backend_;
   wrap::TargetDb* target_;
   int64_t base_tid_;  ///< initialized before next_tid_ (declaration order)
   std::atomic<int64_t> next_tid_;
+  std::atomic<int64_t> committed_tid_;
+  std::atomic<uint64_t> sync_calls_{0};
   SharedLatch latch_;
+  SnapshotManager snapshots_;
   CommitQueue queue_;
   relstore::CostAggregate cost_totals_;
 };

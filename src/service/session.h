@@ -22,8 +22,8 @@ struct SessionOptions {
 };
 
 /// One curator's session against a shared Engine: an Editor over a
-/// private snapshot of the target, wired into the engine's tid allocator,
-/// group-commit queue, and per-session cost accounting.
+/// pinned committed version of the target, wired into the engine's tid
+/// allocator, group-commit queue, and per-session cost accounting.
 ///
 /// Concurrency contract (README "Service layer"):
 ///
@@ -39,19 +39,25 @@ struct SessionOptions {
 ///  * Reads take a shared grant. Wrap every batch of queries/scans in
 ///    `auto g = session->ReadLock();` and drain cursors before releasing
 ///    it. Never commit while holding a grant.
-///  * The snapshot ages. The universe reflects the committed state as of
-///    acquire (stamped with the latch epoch); other sessions' commits do
-///    not appear in it. Release the session and re-acquire to refresh —
-///    the pool rebuilds stale sessions. Disjoint-subtree curation (each
-///    session editing its own region) is exact under this model; sessions
-///    racing updates to the SAME path see first-committer-wins at the
-///    store level, not merged views.
+///  * The snapshot is versioned, not copied. The universe's target
+///    subtree is a copy-on-write clone of the SnapshotManager version the
+///    session PINS at acquire (snapshot_tid()); other sessions' commits
+///    never appear in it, and the pinned version stays readable — bit
+///    identical — until the session releases the pin, no matter how far
+///    the committed state advances. The session is *stale* once
+///    snapshot_tid() < Engine::CommittedTid(); re-acquiring from the pool
+///    refreshes it O(1) by re-pinning the newest version and swapping the
+///    target subtree (no scan, no copy). Disjoint-subtree curation is
+///    exact under this model; sessions racing updates to the SAME path
+///    see first-committer-wins at the store level, not merged views.
 ///
 /// All modelled charges (backend round trips, rows, local work) land on
 /// the session's private CostModel — race-free by construction — and fold
 /// into Engine::cost_totals() when the pool takes the session back.
 class Session {
  public:
+  ~Session();
+
   /// Stages (T/HT) or commits (N/H) one update.
   Status Apply(const update::Update& u);
 
@@ -60,7 +66,9 @@ class Session {
   Status ApplyScript(const update::Script& script, size_t* applied = nullptr);
 
   /// Commits the staged transaction through the engine's group-commit
-  /// queue (T/HT; blocks until the cohort's seal). No-op for N/H.
+  /// queue (T/HT; blocks until the cohort's seal), declaring the staged
+  /// writeset so disjoint cohort-mates can apply in parallel. No-op for
+  /// N/H.
   Status Commit();
 
   /// Reverts the uncommitted transaction (T/HT; local, latch-free).
@@ -88,9 +96,11 @@ class Session {
   /// This session's private interaction costs so far.
   relstore::CostModel& cost() { return cost_; }
 
-  /// Latch epoch the session's snapshot was taken at; stale when the
-  /// engine's epoch has moved past it.
-  uint64_t base_epoch() const { return base_epoch_; }
+  /// Commit-ordered watermark the session's snapshot was opened at: the
+  /// target subtree reflects exactly the transactions with tid <= this.
+  /// Stale when Engine::CommittedTid() has moved past it. (Replaces the
+  /// latch-epoch stamp of earlier revisions — see cpdb.h migration notes.)
+  int64_t snapshot_tid() const { return snapshot_tid_; }
 
   Engine* engine() { return engine_; }
 
@@ -98,22 +108,38 @@ class Session {
   friend class SessionPool;
   Session() = default;
 
+  /// After a successful commit: unhide the session's own records (and its
+  /// cohort's watermark) from the provenance view.
+  void AdvanceReadWatermark();
+
   bool per_op_ = false;
   Engine* engine_ = nullptr;
   SessionOptions options_;
   relstore::CostModel cost_;
   provenance::ProvBackend backend_view_;
   std::unique_ptr<Editor> editor_;
-  uint64_t base_epoch_ = 0;
+  /// The pinned committed version backing the universe's target subtree.
+  /// Held only while the session is checked out — the pool drops it on
+  /// Release so idle inventory never holds back version GC. pin_.seq == 0
+  /// while pooled, and when the target cannot publish versions (no cheap
+  /// snapshots) and the session runs on a private materialization.
+  SnapshotManager::Pin pin_;
+  int64_t snapshot_tid_ = -1;
 };
 
 /// Hands out Sessions against one Engine and takes them back.
 ///
-/// Acquire() reuses a pooled session whose snapshot epoch is still
-/// current, else builds a fresh one (snapshotting the target under a
-/// shared grant). Release() folds the session's CostModel into the
-/// engine's totals and pools the session for reuse. Thread-safe; building
-/// is serialized on the pool's mutex.
+/// Acquire() reuses a pooled session outright when its pinned version is
+/// still the committed state; a stale pooled session is *refreshed* in
+/// O(1) — re-pin the newest version, swap the editor's target subtree —
+/// instead of being torn down. Build() (first acquires, cold pool) pins
+/// the newest version too; only when the version chain cannot serve —
+/// bootstrap, or a target without cheap snapshots — does it materialize
+/// the target with a full scan, and that scan is counted
+/// (SnapshotManager::Stats::snapshot_rebuilds). A warm pool under write
+/// traffic therefore copies nothing and scans nothing. Release() folds
+/// the session's CostModel into the engine's totals and pools the session
+/// for reuse. Thread-safe; building is serialized on the pool's mutex.
 class SessionPool {
  public:
   SessionPool(Engine* engine, SessionOptions options)
@@ -129,9 +155,28 @@ class SessionPool {
 
   size_t built() const CPDB_EXCLUDES(mu_);
   size_t reused() const CPDB_EXCLUDES(mu_);
+  /// Stale pooled sessions refreshed O(1) (counted inside reused()).
+  size_t refreshed() const CPDB_EXCLUDES(mu_);
 
  private:
   Result<std::unique_ptr<Session>> Build() CPDB_EXCLUDES(mu_, build_mu_);
+
+  /// Pins a committed version for `s` and returns a CoW clone of it for
+  /// the editor's universe; falls back to (and counts) a full
+  /// materialization when the chain cannot serve. Sets s->pin_ /
+  /// s->snapshot_tid_.
+  Result<tree::Tree> AcquireSnapshot(Session* s) CPDB_EXCLUDES(mu_);
+
+  /// Pins the version at the committed watermark, lazily publishing it
+  /// (O(1), under a read grant) when the chain lags — cohorts only
+  /// advance the watermark. False when only a full scan could serve
+  /// (target without cheap snapshots and no current version).
+  bool EnsureLatestPinned(SnapshotManager::Pin* pin);
+
+  /// O(1) refresh of a stale pooled session: re-pin at the watermark,
+  /// swap the target subtree. False when the chain cannot serve (caller
+  /// drops the session and builds instead).
+  bool Refresh(Session* s);
 
   Engine* engine_;
   SessionOptions options_;
@@ -141,6 +186,7 @@ class SessionPool {
   std::vector<std::unique_ptr<Session>> free_ CPDB_GUARDED_BY(mu_);
   size_t built_ CPDB_GUARDED_BY(mu_) = 0;
   size_t reused_ CPDB_GUARDED_BY(mu_) = 0;
+  size_t refreshed_ CPDB_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace cpdb::service

@@ -5,12 +5,25 @@
 namespace cpdb::tree {
 
 Tree Tree::Clone() const {
+  // Structural sharing: the clone references the same child nodes; either
+  // side privatizes on its first mutation (MutableChild). Copying the map
+  // is O(fanout) of this node only — no recursion.
   Tree out;
   out.value_ = value_;
-  for (const auto& [label, child] : children_) {
-    out.children_.emplace(label, std::make_unique<Tree>(child->Clone()));
-  }
+  out.children_ = children_;
   return out;
+}
+
+Tree* Tree::MutableChild(const std::string& label) {
+  auto it = children_.find(label);
+  if (it == children_.end()) return nullptr;
+  if (it->second.use_count() > 1) {
+    // Shared with another clone: replace with a private shallow copy. The
+    // copy shares ITS children, so the privatization cost stays O(fanout)
+    // per step of the descent.
+    it->second = std::make_shared<Tree>(it->second->Clone());
+  }
+  return it->second.get();
 }
 
 Status Tree::SetValue(Value v) {
@@ -27,10 +40,7 @@ const Tree* Tree::GetChild(const std::string& label) const {
   return it == children_.end() ? nullptr : it->second.get();
 }
 
-Tree* Tree::GetChild(const std::string& label) {
-  auto it = children_.find(label);
-  return it == children_.end() ? nullptr : it->second.get();
-}
+Tree* Tree::GetChild(const std::string& label) { return MutableChild(label); }
 
 Status Tree::AddChild(const std::string& label, Tree subtree) {
   if (!IsValidLabel(label)) {
@@ -41,7 +51,7 @@ Status Tree::AddChild(const std::string& label, Tree subtree) {
         "cannot add child '" + label + "' to a leaf carrying a value");
   }
   auto [it, inserted] =
-      children_.emplace(label, std::make_unique<Tree>(std::move(subtree)));
+      children_.emplace(label, std::make_shared<Tree>(std::move(subtree)));
   (void)it;
   if (!inserted) {
     return Status::AlreadyExists("edge '" + label + "' already exists");
@@ -61,13 +71,16 @@ Result<Tree> Tree::TakeChild(const std::string& label) {
   if (it == children_.end()) {
     return Status::NotFound("edge '" + label + "' does not exist");
   }
-  Tree out = std::move(*it->second);
+  // Moving out of a node another clone can still see would gut it; take a
+  // structural copy instead (O(fanout)).
+  Tree out = it->second.use_count() > 1 ? it->second->Clone()
+                                        : std::move(*it->second);
   children_.erase(it);
   return out;
 }
 
 void Tree::PutChild(const std::string& label, Tree subtree) {
-  children_[label] = std::make_unique<Tree>(std::move(subtree));
+  children_[label] = std::make_shared<Tree>(std::move(subtree));
   value_.reset();
 }
 
@@ -81,7 +94,25 @@ const Tree* Tree::Find(const Path& p) const {
 }
 
 Tree* Tree::Find(const Path& p) {
-  return const_cast<Tree*>(static_cast<const Tree*>(this)->Find(p));
+  // Copy-on-write descent: every shared node on the path is privatized so
+  // the caller may mutate the result without other clones observing it.
+  Tree* cur = this;
+  for (const auto& label : p.labels()) {
+    cur = cur->MutableChild(label);
+    if (cur == nullptr) return nullptr;
+  }
+  return cur;
+}
+
+bool Tree::SharesAllChildrenWith(const Tree& other) const {
+  if (this == &other) return true;
+  if (children_.size() != other.children_.size()) return false;
+  auto it = children_.begin();
+  auto jt = other.children_.begin();
+  for (; it != children_.end(); ++it, ++jt) {
+    if (it->first != jt->first || it->second != jt->second) return false;
+  }
+  return true;
 }
 
 Status Tree::ReplaceAt(const Path& p, Tree subtree) {
@@ -144,6 +175,9 @@ bool Tree::Equals(const Tree& other) const {
   auto jt = other.children_.begin();
   for (; it != children_.end(); ++it, ++jt) {
     if (it->first != jt->first) return false;
+    // Shared node => identical subtree, no need to recurse. This makes
+    // snapshot-vs-snapshot comparison proportional to the diverged part.
+    if (it->second == jt->second) continue;
     if (!it->second->Equals(*jt->second)) return false;
   }
   return true;

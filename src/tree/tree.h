@@ -25,9 +25,25 @@ namespace cpdb::tree {
 /// nor value is the empty tree {} — a legal insert payload in the update
 /// language ("ins {c2 : {}} into T").
 ///
-/// Trees are move-only; deep copies are explicit via Clone() because the
-/// copy operation of the update language is semantically a deep copy and
+/// Trees are move-only; copies are explicit via Clone() because the copy
+/// operation of the update language is semantically a deep copy and
 /// accidental copies of multi-megabyte curated databases are a bug.
+///
+/// Clone() is O(fanout), not O(subtree): children are shared_ptr-owned and
+/// a clone shares them structurally (persistent-tree style). Mutation goes
+/// copy-on-write — every mutable accessor privatizes a shared node (child
+/// use_count > 1) by shallow-copying it before handing out a Tree*, so a
+/// mutation can never be observed through another clone. Two invariants
+/// make this safe: (1) a mutable Tree* is only reachable by descending
+/// from an owned root through the CoW accessors, and (2) any node
+/// reachable from two roots has a shared ancestor on every path from
+/// either root, so a CoW descent clones from the divergence point down and
+/// never touches nodes another root can see.
+///
+/// Concurrency contract: concurrent readers of clones that share
+/// structure are safe; a writer mutating one clone is safe against
+/// readers of OTHER clones (CoW isolates them) but, as with any
+/// container, not against concurrent access to the same clone.
 ///
 /// Children are kept in a std::map so iteration order is deterministic,
 /// which the model permits (trees are unordered, so any canonical order is
@@ -45,7 +61,9 @@ class Tree {
   Tree(const Tree&) = delete;
   Tree& operator=(const Tree&) = delete;
 
-  /// Deep copy of this subtree.
+  /// Copy of this subtree. Semantically a deep copy; physically O(fanout)
+  /// — the clone shares child nodes with this tree until one side mutates
+  /// (copy-on-write).
   Tree Clone() const;
 
   // ----- Node-local accessors -------------------------------------------
@@ -65,14 +83,20 @@ class Tree {
   /// True for a node with neither children nor value.
   bool IsEmpty() const { return children_.empty() && !value_.has_value(); }
 
-  /// Child by label, or nullptr.
+  /// Child by label, or nullptr. The mutable overload privatizes a shared
+  /// child (copy-on-write) before returning it.
   const Tree* GetChild(const std::string& label) const;
   Tree* GetChild(const std::string& label);
 
   /// Deterministic (sorted) iteration over children.
-  const std::map<std::string, std::unique_ptr<Tree>>& children() const {
+  const std::map<std::string, std::shared_ptr<Tree>>& children() const {
     return children_;
   }
+
+  /// True if `other` is the same physical node or shares this node's
+  /// children map entry-for-entry (diagnostic; used by CoW tests and the
+  /// snapshot-cost accounting).
+  bool SharesAllChildrenWith(const Tree& other) const;
 
   /// Adds edge `label` to `subtree`. Fails with AlreadyExists if the label
   /// is present (the paper's t ] t' union) and InvalidArgument if this node
@@ -91,7 +115,9 @@ class Tree {
 
   // ----- Path-addressed operations (relative to this node) ---------------
 
-  /// Node at `p`, or nullptr if the path does not exist.
+  /// Node at `p`, or nullptr if the path does not exist. The mutable
+  /// overload privatizes every shared node along the path (copy-on-write),
+  /// so use the const overload (e.g. via std::as_const) for pure reads.
   const Tree* Find(const Path& p) const;
   Tree* Find(const Path& p);
 
@@ -150,7 +176,12 @@ class Tree {
   std::string ToString() const;
 
  private:
-  std::map<std::string, std::unique_ptr<Tree>> children_;
+  /// Replaces a shared child entry with a private shallow copy so in-place
+  /// mutation cannot be observed through other clones. Returns the (now
+  /// exclusively owned) child, or nullptr if the label is absent.
+  Tree* MutableChild(const std::string& label);
+
+  std::map<std::string, std::shared_ptr<Tree>> children_;
   std::optional<Value> value_;
 };
 

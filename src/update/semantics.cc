@@ -1,5 +1,7 @@
 #include "update/semantics.h"
 
+#include <utility>
+
 namespace cpdb::update {
 
 namespace {
@@ -35,7 +37,7 @@ Status ApplyDelete(tree::Tree* universe, const Update& u,
     return Status::NotFound("delete target '" + u.target.ToString() +
                             "' does not exist");
   }
-  const tree::Tree* doomed = node->GetChild(u.label);
+  const tree::Tree* doomed = std::as_const(*node).GetChild(u.label);
   if (doomed == nullptr) {
     return Status::NotFound("edge '" + u.label + "' does not exist under '" +
                             u.target.ToString() + "'");
@@ -47,7 +49,10 @@ Status ApplyDelete(tree::Tree* universe, const Update& u,
 }
 
 Status ApplyCopy(tree::Tree* universe, const Update& u, ApplyEffect* effect) {
-  const tree::Tree* src = universe->Find(u.source);
+  // Const lookup: a copy READS its source; privatizing the source path
+  // here would defeat structural sharing (and, under parallel apply, write
+  // outside the transaction's claimed subtree).
+  const tree::Tree* src = std::as_const(*universe).Find(u.source);
   if (src == nullptr) {
     return Status::NotFound("copy source '" + u.source.ToString() +
                             "' does not exist");
@@ -70,7 +75,7 @@ Status ApplyCopy(tree::Tree* universe, const Update& u, ApplyEffect* effect) {
   // Self-affecting copies (e.g. copy T/a into T/a/b) must clone first;
   // we always clone, matching the deep-copy semantics of t[p := t.q].
   tree::Tree clone = src->Clone();
-  const tree::Tree* previous = parent->GetChild(u.target.Leaf());
+  const tree::Tree* previous = std::as_const(*parent).GetChild(u.target.Leaf());
   bool overwrote = previous != nullptr;
   if (effect != nullptr) {
     effect->overwrote = overwrote;
@@ -135,12 +140,12 @@ Status UndoLog::ApplyTracked(tree::Tree* universe, const Update& u,
 
   // Capture pre-state needed by the inverse before mutating.
   if (u.kind == OpKind::kDelete) {
-    const tree::Tree* node = universe->Find(u.target);
+    const tree::Tree* node = std::as_const(*universe).Find(u.target);
     const tree::Tree* doomed =
         node == nullptr ? nullptr : node->GetChild(u.label);
     if (doomed != nullptr) e.saved = doomed->Clone();
   } else if (u.kind == OpKind::kCopy) {
-    const tree::Tree* old = universe->Find(u.target);
+    const tree::Tree* old = std::as_const(*universe).Find(u.target);
     if (old != nullptr) {
       e.had_previous = true;
       e.saved = old->Clone();

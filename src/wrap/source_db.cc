@@ -1,10 +1,14 @@
 #include "wrap/source_db.h"
 
+#include <utility>
+
 namespace cpdb::wrap {
 
 Result<std::vector<CopiedNode>> TreeSourceDb::CopyNode(
     const tree::Path& rel) {
-  const tree::Tree* node = content_.Find(rel);
+  // Const lookup: sources are read-only and may be shared across
+  // concurrent sessions; the mutable Find would copy-on-write the path.
+  const tree::Tree* node = std::as_const(content_).Find(rel);
   if (node == nullptr) {
     return Status::NotFound("no node at '" + rel.ToString() + "' in source " +
                             name_);

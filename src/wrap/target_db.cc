@@ -48,8 +48,24 @@ Status TreeTargetDb::ApplyBatch(const std::vector<NativeOp>& ops) {
     CPDB_RETURN_IF_ERROR(ApplyOne(op.update, op.pasted, &rows));
     total_rows += rows;
   }
-  if (!ops.empty()) cost_.ChargeWrite(total_rows);
+  if (!ops.empty()) {
+    MutexLock l(cost_mu_);
+    cost_.ChargeWrite(total_rows);
+  }
   return Status::OK();
+}
+
+bool TreeTargetDb::PrepareParallelApply(const std::vector<tree::Path>& claims) {
+  // The mutable Find privatizes (copy-on-write) every shared node from
+  // the root down to each claim, single-threaded, so the concurrent
+  // ApplyBatch descents that follow only READ those path nodes — their
+  // own claimed subtrees are the only nodes they clone or mutate. A
+  // claim that does not (fully) exist is fine: the member's apply will
+  // fail exactly as it would serially.
+  for (const tree::Path& claim : claims) {
+    (void)content_.Find(claim);
+  }
+  return true;
 }
 
 }  // namespace cpdb::wrap

@@ -6,9 +6,13 @@
 #include "relstore/cost_model.h"
 #include "tree/tree.h"
 #include "update/update.h"
+#include "util/mutex.h"
 #include "util/result.h"
 
 namespace cpdb::wrap {
+
+using cpdb::Mutex;
+using cpdb::MutexLock;
 
 /// One update of a committed transaction, ready for the native store:
 /// paths already rebased to the target's root, and for copies the
@@ -71,6 +75,24 @@ class TargetDb {
   /// existing wrappers stay correct unmodified.
   virtual Status Sync() { return Status::OK(); }
 
+  /// True when TreeFromDb is O(1) — a copy-on-write clone rather than a
+  /// scan — so the service layer can publish a version after every commit
+  /// cohort (service::SnapshotManager). Wrappers whose TreeFromDb walks
+  /// the native store keep the default: sessions then materialize on
+  /// demand and the engine counts each scan as a snapshot rebuild.
+  virtual bool CheapSnapshots() const { return false; }
+
+  /// Prepares the native store for a batch of CONCURRENT ApplyBatch calls
+  /// whose writes are confined to the given disjoint subtrees (paths
+  /// relative to this database's root). Returns false when the wrapper
+  /// cannot support concurrent application (the caller must fall back to
+  /// serial apply). Called with the engine's exclusive latch held, before
+  /// the concurrent calls start.
+  virtual bool PrepareParallelApply(const std::vector<tree::Path>& claims) {
+    (void)claims;
+    return false;
+  }
+
   /// Accumulated simulated interaction cost.
   virtual relstore::CostModel& cost() = 0;
 };
@@ -98,12 +120,21 @@ class TreeTargetDb : public TargetDb {
   }
 
   const std::string& name() const override { return name_; }
+  /// O(1): a copy-on-write clone sharing every node with the live content
+  /// (tree::Tree structural sharing), so snapshotting never copies data.
   Result<tree::Tree> TreeFromDb() override { return content_.Clone(); }
+  bool CheapSnapshots() const override { return true; }
   Status ApplyNative(const update::Update& u,
                      const tree::Tree* copied_subtree) override;
   /// Applies every update, charging one round trip for the whole batch
   /// (rows = total nodes moved) instead of one per op.
   Status ApplyBatch(const std::vector<NativeOp>& ops) override;
+  /// Privatizes the copy-on-write path down to each claimed subtree root,
+  /// so concurrent ApplyBatch calls confined to those subtrees never
+  /// clone (= write) a node outside their claim. The cost model is the
+  /// one piece of state the claims cannot partition; ApplyBatch guards it
+  /// with cost_mu_.
+  bool PrepareParallelApply(const std::vector<tree::Path>& claims) override;
   relstore::CostModel& cost() override { return cost_; }
 
   const tree::Tree& content() const { return content_; }
@@ -116,6 +147,9 @@ class TreeTargetDb : public TargetDb {
   std::string name_;
   tree::Tree content_;
   relstore::CostModel cost_;
+  /// Serializes cost charges from concurrent ApplyBatch calls (parallel
+  /// cohort apply); the tree itself is partitioned by the claims.
+  Mutex cost_mu_;
 };
 
 }  // namespace cpdb::wrap

@@ -286,6 +286,13 @@ TEST(NetServerTest, PingApplyCommitQuery) {
   auto stats = client.Stats();
   ASSERT_TRUE(stats.ok());
   EXPECT_NE(stats->find("\"last_tid\":1"), std::string::npos) << *stats;
+  // The MVCC surface is visible to operators: the committed watermark,
+  // the version chain, and the parallel-apply counters all ride STATS.
+  EXPECT_NE(stats->find("\"committed_tid\":1"), std::string::npos) << *stats;
+  EXPECT_NE(stats->find("\"versions_live\":"), std::string::npos) << *stats;
+  EXPECT_NE(stats->find("\"parallel_cohorts\":"), std::string::npos) << *stats;
+  EXPECT_NE(stats->find("\"snapshot_rebuilds\":"), std::string::npos)
+      << *stats;
 
   // A fresh connection (fresh snapshot) sees the committed row rendered
   // EXACTLY like the committing session did: GET's canonical rendering

@@ -178,5 +178,87 @@ TEST(TreeTest, ByteSizeGrowsWithContent) {
   EXPECT_LT(T("{a: 1}").ByteSize(), T("{a: 1, b: {c: 2, d: 3}}").ByteSize());
 }
 
+// ----- Copy-on-write structural sharing ------------------------------------
+
+TEST(TreeCowTest, CloneSharesStructure) {
+  Tree t = T("{a: {x: 1, y: 2}, b: {z: 3}}");
+  Tree c = t.Clone();
+  // Physically shared: same child nodes, not copies.
+  EXPECT_TRUE(t.SharesAllChildrenWith(c));
+  EXPECT_EQ(t.children().at("a").get(), c.children().at("a").get());
+  EXPECT_TRUE(t.Equals(c));
+}
+
+TEST(TreeCowTest, MutationPrivatizesOnlyThePath) {
+  Tree t = T("{a: {x: 1, y: 2}, b: {z: 3}}");
+  Tree c = t.Clone();
+  // Mutating the clone must not be visible through the original...
+  ASSERT_TRUE(c.InsertAt(Path({"a"}), "w", Tree(Value(int64_t{9}))).ok());
+  EXPECT_FALSE(t.Contains(Path({"a", "w"})));
+  EXPECT_TRUE(c.Contains(Path({"a", "w"})));
+  // ...and untouched siblings stay physically shared.
+  EXPECT_NE(t.children().at("a").get(), c.children().at("a").get());
+  EXPECT_EQ(t.children().at("b").get(), c.children().at("b").get());
+}
+
+TEST(TreeCowTest, MutatingOriginalLeavesCloneIntact) {
+  Tree t = T("{a: {x: 1}}");
+  Tree c = t.Clone();
+  ASSERT_TRUE(t.DeleteAt(Path({"a"}), "x").ok());
+  EXPECT_FALSE(t.Contains(Path({"a", "x"})));
+  EXPECT_TRUE(c.Contains(Path({"a", "x"})));
+  EXPECT_EQ(c.Find(Path({"a", "x"}))->value().AsInt(), 1);
+}
+
+TEST(TreeCowTest, TakeChildOnSharedNodeCopies) {
+  Tree t = T("{a: {x: 1, y: 2}}");
+  Tree c = t.Clone();
+  auto taken = t.TakeChild("a");
+  ASSERT_TRUE(taken.ok());
+  EXPECT_TRUE(taken->Contains(Path({"x"})));
+  // The clone still sees the full subtree.
+  EXPECT_TRUE(c.Contains(Path({"a", "y"})));
+  EXPECT_EQ(c.Find(Path({"a", "y"}))->value().AsInt(), 2);
+}
+
+TEST(TreeCowTest, ConstLookupsDoNotPrivatize) {
+  Tree t = T("{a: {x: 1}}");
+  Tree c = t.Clone();
+  const Tree& tc = t;
+  ASSERT_NE(tc.Find(Path({"a", "x"})), nullptr);
+  ASSERT_NE(tc.GetChild("a"), nullptr);
+  // Reads through the const interface must leave sharing intact.
+  EXPECT_EQ(t.children().at("a").get(), c.children().at("a").get());
+}
+
+TEST(TreeCowTest, MutableFindPrivatizesThePath) {
+  Tree t = T("{a: {b: {x: 1}}}");
+  Tree c = t.Clone();
+  Tree* node = t.Find(Path({"a", "b"}));
+  ASSERT_NE(node, nullptr);
+  ASSERT_TRUE(node->AddChild("y", Tree(Value(int64_t{2}))).ok());
+  EXPECT_TRUE(t.Contains(Path({"a", "b", "y"})));
+  EXPECT_FALSE(c.Contains(Path({"a", "b", "y"})));
+}
+
+TEST(TreeCowTest, DeepCloneChainStaysIsolated) {
+  // Chain of clones: each generation mutates its own copy; all others
+  // keep their exact state (the service layer's snapshot pattern).
+  Tree base = T("{T: {}}");
+  std::vector<Tree> generations;
+  for (int i = 0; i < 8; ++i) {
+    generations.push_back(base.Clone());
+    ASSERT_TRUE(base.InsertAt(Path({"T"}), "n" + std::to_string(i),
+                              Tree(Value(int64_t{i})))
+                    .ok());
+  }
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(generations[static_cast<size_t>(i)].Find(Path({"T"}))
+                  ->ChildCount(),
+              static_cast<size_t>(i));
+  }
+  EXPECT_EQ(base.Find(Path({"T"}))->ChildCount(), 8u);
+}
+
 }  // namespace
 }  // namespace cpdb::tree

@@ -1,21 +1,30 @@
 #!/usr/bin/env bash
-# Records the pinned network-service benchmark into BENCH_service.json
-# at the repo root: N repeats of the same cpdb_serve + cpdb_bench_client
-# scenario, aggregated per queue depth by MEDIAN so one noisy repeat
-# cannot move the checked-in trajectory.
+# Records the pinned service benchmarks at the repo root: N repeats of
+# each fixed scenario, aggregated by MEDIAN so one noisy repeat cannot
+# move the checked-in trajectory.
+#
+#   * BENCH_service.json    — cpdb_serve + cpdb_bench_client QD sweep
+#                             (network path, per queue depth)
+#   * BENCH_concurrent.json — bench_concurrent thread sweep 1..16
+#                             (in-process closed loop, per thread count;
+#                             the scaling claim for the MVCC snapshot +
+#                             parallel-apply service layer lives here)
 #
 #   tools/bench/record.sh [repeats]          (default 3)
 #
 # Environment:
-#   BUILD_DIR   where cpdb_serve/cpdb_bench_client live (default: build)
+#   BUILD_DIR   where the bench binaries live (default: build)
 #   PORT        server port (default: 7181, off the 7170 default so a
 #               stray dev server cannot be mistaken for ours)
-#   OUT         output path (default: BENCH_service.json in the root)
+#   OUT         QD-sweep output (default: BENCH_service.json)
+#   CONC_OUT    thread-sweep output (default: BENCH_concurrent.json)
 #
-# The scenario is deliberately fixed — strategy HT, durable WAL, 2
-# connections, zipf(0.99) over 1000 keys, txn-len 4, QD sweep 1..32 —
-# because the point of the checked-in file is comparability ACROSS PRs,
-# not tunability. Change the scenario and you reset the trajectory.
+# The scenarios are deliberately fixed — QD sweep: strategy HT, durable
+# WAL, 2 connections, zipf(0.99) over 1000 keys, txn-len 4, QD 1..32;
+# thread sweep: strategy HT, durable WAL, threads 1,2,4,8,16, txn-len 8,
+# 100 txns/thread, default apply workers — because the point of the
+# checked-in files is comparability ACROSS PRs, not tunability. Change a
+# scenario and you reset its trajectory.
 
 set -euo pipefail
 
@@ -24,10 +33,12 @@ REPEATS="${1:-3}"
 BUILD_DIR="${BUILD_DIR:-build}"
 PORT="${PORT:-7181}"
 OUT="${OUT:-BENCH_service.json}"
+CONC_OUT="${CONC_OUT:-BENCH_concurrent.json}"
 
 SERVE="$BUILD_DIR/cpdb_serve"
 CLIENT="$BUILD_DIR/cpdb_bench_client"
-for bin in "$SERVE" "$CLIENT"; do
+CONC="$BUILD_DIR/bench_concurrent"
+for bin in "$SERVE" "$CLIENT" "$CONC"; do
   if [ ! -x "$bin" ]; then
     echo "record.sh: $bin not built (cmake --build $BUILD_DIR -j)" >&2
     exit 2
@@ -72,38 +83,51 @@ for i in $(seq 1 "$REPEATS"); do
     exit 2
   }
   SERVER_PID=""
-  echo "record.sh: repeat $i/$REPEATS done"
+  echo "record.sh: QD-sweep repeat $i/$REPEATS done"
 done
 
-python3 - "$OUT" "$WORK"/repeat-*.json <<'EOF'
+# Thread sweep: in-process closed loop, one WAL dir per repeat so every
+# repeat recovers from a cold store. txn-len 8 is the contended shape
+# (8 staged ops per commit); bench_concurrent's apply-workers default
+# (the shipped service configuration) applies.
+for i in $(seq 1 "$REPEATS"); do
+  "$CONC" --threads=1,2,4,8,16 --txn-lens=8 --txns=100 \
+    --durable="$WORK/conc-wal-$i" \
+    --json="$WORK/conc-$i.json" >"$WORK/conc-$i.log"
+  echo "record.sh: thread-sweep repeat $i/$REPEATS done"
+done
+
+# Median-merge across repeats, keyed by the sweep variable(s): every
+# numeric row field takes the per-key median; count fields (txns_sent
+# etc.) are identical across repeats by construction, so the median is
+# exact, not a compromise.
+cat >"$WORK/merge.py" <<'EOF'
 import json
 import statistics
 import sys
 
-out_path, *paths = sys.argv[1:]
+out_path, key_spec, *paths = sys.argv[1:]
+key_fields = key_spec.split(",")
 docs = [json.load(open(p)) for p in paths]
 
-# Per-QD median across repeats for every numeric row field; count
-# fields (txns_sent etc.) are identical across repeats by construction,
-# so the median is exact, not a compromise.
-by_qd = {}
+by_key = {}
 for doc in docs:
     for row in doc["rows"]:
-        by_qd.setdefault(row["qd"], []).append(row)
+        by_key.setdefault(tuple(row[k] for k in key_fields), []).append(row)
 
 rows = []
-for qd in sorted(by_qd):
-    group = by_qd[qd]
+for key in sorted(by_key):
+    group = by_key[key]
     merged = {}
-    for key in group[0]:
-        vals = [r[key] for r in group]
+    for field in group[0]:
+        vals = [r[field] for r in group]
         if all(isinstance(v, (int, float)) and not isinstance(v, bool)
                for v in vals):
             med = statistics.median(vals)
-            merged[key] = int(med) if all(
+            merged[field] = int(med) if all(
                 isinstance(v, int) for v in vals) else med
         else:
-            merged[key] = vals[0]
+            merged[field] = vals[0]
     rows.append(merged)
 
 first = docs[0]
@@ -121,3 +145,6 @@ with open(out_path, "w") as f:
 print(f"record.sh: wrote {out_path} "
       f"({len(rows)} rows, median of {len(docs)} repeats)")
 EOF
+
+python3 "$WORK/merge.py" "$OUT" qd "$WORK"/repeat-*.json
+python3 "$WORK/merge.py" "$CONC_OUT" threads,txn_len "$WORK"/conc-*.json
