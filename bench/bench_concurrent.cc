@@ -13,9 +13,16 @@
 //  * p50/p99_commit_us — real commit latency, including the queue wait
 //    and the cohort's shared fsync.
 //
-// Runs durably by default (--durable=bench-concurrent-wal, wiped per
-// configuration) because fsync combining is the point; --durable= (empty)
-// measures the in-memory engine, where fsyncs are structurally zero.
+// Runs durably by default because fsync combining is the point. The WAL
+// lives in a mkdtemp scratch directory removed on exit (--durable=auto);
+// --durable=DIR pins a directory (left behind for inspection), and
+// --durable= (empty) measures the in-memory engine, where fsyncs are
+// structurally zero.
+//
+// Each row also carries the engine's own stage-latency breakdown (queue
+// wait, cohort apply, seal, wake; WAL fsync; exclusive-latch wait) read
+// from the obs metrics registry, so BENCH_concurrent.json shows WHERE
+// commit time went, not just how much there was.
 
 #include <algorithm>
 #include <cstdio>
@@ -29,6 +36,7 @@
 
 #include "cpdb/cpdb.h"
 #include "harness.h"
+#include "obs/metrics.h"
 #include "workload/zipf.h"
 
 namespace {
@@ -132,8 +140,10 @@ struct RunResult {
   size_t sessions_built = 0;
   size_t sessions_refreshed = 0;
   relstore::CostSnapshot cost;  ///< engine aggregate over all sessions
-  double p50_commit_us = 0;
-  double p99_commit_us = 0;
+  Percentiles commit_us;        ///< client-observed commit latency
+  /// Engine-side stage breakdown (obs registry; per-run histograms).
+  obs::Histogram::Snapshot stage_queue, stage_apply, stage_seal, stage_wake;
+  obs::Histogram::Snapshot wal_fsync, latch_excl;
 };
 
 RunResult RunOnce(provenance::Strategy strategy, size_t threads,
@@ -227,11 +237,22 @@ RunResult RunOnce(provenance::Strategy strategy, size_t threads,
 
   std::vector<double> all;
   for (auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
-  std::sort(all.begin(), all.end());
-  if (!all.empty()) {
-    res.p50_commit_us = all[all.size() / 2];
-    res.p99_commit_us = all[std::min(all.size() - 1, all.size() * 99 / 100)];
-  }
+  res.commit_us = ComputePercentiles(&all);
+
+  // Engine-side stage breakdown. The histograms are per-run objects (one
+  // registry per engine), so plain Snap() is already run-scoped.
+  auto stage = [&](const char* labels) {
+    return engine.metrics()
+        .GetHistogram("cpdb_commit_stage_us", "", labels)
+        ->Snap();
+  };
+  res.stage_queue = stage("stage=\"queue\"");
+  res.stage_apply = stage("stage=\"apply\"");
+  res.stage_seal = stage("stage=\"seal\"");
+  res.stage_wake = stage("stage=\"wake\"");
+  res.wal_fsync = engine.metrics().GetHistogram("cpdb_wal_fsync_us", "")->Snap();
+  res.latch_excl =
+      engine.metrics().GetHistogram("cpdb_latch_excl_wait_us", "")->Snap();
 
   Status closed = db->Close();
   if (!closed.ok()) {
@@ -252,8 +273,15 @@ int main(int argc, char** argv) {
   size_t txns = static_cast<size_t>(flags.GetInt("txns", 100));
   provenance::Strategy strategy =
       ParseStrategy(flags.GetString("strategy", "HT"));
-  std::string durable_dir =
-      flags.GetString("durable", "bench-concurrent-wal");
+  std::string durable_dir = flags.GetString("durable", "auto");
+  // "auto" (the default) keeps the WAL out of the checkout: a mkdtemp
+  // scratch dir that the RAII handle removes on exit, litter-free even
+  // when a sweep aborts mid-run.
+  std::unique_ptr<ScratchDir> scratch;
+  if (durable_dir == "auto") {
+    scratch = std::make_unique<ScratchDir>("bench-concurrent");
+    durable_dir = scratch->path() + "/wal";
+  }
   std::string dist_name = flags.GetString("dist", "seq");
   KeyDist dist;
   if (dist_name == "seq") {
@@ -302,9 +330,9 @@ int main(int argc, char** argv) {
                     : "");
   }
   std::printf("\n");
-  std::printf("%-8s %-8s %9s %10s %8s %10s %9s %11s %11s\n", "threads",
+  std::printf("%-8s %-8s %9s %10s %8s %10s %9s %10s %10s %10s\n", "threads",
               "txn-len", "commits", "commits/s", "fsyncs", "fsync/cmt",
-              "maxcohort", "p50(us)", "p99(us)");
+              "maxcohort", "p50(us)", "p99(us)", "p999(us)");
 
   for (size_t threads : thread_counts) {
     for (size_t txn_len : txn_lens) {
@@ -314,12 +342,13 @@ int main(int argc, char** argv) {
           r.wall_ms <= 0 ? 0 : r.commits / (r.wall_ms / 1000.0);
       double fsyncs_per_commit =
           r.commits == 0 ? 0 : static_cast<double>(r.fsyncs) / r.commits;
-      std::printf("%-8zu %-8zu %9zu %10.0f %8zu %10.3f %9zu %11.1f %11.1f\n",
-                  threads, txn_len, r.commits, commits_per_sec, r.fsyncs,
-                  fsyncs_per_commit, static_cast<size_t>(r.queue.max_cohort),
-                  r.p50_commit_us, r.p99_commit_us);
-      report.AddRow()
-          .Set("threads", threads)
+      std::printf(
+          "%-8zu %-8zu %9zu %10.0f %8zu %10.3f %9zu %10.1f %10.1f %10.1f\n",
+          threads, txn_len, r.commits, commits_per_sec, r.fsyncs,
+          fsyncs_per_commit, static_cast<size_t>(r.queue.max_cohort),
+          r.commit_us.p50, r.commit_us.p99, r.commit_us.p999);
+      JsonDict& row = report.AddRow();
+      row.Set("threads", threads)
           .Set("txn_len", txn_len)
           .Set("commits", r.commits)
           .Set("ops", r.ops)
@@ -333,8 +362,9 @@ int main(int argc, char** argv) {
           .Set("cohorts", static_cast<size_t>(r.queue.cohorts))
           .Set("combined_commits", static_cast<size_t>(r.queue.combined))
           .Set("max_cohort", static_cast<size_t>(r.queue.max_cohort))
-          .Set("p50_commit_us", r.p50_commit_us)
-          .Set("p99_commit_us", r.p99_commit_us)
+          .Set("p50_commit_us", r.commit_us.p50)
+          .Set("p99_commit_us", r.commit_us.p99)
+          .Set("p999_commit_us", r.commit_us.p999)
           .Set("round_trips", r.cost.calls)
           .Set("rows_moved", r.cost.rows)
           .Set("write_round_trips", r.cost.write_calls)
@@ -351,6 +381,20 @@ int main(int argc, char** argv) {
                static_cast<size_t>(r.snaps.snapshot_refreshes))
           .Set("sessions_built", r.sessions_built)
           .Set("sessions_refreshed", r.sessions_refreshed);
+      // Engine-side stage breakdown (obs registry histograms): where the
+      // p99 above was spent. Bucketed percentiles (~2x resolution).
+      auto stage_cols = [&](const char* prefix,
+                            const obs::Histogram::Snapshot& s) {
+        row.Set(std::string(prefix) + "_p50_us", s.Percentile(0.50))
+            .Set(std::string(prefix) + "_p99_us", s.Percentile(0.99))
+            .Set(std::string(prefix) + "_mean_us", s.MeanMicros());
+      };
+      stage_cols("stage_queue", r.stage_queue);
+      stage_cols("stage_apply", r.stage_apply);
+      stage_cols("stage_seal", r.stage_seal);
+      stage_cols("stage_wake", r.stage_wake);
+      stage_cols("wal_fsync", r.wal_fsync);
+      stage_cols("latch_excl_wait", r.latch_excl);
     }
   }
 

@@ -12,6 +12,7 @@
 // Timber update -> 450 us), so *ratios* — the content of Figures 9-13 —
 // are comparable while absolute numbers are not.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
@@ -20,6 +21,8 @@
 #include <system_error>
 #include <utility>
 #include <vector>
+
+#include <unistd.h>
 
 #include "cpdb/cpdb.h"
 #include "util/flags.h"
@@ -47,6 +50,74 @@ namespace cpdb::bench {
 // write-side counters) for the provenance store and the target database,
 // so write batching can be differenced across runs the same way fig13
 // differences read round trips.
+
+// ----- Percentiles ---------------------------------------------------------
+
+/// The percentile set every bench reports. One definition so
+/// bench_concurrent and cpdb_bench_client (and anything after them) agree
+/// on what "p999" means and no rig drops a quantile the others report.
+struct Percentiles {
+  double p50 = 0;
+  double p99 = 0;
+  double p999 = 0;
+};
+
+/// Nearest-rank percentile of an ALREADY SORTED sample vector.
+inline double PercentileOf(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  size_t idx = static_cast<size_t>(q * static_cast<double>(sorted.size()));
+  return sorted[std::min(sorted.size() - 1, idx)];
+}
+
+/// Sorts `samples` in place and returns p50/p99/p999.
+inline Percentiles ComputePercentiles(std::vector<double>* samples) {
+  std::sort(samples->begin(), samples->end());
+  Percentiles p;
+  p.p50 = PercentileOf(*samples, 0.50);
+  p.p99 = PercentileOf(*samples, 0.99);
+  p.p999 = PercentileOf(*samples, 0.999);
+  return p;
+}
+
+// ----- Scratch directories -------------------------------------------------
+
+/// RAII temp directory for benches that open a durable store: created
+/// under $TMPDIR (mkdtemp, so concurrent runs never collide), removed —
+/// WAL, checkpoint and all — when the object dies. Exists because the
+/// durable benches used to default their WAL directory into the CWD and
+/// leave it behind, littering the repo checkout after every run.
+class ScratchDir {
+ public:
+  /// `tag` shows up in the directory name for post-mortem debuggability.
+  explicit ScratchDir(const std::string& tag) {
+    std::error_code ec;
+    std::filesystem::path base = std::filesystem::temp_directory_path(ec);
+    if (ec) base = ".";
+    std::string tmpl = (base / ("cpdb-" + tag + "-XXXXXX")).string();
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    if (::mkdtemp(buf.data()) != nullptr) {
+      path_ = buf.data();
+    } else {
+      // Still give the caller a usable (if non-unique) path; the bench
+      // wipes it before opening anyway.
+      path_ = tmpl.substr(0, tmpl.size() - 7) + "fallback";
+    }
+  }
+  ~ScratchDir() {
+    if (!path_.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(path_, ec);
+    }
+  }
+  ScratchDir(const ScratchDir&) = delete;
+  ScratchDir& operator=(const ScratchDir&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
 
 inline std::string JsonEscape(const std::string& s) {
   std::string out;

@@ -130,6 +130,18 @@ Result<std::string> Client::Stats() {
   return std::move(resp.body);
 }
 
+Result<std::string> Client::Metrics() {
+  CPDB_ASSIGN_OR_RETURN(Response resp, Call(Request::Metrics()));
+  CPDB_RETURN_IF_ERROR(ToStatus(resp));
+  return std::move(resp.body);
+}
+
+Result<std::string> Client::SlowLog() {
+  CPDB_ASSIGN_OR_RETURN(Response resp, Call(Request::SlowLog()));
+  CPDB_RETURN_IF_ERROR(ToStatus(resp));
+  return std::move(resp.body);
+}
+
 Status Client::Checkpoint() {
   CPDB_ASSIGN_OR_RETURN(Response resp, Call(Request::Checkpoint()));
   return ToStatus(resp);

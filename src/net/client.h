@@ -56,6 +56,10 @@ class Client {
   /// session's snapshot ("<absent>" if no such node).
   Result<std::string> Get(const tree::Path& p);
   Result<std::string> Stats();
+  /// Full metrics registry in Prometheus text exposition format.
+  Result<std::string> Metrics();
+  /// Recent slow-commit spans (JSON; see obs::TraceBuffer::SlowLogJson).
+  Result<std::string> SlowLog();
   Status Checkpoint();
   Status Drain();
 

@@ -126,6 +126,10 @@ const char* ReqTypeName(ReqType t) {
       return "CHECKPOINT";
     case ReqType::kDrain:
       return "DRAIN";
+    case ReqType::kMetrics:
+      return "METRICS";
+    case ReqType::kSlowLog:
+      return "SLOWLOG";
   }
   return "?";
 }
@@ -171,7 +175,7 @@ Result<Request> DecodeRequest(const std::string& in) {
     return Status::InvalidArgument("request: truncated type");
   }
   if (type < static_cast<uint64_t>(ReqType::kPing) ||
-      type > static_cast<uint64_t>(ReqType::kDrain)) {
+      type > static_cast<uint64_t>(ReqType::kSlowLog)) {
     return Status::InvalidArgument("request: unknown type " +
                                    std::to_string(type));
   }

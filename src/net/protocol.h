@@ -21,6 +21,7 @@ namespace cpdb::net {
 //   request  ::= type:varint body
 //   body     ::= APPLY update | GETMOD path | TRACEBACK path | GET path
 //              | COMMIT | ABORT | PING | STATS | CHECKPOINT | DRAIN
+//              | METRICS | SLOWLOG
 //   update   ::= kind:varint lp(target) lp(label) value lp(source)
 //   value    ::= 0 | 1 | 2 zigzag | 3 f64le | 4 lp(bytes)
 //   response ::= code:varint lp(body)
@@ -39,6 +40,8 @@ enum class ReqType : uint8_t {
   kStats = 8,       ///< admin: server/engine counters as JSON text
   kCheckpoint = 9,  ///< admin: checkpoint the store under the latch
   kDrain = 10,      ///< admin: begin graceful drain (like SIGTERM)
+  kMetrics = 11,    ///< admin: full registry, Prometheus text exposition
+  kSlowLog = 12,    ///< admin: recent slow-commit spans as JSON
 };
 
 const char* ReqTypeName(ReqType t);
@@ -79,6 +82,8 @@ struct Request {
   static Request Stats() { return Request{ReqType::kStats, {}, {}}; }
   static Request Checkpoint() { return Request{ReqType::kCheckpoint, {}, {}}; }
   static Request Drain() { return Request{ReqType::kDrain, {}, {}}; }
+  static Request Metrics() { return Request{ReqType::kMetrics, {}, {}}; }
+  static Request SlowLog() { return Request{ReqType::kSlowLog, {}, {}}; }
 };
 
 struct Response {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <deque>
@@ -11,6 +12,7 @@
 
 #include "net/frame.h"
 #include "net/protocol.h"
+#include "obs/metrics.h"
 #include "service/engine.h"
 #include "service/session.h"
 #include "util/mutex.h"
@@ -127,6 +129,17 @@ class Server {
   /// Wakes the event loop (one byte down the self-pipe).
   void WakeLoop();
 
+  /// Registers the server's scrape-time callbacks (connection/request
+  /// totals, pool counters, in-flight bytes) and the per-verb latency
+  /// histograms into the ENGINE's registry — one registry per engine is
+  /// the whole point, so `STATS`, `METRICS`, and `/metrics` all read the
+  /// same objects. Runs in Start(), before any worker exists; callbacks
+  /// re-registered by a later Server replace this one's.
+  void RegisterMetrics();
+
+  /// Renders the flat stats object from the engine registry. The field
+  /// names are the OPERATOR_GUIDE contract; they live in the registry's
+  /// json_key column now, so STATS cannot drift from METRICS.
   std::string StatsJson();
 
   service::Engine* engine_;
@@ -142,6 +155,11 @@ class Server {
   std::vector<std::thread> workers_;
   std::atomic<bool> draining_{false};
   std::atomic<bool> started_{false};
+
+  /// Per-verb request latency sinks, indexed by raw ReqType. Filled in
+  /// RegisterMetrics() before the workers start; read-only after.
+  std::array<obs::Histogram*, static_cast<size_t>(ReqType::kSlowLog) + 1>
+      verb_us_{};
 
   mutable Mutex mu_;
   CondVar work_cv_;

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace cpdb::obs {
+
+/// Periodic reporter: samples a Registry every `interval_ms` and folds
+/// each window's delta (counters differenced, gauges as-is, histogram
+/// percentiles over the window) into one flat JSON row. The owner drains
+/// the rows at shutdown and wraps them in the bench harness `--json`
+/// schema (`cpdb_serve --metrics-json` does exactly that), so live-server
+/// telemetry and bench output share one document shape.
+///
+/// Start()/Stop() bracket the thread; Stop() takes a final partial-window
+/// sample so short runs still produce a row. The thread wakes promptly on
+/// Stop() via the timed CondVar wait — no busy polling, no orphan sleeps.
+class Reporter {
+ public:
+  Reporter(Registry* registry, int64_t interval_ms)
+      : registry_(registry),
+        interval_ms_(interval_ms < 10 ? 10 : interval_ms) {}
+  ~Reporter() { Stop(); }
+
+  Reporter(const Reporter&) = delete;
+  Reporter& operator=(const Reporter&) = delete;
+
+  void Start() CPDB_EXCLUDES(mu_);
+  void Stop() CPDB_EXCLUDES(mu_);
+
+  /// One flat JSON object per completed window, oldest first. Each row
+  /// carries "interval_seq" and "interval_ms" alongside the metric
+  /// fields. Valid after Stop() (or mid-run; rows snapshot atomically).
+  std::vector<std::string> Rows() const CPDB_EXCLUDES(mu_);
+
+ private:
+  void Loop() CPDB_EXCLUDES(mu_);
+  void FoldWindow(const Sample& prev, const Sample& cur, uint64_t seq,
+                  double window_ms) CPDB_EXCLUDES(mu_);
+
+  Registry* const registry_;
+  const int64_t interval_ms_;
+
+  mutable Mutex mu_;
+  CondVar cv_;
+  bool running_ CPDB_GUARDED_BY(mu_) = false;
+  bool stop_ CPDB_GUARDED_BY(mu_) = false;
+  std::vector<std::string> rows_ CPDB_GUARDED_BY(mu_);
+  /// Baseline sample, taken synchronously in Start() so every record
+  /// made after Start() returns is counted in some window (the loop
+  /// thread starting late cannot swallow early increments).
+  Sample base_;
+  double base_us_ = 0;
+  std::thread thread_;  ///< started/joined only from Start()/Stop()
+};
+
+}  // namespace cpdb::obs

@@ -42,23 +42,50 @@ void CommitQueue::EnableParallelApply(size_t workers) {
 }
 
 Status CommitQueue::Commit(std::function<Status()> apply,
-                           std::vector<tree::Path> claims) {
+                           std::vector<tree::Path> claims,
+                           Timeline* timeline) {
   Request req;
   req.apply = std::move(apply);
   req.claims = std::move(claims);
+  req.enqueue_us = obs::NowMicros();
 
-  MutexLock l(mu_);
-  queue_.push_back(&req);
-  if (leader_active_) {
-    // Follow: a leader is combining. Wake when our cohort sealed, or when
-    // the finishing leader promoted us to run the next one. The wait is
-    // on OUR request's CondVar — the leader wakes exactly the threads
-    // whose state changed, not every committer in the building.
-    while (!req.done && !req.leader) req.cv.Wait(mu_);
-    if (req.done) return req.result;
+  bool led = false;
+  {
+    MutexLock l(mu_);
+    queue_.push_back(&req);
+    if (leader_active_) {
+      // Follow: a leader is combining. Wake when our cohort sealed, or
+      // when the finishing leader promoted us to run the next one. The
+      // wait is on OUR request's CondVar — the leader wakes exactly the
+      // threads whose state changed, not every committer in the building.
+      while (!req.done && !req.leader) req.cv.Wait(mu_);
+    }
+    if (!req.done) {
+      led = true;
+      leader_active_ = true;
+      RunCohort();
+    }
   }
-  leader_active_ = true;
-  RunCohort();
+  // Post-done: the leader's stamps on `req` are ordered by the mu_
+  // handshake. The member records its own stage durations — commits are
+  // the unit the percentiles answer for, see StageMetrics.
+  const double done_us = obs::NowMicros();
+  Timeline t;
+  t.cohort = req.cohort_id;
+  t.cohort_size = req.cohort_size;
+  t.parallel = req.parallel;
+  t.leader = led;
+  t.queue_us = req.lead_us - req.enqueue_us;
+  t.apply_us = req.applied_us - req.lead_us;
+  t.seal_us = req.sealed_us - req.applied_us;
+  t.wake_us = done_us - req.sealed_us;
+  t.total_us = done_us - req.enqueue_us;
+  if (metrics_.queue_us) metrics_.queue_us->Record(t.queue_us);
+  if (metrics_.apply_us) metrics_.apply_us->Record(t.apply_us);
+  if (metrics_.seal_us) metrics_.seal_us->Record(t.seal_us);
+  if (metrics_.wake_us) metrics_.wake_us->Record(t.wake_us);
+  if (metrics_.total_us) metrics_.total_us->Record(t.total_us);
+  if (timeline != nullptr) *timeline = t;
   return req.result;
 }
 
@@ -72,13 +99,19 @@ void CommitQueue::RunCohort() {
   std::vector<Request*> cohort(queue_.begin(), queue_.end());
   queue_.clear();
   TestHooks hooks = hooks_;  // per-cohort snapshot; hooks_ stays under mu_
+  const uint64_t cohort_id = ++cohort_seq_;
   mu_.Unlock();
 
+  // One leader-side stamp per stage boundary, shared by every member:
+  // the cohort moves through the pipeline as a unit.
+  const double lead_us = obs::NowMicros();
   uint64_t syncs_before = sync_probe_ ? sync_probe_() : 0;
   ApplyCohort(cohort);
+  const double applied_us = obs::NowMicros();
   if (hooks.before_seal) hooks.before_seal(cohort.size());
   Status sealed = seal_(cohort.size());
   if (hooks.after_seal) hooks.after_seal(cohort.size());
+  const double sealed_us = obs::NowMicros();
   if (sync_probe_ && sync_probe_() != syncs_before + 1) {
     // The ONE-seal contract is load-bearing for both durability (cohort =
     // one WAL record) and the perf model (fsyncs_per_commit = 1/cohort);
@@ -95,6 +128,10 @@ void CommitQueue::RunCohort() {
   if (publish_) publish_();
   latch_->UnlockExclusive();
 
+  if (metrics_.cohort_size) {
+    metrics_.cohort_size->Record(static_cast<double>(cohort.size()));
+  }
+
   mu_.Lock();
   stats_.commits += cohort.size();
   stats_.cohorts += 1;
@@ -102,6 +139,11 @@ void CommitQueue::RunCohort() {
   if (cohort.size() > stats_.max_cohort) stats_.max_cohort = cohort.size();
   for (Request* r : cohort) {
     if (!sealed.ok() && r->result.ok()) r->result = sealed;
+    r->lead_us = lead_us;
+    r->applied_us = applied_us;
+    r->sealed_us = sealed_us;
+    r->cohort_id = cohort_id;
+    r->cohort_size = static_cast<uint32_t>(cohort.size());
     r->done = true;
     r->cv.NotifyOne();
   }
@@ -147,9 +189,13 @@ void CommitQueue::ApplyCohort(const std::vector<Request*>& cohort) {
     if (parallel) {
       std::vector<Request*> batch(cohort.begin() + static_cast<long>(i),
                                   cohort.begin() + static_cast<long>(end));
+      for (Request* r : batch) r->parallel = true;
       RunParallelBatch(batch);
       ++parallel_cohorts;
       parallel_applies += batch.size();
+      if (metrics_.parallel_batch) {
+        metrics_.parallel_batch->Record(static_cast<double>(batch.size()));
+      }
     } else {
       for (size_t k = i; k < end; ++k) {
         cohort[k]->result = cohort[k]->apply();

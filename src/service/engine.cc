@@ -1,0 +1,147 @@
+#include "service/engine.h"
+
+namespace cpdb::service {
+
+void Engine::WireMetrics() {
+  // --- Commit-pipeline latency histograms (sinks wired into the layers
+  // that own the measured sections; see each set_metrics contract).
+  latch_.set_metrics(
+      metrics_.GetHistogram("cpdb_latch_shared_wait_us",
+                            "Contended shared-latch acquire wait (us)", "",
+                            "latch_shared_wait_us"),
+      metrics_.GetHistogram("cpdb_latch_excl_wait_us",
+                            "Exclusive-latch acquire wait (us) - the "
+                            "group-commit combining window",
+                            "", "latch_excl_wait_us"));
+
+  CommitQueue::StageMetrics sm;
+  sm.queue_us =
+      metrics_.GetHistogram("cpdb_commit_stage_us",
+                            "Commit pipeline stage duration (us)",
+                            "stage=\"queue\"", "commit_queue_us");
+  sm.apply_us = metrics_.GetHistogram("cpdb_commit_stage_us",
+                                      "Commit pipeline stage duration (us)",
+                                      "stage=\"apply\"", "commit_apply_us");
+  sm.seal_us = metrics_.GetHistogram("cpdb_commit_stage_us",
+                                     "Commit pipeline stage duration (us)",
+                                     "stage=\"seal\"", "commit_seal_us");
+  sm.wake_us = metrics_.GetHistogram("cpdb_commit_stage_us",
+                                     "Commit pipeline stage duration (us)",
+                                     "stage=\"wake\"", "commit_wake_us");
+  sm.total_us = metrics_.GetHistogram("cpdb_commit_stage_us",
+                                      "Commit pipeline stage duration (us)",
+                                      "stage=\"total\"", "commit_total_us");
+  sm.cohort_size = metrics_.GetHistogram(
+      "cpdb_commit_cohort_size", "Members per group-commit cohort", "",
+      "cohort_size");
+  sm.parallel_batch = metrics_.GetHistogram(
+      "cpdb_commit_parallel_batch_size",
+      "Members per disjoint-subtree parallel apply run", "",
+      "parallel_batch_size");
+  queue_.set_metrics(sm);
+
+  if (backend_->db()->durable()) {
+    backend_->db()->durability()->SetMetricSinks(
+        metrics_.GetHistogram("cpdb_wal_append_us",
+                              "WAL record append wall time (us)", "",
+                              "wal_append_us"),
+        metrics_.GetHistogram("cpdb_wal_fsync_us",
+                              "WAL fsync barrier wall time (us)", "",
+                              "wal_fsync_us"));
+  }
+
+  // --- Scrape-time callbacks over state that already has one owner.
+  // The json_key names are the STATS contract (OPERATOR_GUIDE.md): the
+  // server's StatsJson() renders from this registry, so the names here
+  // ARE the wire fields.
+  auto cb = [this](const char* name, const char* help, bool monotonic,
+                   std::function<double()> fn, const char* json_key) {
+    metrics_.SetCallback(name, help, monotonic, std::move(fn), "", json_key);
+  };
+  cb("cpdb_commit_queue_depth", "Committers enqueued behind the leader",
+     false, [this] { return static_cast<double>(CommitQueueDepth()); },
+     "queue_depth");
+  cb("cpdb_commits_total", "Transactions committed", true,
+     [this] { return static_cast<double>(queue_.stats().commits); },
+     "commits");
+  cb("cpdb_cohorts_total", "Group-commit cohorts sealed", true,
+     [this] { return static_cast<double>(queue_.stats().cohorts); },
+     "cohorts");
+  cb("cpdb_combined_total", "Commits that rode another leader's seal", true,
+     [this] { return static_cast<double>(queue_.stats().combined); },
+     "combined");
+  cb("cpdb_max_cohort", "Largest cohort sealed so far", false,
+     [this] { return static_cast<double>(queue_.stats().max_cohort); },
+     "max_cohort");
+  cb("cpdb_parallel_cohorts_total",
+     "Disjoint-subtree batches applied in parallel", true,
+     [this] { return static_cast<double>(queue_.stats().parallel_cohorts); },
+     "parallel_cohorts");
+  cb("cpdb_parallel_applies_total", "Commits applied on the worker pool",
+     true,
+     [this] { return static_cast<double>(queue_.stats().parallel_applies); },
+     "parallel_applies");
+  cb("cpdb_last_tid", "Largest transaction id allocated", false,
+     [this] { return static_cast<double>(LastAllocatedTid()); }, "last_tid");
+  cb("cpdb_committed_tid", "Committed-state watermark tid", false,
+     [this] { return static_cast<double>(CommittedTid()); }, "committed_tid");
+  cb("cpdb_latch_epoch", "Exclusive latch sections completed", false,
+     [this] { return static_cast<double>(latch_.Epoch()); }, "epoch");
+  cb("cpdb_versions_live", "Committed-state versions in the chain", false,
+     [this] { return static_cast<double>(snapshots_.stats().versions_live); },
+     "versions_live");
+  cb("cpdb_versions_published_total", "Committed-state versions published",
+     true,
+     [this] {
+       return static_cast<double>(snapshots_.stats().versions_published);
+     },
+     "versions_published");
+  cb("cpdb_versions_gced_total", "Committed-state versions garbage-collected",
+     true,
+     [this] { return static_cast<double>(snapshots_.stats().versions_gced); },
+     "versions_gced");
+  cb("cpdb_snapshot_rebuilds_total", "Full snapshot materializations", true,
+     [this] {
+       return static_cast<double>(snapshots_.stats().snapshot_rebuilds);
+     },
+     "snapshot_rebuilds");
+  cb("cpdb_snapshot_rebuild_rows_total", "Rows scanned by full rebuilds",
+     true,
+     [this] {
+       return static_cast<double>(snapshots_.stats().snapshot_rebuild_rows);
+     },
+     "snapshot_rebuild_rows");
+  cb("cpdb_snapshot_refreshes_total", "O(1) session snapshot re-pins", true,
+     [this] {
+       return static_cast<double>(snapshots_.stats().snapshot_refreshes);
+     },
+     "snapshot_refreshes");
+  cb("cpdb_slow_commits_total", "Commits past the slow-commit threshold",
+     true, [this] { return static_cast<double>(trace_.slow_recorded()); },
+     "slow_commits");
+  const bool durable = backend_->db()->durable();
+  cb("cpdb_durable", "1 when a durability engine is attached", false,
+     [durable] { return durable ? 1.0 : 0.0; }, "durable");
+  if (durable) {
+    // Absent entirely on in-memory engines — STATS omits the durability
+    // fields there, and a scraper should see no series, not zeros.
+    cb("cpdb_fsyncs_total", "fsync barriers issued", true,
+       [this] {
+         return static_cast<double>(db()->durability()->stats().fsyncs);
+       },
+       "fsyncs");
+    cb("cpdb_log_bytes_total", "Bytes appended to the WAL", true,
+       [this] {
+         return static_cast<double>(db()->durability()->stats().log_bytes);
+       },
+       "log_bytes");
+    cb("cpdb_replayed_commits_total", "Log records recovery applied", true,
+       [this] {
+         return static_cast<double>(
+             db()->durability()->stats().replayed_commits);
+       },
+       "replayed_commits");
+  }
+}
+
+}  // namespace cpdb::service

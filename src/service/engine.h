@@ -6,11 +6,14 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "provenance/backend.h"
 #include "relstore/cost_model.h"
 #include "service/commit_queue.h"
 #include "service/latch.h"
 #include "service/snapshots.h"
+#include "storage/durable.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
 #include "wrap/target_db.h"
@@ -68,6 +71,7 @@ class Engine {
     });
     queue_.set_sync_probe(
         [this] { return sync_calls_.load(std::memory_order_relaxed); });
+    WireMetrics();
   }
 
   Engine(const Engine&) = delete;
@@ -109,8 +113,10 @@ class Engine {
   /// with disjoint cohort-mates on the apply pool; empty claims always
   /// fall back to in-order apply.
   Status Commit(std::function<Status()> apply,
-                std::vector<tree::Path> claims = {}) CPDB_EXCLUDES(latch_) {
-    return queue_.Commit(std::move(apply), std::move(claims));
+                std::vector<tree::Path> claims = {},
+                CommitQueue::Timeline* timeline = nullptr)
+      CPDB_EXCLUDES(latch_) {
+    return queue_.Commit(std::move(apply), std::move(claims), timeline);
   }
 
   /// Spins up the disjoint-subtree apply pool (see CommitQueue). Call
@@ -163,6 +169,21 @@ class Engine {
   /// Snapshot/version counters for STATS and the benches.
   SnapshotManager::Stats snapshot_stats() const { return snapshots_.stats(); }
 
+  /// The engine's metrics registry — every commit-pipeline series
+  /// (WAL/fsync latency, queue stage timings, latch waits, snapshot and
+  /// cohort distributions) is registered here at construction, and the
+  /// server/pool/tools layers add theirs on top. One registry renders
+  /// both export surfaces: Prometheus (`METRICS`, `/metrics`) and the
+  /// flat STATS/bench JSON.
+  obs::Registry& metrics() { return metrics_; }
+
+  /// Flight recorder of recent commit timelines (SLOWLOG's backing ring).
+  obs::TraceBuffer& trace() { return trace_; }
+
+  /// Commits slower than `us` end-to-end are copied into the slow ring
+  /// and dumped to stderr; <= 0 disables (the default).
+  void SetSlowCommitThresholdUs(double us) { trace_.SetSlowThresholdUs(us); }
+
  private:
   /// Runs on the commit queue's leader thread after a cohort's applies
   /// and seal, exclusive latch held: advances the committed watermark.
@@ -176,8 +197,18 @@ class Engine {
     committed_tid_.store(LastAllocatedTid(), std::memory_order_release);
   }
 
+  /// Creates every engine-level metric and plugs the sinks into the
+  /// latch, the commit queue, and the WAL (when durable) — all before
+  /// any session thread exists, so the sink fields never race. Out of
+  /// line (engine.cc): it is a page of registrations.
+  void WireMetrics();
+
   provenance::ProvBackend* backend_;
   wrap::TargetDb* target_;
+  /// Declared (so destroyed) outside the machinery that records into
+  /// them: the queue's worker threads must die before their sinks.
+  obs::Registry metrics_;
+  obs::TraceBuffer trace_;
   int64_t base_tid_;  ///< initialized before next_tid_ (declaration order)
   std::atomic<int64_t> next_tid_;
   std::atomic<int64_t> committed_tid_;

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "obs/metrics.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -38,8 +39,16 @@ namespace cpdb::service {
 class CPDB_CAPABILITY("SharedLatch") SharedLatch {
  public:
   void LockShared() CPDB_ACQUIRE_SHARED() {
+    // Only meter the contended path: the uncontended acquire is two
+    // branches and must stay that cheap (every query takes it).
+    obs::Histogram* h = shared_wait_us_;
+    double start_us = 0;
     MutexLock l(mu_);
+    if (h != nullptr && (writer_ || writers_waiting_ > 0)) {
+      start_us = obs::NowMicros();
+    }
     while (writer_ || writers_waiting_ > 0) can_read_.Wait(mu_);
+    if (start_us != 0) h->Record(obs::NowMicros() - start_us);
     ++readers_;
   }
 
@@ -49,11 +58,16 @@ class CPDB_CAPABILITY("SharedLatch") SharedLatch {
   }
 
   void LockExclusive() CPDB_ACQUIRE() {
+    // The exclusive wait is always recorded — it IS the group-commit
+    // combining window (readers draining while the cohort gathers).
+    obs::Histogram* h = excl_wait_us_;
+    const double start_us = h != nullptr ? obs::NowMicros() : 0;
     MutexLock l(mu_);
     ++writers_waiting_;
     while (writer_ || readers_ > 0) can_write_.Wait(mu_);
     --writers_waiting_;
     writer_ = true;
+    if (h != nullptr) h->Record(obs::NowMicros() - start_us);
   }
 
   void UnlockExclusive() CPDB_RELEASE() {
@@ -67,6 +81,15 @@ class CPDB_CAPABILITY("SharedLatch") SharedLatch {
   /// Number of exclusive sections ever completed — the version of the
   /// shared state. Readable without the latch.
   uint64_t Epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// Wait-latency sinks: `shared_wait` records how long contended shared
+  /// acquires blocked (uncontended ones record nothing — see LockShared),
+  /// `excl_wait` every exclusive acquire's wait. Either may be null. Set
+  /// before the latch sees concurrent traffic (Engine's constructor).
+  void set_metrics(obs::Histogram* shared_wait, obs::Histogram* excl_wait) {
+    shared_wait_us_ = shared_wait;
+    excl_wait_us_ = excl_wait;
+  }
 
   /// RAII shared grant. Deliberately not movable: Engine::Read() and
   /// Session::ReadLock() return one by value through guaranteed copy
@@ -113,6 +136,9 @@ class CPDB_CAPABILITY("SharedLatch") SharedLatch {
   size_t writers_waiting_ CPDB_GUARDED_BY(mu_) = 0;
   bool writer_ CPDB_GUARDED_BY(mu_) = false;
   std::atomic<uint64_t> epoch_{0};
+  /// Set once before concurrent use (set_metrics); read-only after.
+  obs::Histogram* shared_wait_us_ = nullptr;
+  obs::Histogram* excl_wait_us_ = nullptr;
 };
 
 }  // namespace cpdb::service

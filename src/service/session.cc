@@ -12,9 +12,7 @@ Status Session::Apply(const update::Update& u) {
   if (per_op_) {
     // One op = one transaction (N/H): apply under the exclusive grant and
     // ride the cohort's single fsync.
-    Status st = engine_->Commit([&] { return editor_->ApplyUpdate(u); });
-    if (st.ok()) AdvanceReadWatermark();
-    return st;
+    return CommitTraced([&] { return editor_->ApplyUpdate(u); }, {});
   }
   return editor_->ApplyUpdate(u);
 }
@@ -23,10 +21,8 @@ Status Session::ApplyScript(const update::Script& script, size_t* applied) {
   if (per_op_) {
     // The whole staged batch (one tid per op, one WriteRecords, one
     // native ApplyBatch) is one commit unit.
-    Status st = engine_->Commit(
-        [&] { return editor_->ApplyScript(script, applied); });
-    if (st.ok()) AdvanceReadWatermark();
-    return st;
+    return CommitTraced([&] { return editor_->ApplyScript(script, applied); },
+                        {});
   }
   return editor_->ApplyScript(script, applied);
 }
@@ -35,10 +31,36 @@ Status Session::Commit() {
   if (per_op_) return editor_->Commit();  // store-level no-op, latch-free
   // Declare the staged writeset before enqueueing: disjoint cohort-mates
   // go to the apply pool together (empty claims = in-order apply).
-  std::vector<tree::Path> claims = editor_->StagedWriteClaims();
-  Status st = engine_->Commit([&] { return editor_->Commit(); },
-                              std::move(claims));
-  if (st.ok()) AdvanceReadWatermark();
+  return CommitTraced([&] { return editor_->Commit(); },
+                      editor_->StagedWriteClaims());
+}
+
+Status Session::CommitTraced(std::function<Status()> apply,
+                             std::vector<tree::Path> claims) {
+  // Render the claim set for the trace before the queue consumes it —
+  // SLOWLOG shows a human the writeset, so strings beat live Paths.
+  std::vector<std::string> claim_strs;
+  claim_strs.reserve(claims.size());
+  for (const tree::Path& p : claims) claim_strs.push_back(p.ToString());
+
+  CommitQueue::Timeline tl;
+  Status st = engine_->Commit(std::move(apply), std::move(claims), &tl);
+  if (!st.ok()) return st;
+  AdvanceReadWatermark();
+
+  obs::CommitSpan span;
+  span.tid = LastCommittedTid();
+  span.cohort = tl.cohort;
+  span.cohort_size = tl.cohort_size;
+  span.parallel = tl.parallel;
+  span.leader = tl.leader;
+  span.queue_us = tl.queue_us;
+  span.apply_us = tl.apply_us;
+  span.seal_us = tl.seal_us;
+  span.wake_us = tl.wake_us;
+  span.total_us = tl.total_us;
+  span.claims = std::move(claim_strs);
+  engine_->trace().Record(std::move(span));
   return st;
 }
 

@@ -112,6 +112,14 @@ class Session {
   /// cohort's watermark) from the provenance view.
   void AdvanceReadWatermark();
 
+  /// The shared tail of every commit unit: ships `apply` through the
+  /// engine's group-commit queue, advances the read watermark, and
+  /// records the transaction's stage timeline (tid, cohort, claims) into
+  /// the engine's trace buffer — where SLOWLOG and the slow-commit log
+  /// read it back.
+  Status CommitTraced(std::function<Status()> apply,
+                      std::vector<tree::Path> claims);
+
   bool per_op_ = false;
   Engine* engine_ = nullptr;
   SessionOptions options_;

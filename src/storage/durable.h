@@ -104,6 +104,14 @@ class Durability : public relstore::Journal {
     MutexLock l(mu_);
     return stats_;
   }
+
+  /// Forwards latency histograms onto the underlying log's write path
+  /// (see Wal::SetMetricSinks). Safe any time; no-op if already closed.
+  void SetMetricSinks(obs::Histogram* append_us, obs::Histogram* fsync_us)
+      CPDB_EXCLUDES(mu_) {
+    MutexLock l(mu_);
+    if (wal_ != nullptr) wal_->SetMetricSinks(append_us, fsync_us);
+  }
   const std::string& dir() const { return dir_; }
 
   static std::string WalPath(const std::string& dir);

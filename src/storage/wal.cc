@@ -77,6 +77,7 @@ Status Wal::Append(const std::string& payload, size_t* framed_bytes) {
     return Status::FailedPrecondition(
         "WAL '" + path_ + "' is poisoned by an unrecoverable torn write");
   }
+  const double start_us = append_us_ ? obs::NowMicros() : 0;
   std::string frame;
   frame.reserve(payload.size() + kMaxVarint64Bytes + 4);
   PutVarint64(&frame, payload.size());
@@ -101,13 +102,16 @@ Status Wal::Append(const std::string& payload, size_t* framed_bytes) {
   file_size_ += frame.size();
   appended_bytes_ += frame.size();
   if (framed_bytes != nullptr) *framed_bytes = frame.size();
+  if (append_us_) append_us_->Record(obs::NowMicros() - start_us);
   return Status::OK();
 }
 
 Status Wal::Sync() {
   MutexLock l(mu_);
   if (fd_ < 0) return Status::FailedPrecondition("WAL is closed");
+  const double start_us = fsync_us_ ? obs::NowMicros() : 0;
   if (::fsync(fd_) != 0) return Errno("WAL fsync failed", path_);
+  if (fsync_us_) fsync_us_->Record(obs::NowMicros() - start_us);
   ++sync_count_;
   return Status::OK();
 }

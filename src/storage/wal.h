@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/metrics.h"
 #include "util/mutex.h"
 #include "util/result.h"
 #include "util/thread_annotations.h"
@@ -71,6 +72,17 @@ class Wal {
     return sync_count_;
   }
 
+  /// Wires latency histograms onto the write path: every Append records
+  /// its wall time into `append_us`, every fsync (Sync and TruncateAll's
+  /// barrier) into `fsync_us`. Either may be null (unmetered). Owned by
+  /// the caller's registry, which must outlive the log.
+  void SetMetricSinks(obs::Histogram* append_us, obs::Histogram* fsync_us)
+      CPDB_EXCLUDES(mu_) {
+    MutexLock l(mu_);
+    append_us_ = append_us;
+    fsync_us_ = fsync_us;
+  }
+
   /// Replays every complete, checksum-valid record of the log at `path`
   /// in file order, calling `fn(payload)` for each; stops (successfully)
   /// at the first torn or corrupt frame and truncates the file to the
@@ -92,6 +104,8 @@ class Wal {
   bool poisoned_ CPDB_GUARDED_BY(mu_) = false;
   size_t appended_bytes_ CPDB_GUARDED_BY(mu_) = 0;
   size_t sync_count_ CPDB_GUARDED_BY(mu_) = 0;
+  obs::Histogram* append_us_ CPDB_GUARDED_BY(mu_) = nullptr;
+  obs::Histogram* fsync_us_ CPDB_GUARDED_BY(mu_) = nullptr;
 };
 
 /// fsyncs a directory, making renames/creations inside it durable —

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -73,6 +74,17 @@ class CondVar {
     std::unique_lock<std::mutex> l(mu.mu_, std::adopt_lock);
     cv_.wait(l);
     l.release();  // the caller keeps holding mu, as annotated
+  }
+
+  /// Timed Wait: returns false if `timeout_ms` elapsed without a notify
+  /// (the predicate loop still applies — recheck it either way). For
+  /// periodic threads that must also wake promptly on shutdown
+  /// (obs::Reporter's sample loop).
+  bool WaitFor(Mutex& mu, int64_t timeout_ms) CPDB_REQUIRES(mu) {
+    std::unique_lock<std::mutex> l(mu.mu_, std::adopt_lock);
+    auto st = cv_.wait_for(l, std::chrono::milliseconds(timeout_ms));
+    l.release();  // the caller keeps holding mu, as annotated
+    return st == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

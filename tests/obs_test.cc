@@ -1,0 +1,279 @@
+// The observability layer (src/obs/): histogram bucketing and snapshot
+// algebra, registry rendering on both export surfaces (Prometheus text
+// exposition and the flat STATS JSON), the windowed Reporter, and the
+// commit-trace ring with its slow-commit capture.
+//
+// The contract under test: the SAME registry objects back every export
+// path, Prometheus output parses (HELP/TYPE blocks, cumulative buckets,
+// _count == sum of bucket increments), JSON counters render as integers
+// (net_test matches them textually), and snapshot Delta/merge arithmetic
+// is exact so windowed percentiles cannot drift from the raw counts.
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+
+namespace cpdb::obs {
+namespace {
+
+// ----- Histogram -------------------------------------------------------------
+
+TEST(HistogramTest, BucketBoundariesArePowersOfTwoMicros) {
+  EXPECT_EQ(Histogram::BucketOf(0.0), 0u);
+  EXPECT_EQ(Histogram::BucketOf(0.9), 0u);    // [0, 1us)
+  EXPECT_EQ(Histogram::BucketOf(1.0), 1u);    // [1, 2us)
+  EXPECT_EQ(Histogram::BucketOf(1.9), 1u);
+  EXPECT_EQ(Histogram::BucketOf(2.0), 2u);    // [2, 4us)
+  EXPECT_EQ(Histogram::BucketOf(3.5), 2u);
+  EXPECT_EQ(Histogram::BucketOf(4.0), 3u);
+  EXPECT_EQ(Histogram::BucketOf(1000.0), 10u);  // [512, 1024us)
+  // Everything past the covered range lands in the +Inf bucket.
+  EXPECT_EQ(Histogram::BucketOf(1e12), Histogram::kBuckets - 1);
+  EXPECT_TRUE(std::isinf(Histogram::BucketUpperUs(Histogram::kBuckets - 1)));
+  EXPECT_EQ(Histogram::BucketUpperUs(0), 1.0);
+  EXPECT_EQ(Histogram::BucketUpperUs(10), 1024.0);
+}
+
+TEST(HistogramTest, SnapshotCountsAndMean) {
+  Histogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Record(30);
+  Histogram::Snapshot s = h.Snap();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_NEAR(s.MeanMicros(), 20.0, 0.01);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : s.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, s.count);
+}
+
+TEST(HistogramTest, PercentileInterpolatesWithinBucketResolution) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(static_cast<double>(i));
+  Histogram::Snapshot s = h.Snap();
+  // Log2 buckets give ~2x resolution: the estimate must land within the
+  // bucket that holds the true percentile.
+  double p50 = s.Percentile(0.50);
+  EXPECT_GE(p50, 256.0);
+  EXPECT_LE(p50, 1024.0);
+  double p99 = s.Percentile(0.99);
+  EXPECT_GE(p99, 512.0);
+  EXPECT_LE(p99, 1024.0);
+  EXPECT_EQ(Histogram::Snapshot{}.Percentile(0.5), 0.0);
+}
+
+TEST(HistogramTest, SnapshotMergeAndDeltaAreExact) {
+  Histogram h;
+  h.Record(5);
+  h.Record(50);
+  Histogram::Snapshot first = h.Snap();
+  h.Record(500);
+  Histogram::Snapshot second = h.Snap();
+
+  Histogram::Snapshot window = second.Delta(first);
+  EXPECT_EQ(window.count, 1u);
+  EXPECT_EQ(window.buckets[Histogram::BucketOf(500)], 1u);
+
+  Histogram::Snapshot merged = first;
+  merged += window;
+  EXPECT_EQ(merged.count, second.count);
+  EXPECT_EQ(merged.sum_ns, second.sum_ns);
+  for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+    EXPECT_EQ(merged.buckets[i], second.buckets[i]) << "bucket " << i;
+  }
+}
+
+// ----- Registry rendering ----------------------------------------------------
+
+TEST(RegistryTest, SameNameAndLabelsReturnsSameObject) {
+  Registry reg;
+  Counter* a = reg.GetCounter("cpdb_x_total", "help", "", "x");
+  Counter* b = reg.GetCounter("cpdb_x_total", "other help");
+  EXPECT_EQ(a, b);
+  // Distinct labels are distinct series.
+  Histogram* h1 = reg.GetHistogram("cpdb_stage_us", "h", "stage=\"a\"");
+  Histogram* h2 = reg.GetHistogram("cpdb_stage_us", "h", "stage=\"b\"");
+  EXPECT_NE(h1, h2);
+}
+
+TEST(RegistryTest, PrometheusExpositionParses) {
+  Registry reg;
+  reg.GetCounter("cpdb_commits_total", "Transactions committed", "", "")
+      ->Inc(7);
+  reg.GetGauge("cpdb_depth", "Queue depth")->Set(-3);
+  Histogram* h = reg.GetHistogram("cpdb_lat_us", "Latency", "op=\"get\"");
+  h->Record(3.0);   // bucket [2,4us)
+  h->Record(100.0);
+  reg.SetCallback("cpdb_cb_total", "Callback counter", true,
+                  [] { return 42.0; });
+
+  std::string out = reg.RenderPrometheus();
+  EXPECT_NE(out.find("# HELP cpdb_commits_total Transactions committed\n"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("# TYPE cpdb_commits_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("cpdb_commits_total 7\n"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE cpdb_depth gauge\n"), std::string::npos);
+  EXPECT_NE(out.find("cpdb_depth -3\n"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE cpdb_lat_us histogram\n"), std::string::npos);
+  // Cumulative buckets: the le="4" bucket already contains the 3us
+  // sample, the +Inf bucket contains everything.
+  EXPECT_NE(out.find("cpdb_lat_us_bucket{op=\"get\",le=\"4\"} 1\n"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("cpdb_lat_us_bucket{op=\"get\",le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("cpdb_lat_us_count{op=\"get\"} 2\n"), std::string::npos);
+  EXPECT_NE(out.find("cpdb_cb_total 42\n"), std::string::npos);
+
+  // Minimal line discipline: every non-comment line is `name[{labels}]
+  // value`, every series name appears after a HELP and a TYPE.
+  size_t pos = 0;
+  while (pos < out.size()) {
+    size_t eol = out.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos) << "unterminated last line";
+    std::string line = out.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) FAIL() << "blank line in exposition";
+    if (line[0] == '#') continue;
+    size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    EXPECT_GT(sp, 0u) << line;
+  }
+}
+
+TEST(RegistryTest, JsonRendersIntegersWithoutDecimalPoint) {
+  Registry reg;
+  reg.GetCounter("cpdb_commits_total", "h", "", "commits")->Inc(3);
+  reg.GetGauge("cpdb_tid", "h", "", "last_tid")->Set(17);
+  reg.SetCallback("cpdb_frac", "h", false, [] { return 0.5; }, "", "frac");
+  reg.GetCounter("cpdb_hidden_total", "no json key")->Inc();
+  Histogram* h = reg.GetHistogram("cpdb_lat_us", "h", "", "lat_us");
+  h->Record(10);
+
+  std::string out = reg.RenderJson();
+  EXPECT_NE(out.find("\"commits\":3"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"last_tid\":17"), std::string::npos);
+  EXPECT_NE(out.find("\"frac\":0.5"), std::string::npos);
+  EXPECT_EQ(out.find("cpdb_hidden"), std::string::npos);
+  EXPECT_EQ(out.find("hidden"), std::string::npos);
+  // Histograms flatten to derived scalar fields.
+  EXPECT_NE(out.find("\"lat_us_count\":1"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"lat_us_p99_us\":"), std::string::npos);
+  EXPECT_EQ(out.front(), '{');
+  EXPECT_EQ(out.back(), '}');
+}
+
+TEST(RegistryTest, DeltaJsonDifferencesCountersButNotGauges) {
+  Registry reg;
+  Counter* c = reg.GetCounter("cpdb_reqs_total", "h", "", "requests");
+  Gauge* g = reg.GetGauge("cpdb_depth", "h", "", "depth");
+  Histogram* h = reg.GetHistogram("cpdb_lat_us", "h", "", "lat_us");
+  c->Inc(10);
+  g->Set(5);
+  h->Record(100);
+  Sample prev = reg.TakeSample();
+  c->Inc(4);
+  g->Set(2);
+  h->Record(200);
+  h->Record(300);
+  Sample cur = reg.TakeSample();
+
+  std::string out = Registry::DeltaJson(prev, cur);
+  EXPECT_NE(out.find("\"requests\":4"), std::string::npos) << out;  // 14-10
+  EXPECT_NE(out.find("\"depth\":2"), std::string::npos);            // as-is
+  EXPECT_NE(out.find("\"lat_us_count\":2"), std::string::npos);     // window
+}
+
+// ----- Reporter --------------------------------------------------------------
+
+TEST(ReporterTest, FoldsWindowsAndFinalPartialWindow) {
+  Registry reg;
+  Counter* c = reg.GetCounter("cpdb_ticks_total", "h", "", "ticks");
+  Reporter rep(&reg, 10);
+  rep.Start();
+  c->Inc(3);
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  c->Inc(2);
+  rep.Stop();
+
+  std::vector<std::string> rows = rep.Rows();
+  ASSERT_FALSE(rows.empty());
+  uint64_t total = 0;
+  for (const std::string& row : rows) {
+    EXPECT_NE(row.find("\"interval_seq\":"), std::string::npos) << row;
+    EXPECT_NE(row.find("\"interval_ms\":"), std::string::npos);
+    size_t at = row.find("\"ticks\":");
+    ASSERT_NE(at, std::string::npos) << row;
+    total += std::strtoull(row.c_str() + at + std::strlen("\"ticks\":"),
+                           nullptr, 10);
+  }
+  // Windowed deltas partition the counter: no tick lost, none double
+  // counted, including across the final partial window.
+  EXPECT_EQ(total, 5u);
+  // Stop() is idempotent and Start/Stop cycles do not crash.
+  rep.Stop();
+}
+
+// ----- Trace ring ------------------------------------------------------------
+
+CommitSpan MakeSpan(int64_t tid, double total_us) {
+  CommitSpan s;
+  s.tid = tid;
+  s.cohort = 1;
+  s.cohort_size = 2;
+  s.queue_us = 1;
+  s.apply_us = 2;
+  s.seal_us = 3;
+  s.wake_us = 4;
+  s.total_us = total_us;
+  s.claims = {"T/data/k" + std::to_string(tid)};
+  return s;
+}
+
+TEST(TraceBufferTest, RingKeepsMostRecentSpans) {
+  TraceBuffer buf(4, 4);
+  for (int64_t i = 1; i <= 10; ++i) buf.Record(MakeSpan(i, 100));
+  EXPECT_EQ(buf.recorded(), 10u);
+  std::vector<CommitSpan> recent = buf.Recent();
+  ASSERT_EQ(recent.size(), 4u);
+  EXPECT_EQ(recent[0].tid, 10);  // most recent first
+  EXPECT_EQ(recent[3].tid, 7);
+  EXPECT_EQ(buf.slow_recorded(), 0u);  // threshold disabled by default
+}
+
+TEST(TraceBufferTest, SlowThresholdCapturesAndRenders) {
+  TraceBuffer buf(8, 8);
+  buf.SetSlowThresholdUs(1000);
+  buf.Record(MakeSpan(1, 10));     // fast: not captured
+  buf.Record(MakeSpan(2, 5000));   // slow: captured (also logs to stderr)
+  EXPECT_EQ(buf.slow_recorded(), 1u);
+  std::vector<CommitSpan> slow = buf.Slow();
+  ASSERT_EQ(slow.size(), 1u);
+  EXPECT_EQ(slow[0].tid, 2);
+
+  std::string json = buf.SlowLogJson();
+  EXPECT_NE(json.find("\"slow_threshold_us\":1000"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"slow_recorded\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":2"), std::string::npos);
+  EXPECT_NE(json.find("T/data/k2"), std::string::npos);
+  // Disabling stops capture without clearing history.
+  buf.SetSlowThresholdUs(0);
+  buf.Record(MakeSpan(3, 9000));
+  EXPECT_EQ(buf.slow_recorded(), 1u);
+}
+
+}  // namespace
+}  // namespace cpdb::obs

@@ -17,6 +17,9 @@
 //                  before SIGTERM and after restart, diff for equality
 //   --mode=ping    retries PING until the server answers or
 //                  --timeout-sec expires (CI readiness gate)
+//   --mode=stats / --mode=metrics / --mode=slowlog
+//                  one admin verb round-trip, body to stdout (flat JSON,
+//                  Prometheus text exposition, recent slow-commit spans)
 //
 // Load flags: --host --port --connections --qd=1,2,4,8,16,32 --txns
 // --txn-len --keys --dist=zipf|uniform --theta --rate (open-loop target
@@ -349,12 +352,8 @@ int RunLoad(const Options& opt) {
       total.transport_errors += s.transport_errors;
       lat.insert(lat.end(), s.latencies_us.begin(), s.latencies_us.end());
     }
-    std::sort(lat.begin(), lat.end());
-    auto pct = [&](size_t num, size_t den) {
-      return lat.empty() ? 0.0
-                         : lat[std::min(lat.size() - 1, lat.size() * num / den)];
-    };
-    double p50 = pct(50, 100), p99 = pct(99, 100), p999 = pct(999, 1000);
+    bench::Percentiles pcts = bench::ComputePercentiles(&lat);
+    double p50 = pcts.p50, p99 = pcts.p99, p999 = pcts.p999;
     double txn_per_sec =
         wall_ms <= 0 ? 0 : total.committed / (wall_ms / 1000.0);
     if (total.transport_errors > 0) failed = true;
@@ -437,6 +436,30 @@ int RunDigest(const Options& opt) {
   return 0;
 }
 
+/// One admin verb round-trip, body printed to stdout. Covers STATS
+/// (flat JSON), METRICS (Prometheus text exposition), and SLOWLOG
+/// (recent slow-commit spans) so an operator with only this binary can
+/// read every telemetry surface.
+int RunAdminVerb(const Options& opt) {
+  net::Client client;
+  Status st = client.Connect(opt.host, opt.port);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s: %s\n", opt.mode.c_str(), st.ToString().c_str());
+    return 1;
+  }
+  Result<std::string> body = opt.mode == "stats"     ? client.Stats()
+                             : opt.mode == "metrics" ? client.Metrics()
+                                                     : client.SlowLog();
+  if (!body.ok()) {
+    std::fprintf(stderr, "%s: %s\n", opt.mode.c_str(),
+                 body.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(body->c_str(), stdout);
+  if (!body->empty() && body->back() != '\n') std::fputc('\n', stdout);
+  return 0;
+}
+
 /// Retries PING until the server answers (CI readiness gate).
 int RunPing(const Options& opt) {
   const auto deadline =
@@ -483,5 +506,8 @@ int main(int argc, char** argv) {
 
   if (opt.mode == "digest") return RunDigest(opt);
   if (opt.mode == "ping") return RunPing(opt);
+  if (opt.mode == "stats" || opt.mode == "metrics" || opt.mode == "slowlog") {
+    return RunAdminVerb(opt);
+  }
   return RunLoad(opt);
 }

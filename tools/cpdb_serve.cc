@@ -20,6 +20,19 @@
 //                          event loop stops reading (TCP backpressure)
 //   --wipe                 remove --dir before opening (fresh start)
 //
+// Observability flags (README "Observability", OPERATOR_GUIDE.md):
+//   --metrics-port=N       serve Prometheus text exposition as plain HTTP
+//                          GET /metrics on this port (0 = ephemeral;
+//                          default -1 = off). The METRICS wire verb
+//                          returns the same render without this flag.
+//   --slow-commit-ms=X     commits slower than X ms are captured in the
+//                          slow-commit ring (SLOWLOG verb) and logged to
+//                          stderr (default 0 = off)
+//   --metrics-json=PATH    sample the registry every --metrics-interval-ms
+//                          (default 1000) and, at drain, write the window
+//                          deltas to PATH in the bench harness --json
+//                          schema (bench "serve_report")
+//
 // Shutdown: SIGTERM or SIGINT triggers the graceful drain — stop
 // accepting, finish and flush every parsed request, checkpoint the store
 // under the exclusive latch, close the Database (releasing its flock) —
@@ -37,7 +50,10 @@
 #include <vector>
 
 #include "cpdb/cpdb.h"
+#include "harness.h"
+#include "net/metrics_http.h"
 #include "net/server.h"
+#include "obs/report.h"
 #include "util/flags.h"
 
 using namespace cpdb;
@@ -112,6 +128,8 @@ int main(int argc, char** argv) {
   wrap::RelationalTargetDb target("T", db.get(),
                                   std::vector<std::string>{"data"});
   service::Engine engine(&backend, &target);
+  const double slow_ms = flags.GetDouble("slow-commit-ms", 0);
+  if (slow_ms > 0) engine.SetSlowCommitThresholdUs(slow_ms * 1000.0);
   service::SessionOptions sopts;
   sopts.strategy = ParseStrategy(flags.GetString("strategy", "HT"));
   service::SessionPool pool(&engine, sopts);
@@ -136,16 +154,72 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cpdb_serve: start: %s\n", st.ToString().c_str());
     return 1;
   }
+
+  // Observability sidecars: the HTTP scrape endpoint and the periodic
+  // JSON reporter both read the engine's registry — the same objects the
+  // STATS and METRICS verbs render.
+  const int metrics_port = static_cast<int>(flags.GetInt("metrics-port", -1));
+  std::unique_ptr<net::MetricsHttpServer> metrics_http;
+  if (metrics_port >= 0) {
+    metrics_http = std::make_unique<net::MetricsHttpServer>(&engine.metrics(),
+                                                            host, metrics_port);
+    Status ms = metrics_http->Start();
+    if (!ms.ok()) {
+      std::fprintf(stderr, "cpdb_serve: metrics: %s\n", ms.ToString().c_str());
+      return 1;
+    }
+  }
+  const std::string metrics_json = flags.GetString("metrics-json", "");
+  std::unique_ptr<obs::Reporter> reporter;
+  if (!metrics_json.empty()) {
+    reporter = std::make_unique<obs::Reporter>(
+        &engine.metrics(), flags.GetInt("metrics-interval-ms", 1000));
+    reporter->Start();
+  }
+
   std::printf("cpdb_serve: listening on %s:%d (dir=%s strategy=%s "
               "workers=%zu max-queue-depth=%zu)\n",
               host.c_str(), server.port(),
               dir.empty() ? "<in-memory>" : dir.c_str(),
               provenance::StrategyShortName(sopts.strategy), nopts.workers,
               nopts.max_queue_depth);
+  if (metrics_http != nullptr) {
+    std::printf("cpdb_serve: metrics on http://%s:%d/metrics\n", host.c_str(),
+                metrics_http->port());
+  }
   std::fflush(stdout);
 
   server.Wait();  // until a drain completes (SIGTERM/SIGINT or DRAIN verb)
   g_server = nullptr;
+  if (metrics_http != nullptr) metrics_http->Stop();
+  if (reporter != nullptr) {
+    reporter->Stop();  // folds the final partial window
+    std::string doc = "{\"bench\":\"serve_report\"";
+    doc += "," + bench::JsonReport::MetaFragment();
+    bench::JsonDict cfg;
+    cfg.Set("host", host)
+        .Set("port", server.port())
+        .Set("workers", nopts.workers)
+        .Set("interval_ms",
+             static_cast<int64_t>(flags.GetInt("metrics-interval-ms", 1000)));
+    doc += ",\"config\":" + cfg.ToString() + ",\"rows\":[";
+    const std::vector<std::string> rows = reporter->Rows();
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (i > 0) doc += ",";
+      doc += rows[i];
+    }
+    doc += "]}\n";
+    std::FILE* f = std::fopen(metrics_json.c_str(), "w");
+    if (f != nullptr) {
+      std::fwrite(doc.data(), 1, doc.size(), f);
+      std::fclose(f);
+      std::printf("cpdb_serve: metrics report written to %s\n",
+                  metrics_json.c_str());
+    } else {
+      std::fprintf(stderr, "cpdb_serve: cannot write %s\n",
+                   metrics_json.c_str());
+    }
+  }
 
   net::Server::Stats s = server.stats();
   std::printf("cpdb_serve: drained (conns=%llu requests=%llu retries=%llu "

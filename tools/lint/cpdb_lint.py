@@ -50,7 +50,21 @@ NET-FRAMING
     input -> typed error + close, never a crash or partial apply) hold
     at a single choke point. Even the tests' deliberate violations go
     through frame.cc's WriteRaw. Pipe/file read(2)/write(2) are fine —
-    the rule names only the socket verbs.
+    the rule names only the socket verbs. (src/net/metrics_http.cc's
+    plain-HTTP GET /metrics endpoint speaks read(2)/write(2) by design:
+    standard Prometheus scrapers do not speak the cpdb frame protocol,
+    and keeping it off the framed path is exactly what this rule wants.)
+
+OBS-METRICS
+    src/service/ and src/net/ must export operational counters through
+    the obs::Registry (src/obs/metrics.h), not ad-hoc std::atomic
+    members: the registry is the single typed surface behind STATS,
+    METRICS, /metrics, and the bench JSON, and a counter living outside
+    it is invisible to all four. The allowlist names the std::atomic
+    members that are NOT metrics — engine tid allocation and seal
+    probes, the latch's epoch, the snapshot chain's watermark, and the
+    server's lifecycle flags — each of which is load-bearing
+    synchronization state with its own reader, not telemetry.
 """
 
 import argparse
@@ -194,6 +208,42 @@ def check_net_framing(root):
                             "WriteFrame/ReadFrame (net/frame.h)")
 
 
+ATOMIC_DECL_RE = re.compile(r"std::atomic(?:<|_)")
+# Synchronization state, not telemetry: each entry is (file, member) for a
+# std::atomic whose readers are correctness logic rather than a scrape.
+OBS_METRICS_ALLOWED = {
+    ("src/service/engine.h", "next_tid_"),       # tid allocator
+    ("src/service/engine.h", "committed_tid_"),  # MVCC watermark
+    ("src/service/engine.h", "sync_calls_"),     # ONE-seal probe
+    ("src/service/latch.h", "epoch_"),           # exclusive-section count
+    ("src/service/snapshots.h", "latest_tid_"),  # version-chain watermark
+    ("src/net/server.h", "draining_"),           # lifecycle flag
+    ("src/net/server.h", "started_"),            # lifecycle flag
+    ("src/net/metrics_http.h", "stopping_"),     # lifecycle flag
+}
+
+
+def check_obs_metrics(root):
+    member_re = re.compile(r"std::atomic<[^>]*>\s+(\w+)")
+    for subdir in ("src/service", "src/net"):
+        for path in iter_source(root, subdir):
+            rel = path.relative_to(root)
+            for lineno, line in enumerate(path.read_text().splitlines(), 1):
+                code = strip_comments(line)
+                if not ATOMIC_DECL_RE.search(code):
+                    continue
+                m = member_re.search(code)
+                member = m.group(1) if m else "<expression>"
+                if (str(rel), member) in OBS_METRICS_ALLOWED:
+                    continue
+                finding("OBS-METRICS", rel, lineno,
+                        f"ad-hoc std::atomic '{member}' in an instrumented "
+                        "layer; operational counters must register in the "
+                        "obs::Registry (src/obs/metrics.h) so STATS/METRICS/"
+                        "/metrics/bench JSON all see them (extend the "
+                        "allowlist only for synchronization state)")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--root", default=".",
@@ -209,6 +259,7 @@ def main():
     check_prov_table_writes(root)
     check_bench_json(root)
     check_net_framing(root)
+    check_obs_metrics(root)
 
     for f in FINDINGS:
         print(f)
