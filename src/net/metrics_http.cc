@@ -110,28 +110,63 @@ void MetricsHttpServer::Loop() {
 }
 
 void MetricsHttpServer::Serve(int fd) {
-  // A scraper that connects and then stalls must not wedge the loop.
+  // A scraper that connects and then stalls must not wedge the loop. The
+  // send timeout bounds the response write; the read side is bounded by
+  // an overall poll(2) deadline below — a kernel receive timeout alone
+  // resets on every dribbled byte, so a slow-loris peer could hold the
+  // (serial) accept loop far past any per-read budget.
   timeval tv{};
   tv.tv_sec = 2;
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
   ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
 
-  // Read until the end of the request head; the request line is all we
-  // route on, so cap the read and ignore any body.
+  // Read until the end of the request head under one total deadline; the
+  // request line is all we route on, so cap the read and ignore any body.
+  constexpr double kTotalDeadlineUs = 2e6;
+  constexpr size_t kMaxHead = 16 * 1024;
+  constexpr size_t kMaxRequestLine = 4 * 1024;
+  const double deadline_us = obs::NowMicros() + kTotalDeadlineUs;
   std::string head;
   char buf[2048];
-  while (head.size() < 16 * 1024 &&
+  while (head.size() < kMaxHead &&
          head.find("\r\n\r\n") == std::string::npos) {
+    const double left_us = deadline_us - obs::NowMicros();
+    pollfd pfd{fd, POLLIN, 0};
+    int rc = ::poll(&pfd, 1,
+                    left_us > 0 ? static_cast<int>(left_us / 1000) + 1 : 0);
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc <= 0) {
+      // Deadline expired mid-request. Answer only if the request line
+      // arrived; a silent half-open connection gets a silent close.
+      if (head.find("\r\n") == std::string::npos) {
+        if (!head.empty()) {
+          Respond(fd, "408 Request Timeout", "text/plain",
+                  "request head timed out\n");
+        }
+        return;
+      }
+      break;  // head already has the request line; route on it
+    }
     ssize_t n = ::read(fd, buf, sizeof buf);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
       if (head.find("\r\n") == std::string::npos) return;
-      break;  // head already has the request line; route on it
+      break;
     }
     head.append(buf, static_cast<size_t>(n));
+    if (head.find("\r\n") == std::string::npos &&
+        head.size() > kMaxRequestLine) {
+      Respond(fd, "431 Request Header Fields Too Large", "text/plain",
+              "request line too long\n");
+      return;
+    }
   }
 
   const size_t eol = head.find("\r\n");
+  if (eol == std::string::npos && head.size() >= kMaxHead) {
+    Respond(fd, "431 Request Header Fields Too Large", "text/plain",
+            "request line too long\n");
+    return;
+  }
   const std::string line = eol == std::string::npos ? head : head.substr(0, eol);
   const size_t sp1 = line.find(' ');
   const size_t sp2 = line.find(' ', sp1 == std::string::npos ? 0 : sp1 + 1);

@@ -15,6 +15,10 @@ constexpr uint8_t kValInt = 2;
 constexpr uint8_t kValDouble = 3;
 constexpr uint8_t kValString = 4;
 
+/// Request-tag flag bit: a TraceContext follows the tag (protocol.h
+/// grammar). Request types stay in the low 7 bits.
+constexpr uint64_t kTraceFlag = 0x80;
+
 uint64_t ZigZag(int64_t v) {
   return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
 }
@@ -130,6 +134,10 @@ const char* ReqTypeName(ReqType t) {
       return "METRICS";
     case ReqType::kSlowLog:
       return "SLOWLOG";
+    case ReqType::kTraces:
+      return "TRACES";
+    case ReqType::kExplain:
+      return "EXPLAIN";
   }
   return "?";
 }
@@ -149,7 +157,14 @@ const char* RespCodeName(RespCode c) {
 }
 
 void EncodeRequest(const Request& req, std::string* out) {
-  PutVarint64(out, static_cast<uint64_t>(req.type));
+  uint64_t tag = static_cast<uint64_t>(req.type);
+  if (req.trace.valid()) tag |= kTraceFlag;
+  PutVarint64(out, tag);
+  if (req.trace.valid()) {
+    PutVarint64(out, req.trace.trace_id);
+    PutVarint64(out, req.trace.parent_span_id);
+    out->push_back(req.trace.sampled ? '\x01' : '\x00');
+  }
   switch (req.type) {
     case ReqType::kApply:
       PutVarint64(out, static_cast<uint64_t>(req.update.kind));
@@ -163,6 +178,10 @@ void EncodeRequest(const Request& req, std::string* out) {
     case ReqType::kGet:
       PutLengthPrefixed(out, req.path.ToString());
       break;
+    case ReqType::kExplain:
+      PutVarint64(out, static_cast<uint64_t>(req.explain_verb));
+      PutLengthPrefixed(out, req.path.ToString());
+      break;
     default:
       break;  // no body
   }
@@ -170,17 +189,34 @@ void EncodeRequest(const Request& req, std::string* out) {
 
 Result<Request> DecodeRequest(const std::string& in) {
   size_t pos = 0;
-  uint64_t type;
-  if (!GetVarint64(in, &pos, &type)) {
+  uint64_t tag;
+  if (!GetVarint64(in, &pos, &tag)) {
     return Status::InvalidArgument("request: truncated type");
   }
+  const bool has_trace = (tag & kTraceFlag) != 0;
+  const uint64_t type = tag & ~kTraceFlag;
   if (type < static_cast<uint64_t>(ReqType::kPing) ||
-      type > static_cast<uint64_t>(ReqType::kSlowLog)) {
+      type > static_cast<uint64_t>(ReqType::kExplain)) {
     return Status::InvalidArgument("request: unknown type " +
                                    std::to_string(type));
   }
   Request req;
   req.type = static_cast<ReqType>(type);
+  if (has_trace) {
+    if (!GetVarint64(in, &pos, &req.trace.trace_id) ||
+        !GetVarint64(in, &pos, &req.trace.parent_span_id)) {
+      return Status::InvalidArgument("request: truncated trace context");
+    }
+    if (req.trace.trace_id == 0) {
+      return Status::InvalidArgument("request: zero trace id");
+    }
+    if (pos >= in.size() ||
+        static_cast<uint8_t>(in[pos]) > 1) {
+      return Status::InvalidArgument("request: bad trace sampled flag");
+    }
+    req.trace.sampled = in[pos] == '\x01';
+    ++pos;
+  }
   switch (req.type) {
     case ReqType::kApply: {
       uint64_t kind;
@@ -211,6 +247,20 @@ Result<Request> DecodeRequest(const std::string& in) {
                                        ": bad path");
       }
       break;
+    case ReqType::kExplain: {
+      uint64_t verb;
+      if (!GetVarint64(in, &pos, &verb) ||
+          (verb != static_cast<uint64_t>(ReqType::kGetMod) &&
+           verb != static_cast<uint64_t>(ReqType::kTraceBack) &&
+           verb != static_cast<uint64_t>(ReqType::kGet))) {
+        return Status::InvalidArgument("EXPLAIN: bad verb");
+      }
+      req.explain_verb = static_cast<ReqType>(verb);
+      if (!DecodePath(in, &pos, &req.path)) {
+        return Status::InvalidArgument("EXPLAIN: bad path");
+      }
+      break;
+    }
     default:
       break;
   }

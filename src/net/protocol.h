@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "tree/path.h"
 #include "update/update.h"
 #include "util/result.h"
@@ -18,13 +19,22 @@ namespace cpdb::net {
 // Protocol grammar (README "Network service"):
 //
 //   frame    ::= varint(len) crc32 payload
-//   request  ::= type:varint body
+//   request  ::= tag:varint [trace] body
+//   tag      ::= type | 0x80 when a trace context follows
+//   trace    ::= varint(trace_id) varint(parent_span_id) sampled:byte
 //   body     ::= APPLY update | GETMOD path | TRACEBACK path | GET path
+//              | EXPLAIN verb:varint lp(path)
 //              | COMMIT | ABORT | PING | STATS | CHECKPOINT | DRAIN
-//              | METRICS | SLOWLOG
+//              | METRICS | SLOWLOG | TRACES
 //   update   ::= kind:varint lp(target) lp(label) value lp(source)
 //   value    ::= 0 | 1 | 2 zigzag | 3 f64le | 4 lp(bytes)
 //   response ::= code:varint lp(body)
+//
+// The trace context is optional on EVERY verb (the 0x80 tag bit): a
+// sampling client stamps it on the requests it wants traced, the server
+// opens a span tree under that trace id (obs::SpanCollector), and the
+// TRACES/EXPLAIN verbs read the assembled trees back. trace_id must be
+// nonzero (zero means "absent" everywhere else in the tracing layer).
 //
 // Transactions are per connection and implicit: the first APPLY after a
 // COMMIT/ABORT begins the next transaction (exactly the Editor's model).
@@ -42,6 +52,8 @@ enum class ReqType : uint8_t {
   kDrain = 10,      ///< admin: begin graceful drain (like SIGTERM)
   kMetrics = 11,    ///< admin: full registry, Prometheus text exposition
   kSlowLog = 12,    ///< admin: recent slow-commit spans as JSON
+  kTraces = 13,     ///< admin: assembled trace trees as JSON
+  kExplain = 14,    ///< run a GETMOD/TRACEBACK/GET, return its span tree
 };
 
 const char* ReqTypeName(ReqType t);
@@ -62,28 +74,54 @@ const char* RespCodeName(RespCode c);
 struct Request {
   ReqType type = ReqType::kPing;
   update::Update update;  ///< kApply
-  tree::Path path;        ///< kGetMod / kTraceBack / kGet
+  tree::Path path;        ///< kGetMod / kTraceBack / kGet / kExplain
+  /// Optional (trace.valid() == carried on the wire): the tracing
+  /// identity the server's span tree is recorded under.
+  obs::TraceContext trace;
+  /// kExplain only: which query verb to run and explain (one of
+  /// kGetMod / kTraceBack / kGet).
+  ReqType explain_verb = ReqType::kGetMod;
 
-  static Request Ping() { return Request{ReqType::kPing, {}, {}}; }
-  static Request Apply(update::Update u) {
-    return Request{ReqType::kApply, std::move(u), {}};
+  static Request Of(ReqType t) {
+    Request req;
+    req.type = t;
+    return req;
   }
-  static Request Commit() { return Request{ReqType::kCommit, {}, {}}; }
-  static Request Abort() { return Request{ReqType::kAbort, {}, {}}; }
+  static Request Ping() { return Of(ReqType::kPing); }
+  static Request Apply(update::Update u) {
+    Request req = Of(ReqType::kApply);
+    req.update = std::move(u);
+    return req;
+  }
+  static Request Commit() { return Of(ReqType::kCommit); }
+  static Request Abort() { return Of(ReqType::kAbort); }
   static Request GetMod(tree::Path p) {
-    return Request{ReqType::kGetMod, {}, std::move(p)};
+    Request req = Of(ReqType::kGetMod);
+    req.path = std::move(p);
+    return req;
   }
   static Request TraceBack(tree::Path p) {
-    return Request{ReqType::kTraceBack, {}, std::move(p)};
+    Request req = Of(ReqType::kTraceBack);
+    req.path = std::move(p);
+    return req;
   }
   static Request Get(tree::Path p) {
-    return Request{ReqType::kGet, {}, std::move(p)};
+    Request req = Of(ReqType::kGet);
+    req.path = std::move(p);
+    return req;
   }
-  static Request Stats() { return Request{ReqType::kStats, {}, {}}; }
-  static Request Checkpoint() { return Request{ReqType::kCheckpoint, {}, {}}; }
-  static Request Drain() { return Request{ReqType::kDrain, {}, {}}; }
-  static Request Metrics() { return Request{ReqType::kMetrics, {}, {}}; }
-  static Request SlowLog() { return Request{ReqType::kSlowLog, {}, {}}; }
+  static Request Stats() { return Of(ReqType::kStats); }
+  static Request Checkpoint() { return Of(ReqType::kCheckpoint); }
+  static Request Drain() { return Of(ReqType::kDrain); }
+  static Request Metrics() { return Of(ReqType::kMetrics); }
+  static Request SlowLog() { return Of(ReqType::kSlowLog); }
+  static Request Traces() { return Of(ReqType::kTraces); }
+  static Request Explain(ReqType verb, tree::Path p) {
+    Request req = Of(ReqType::kExplain);
+    req.explain_verb = verb;
+    req.path = std::move(p);
+    return req;
+  }
 };
 
 struct Response {

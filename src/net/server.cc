@@ -214,7 +214,7 @@ void Server::RegisterMetrics() {
   // JSON (the admin verbs would be scrape-measuring-the-scraper noise
   // there, but are still separable in Prometheus).
   for (uint8_t t = static_cast<uint8_t>(ReqType::kPing);
-       t <= static_cast<uint8_t>(ReqType::kSlowLog); ++t) {
+       t <= static_cast<uint8_t>(ReqType::kExplain); ++t) {
     ReqType type = static_cast<ReqType>(t);
     std::string verb = ReqTypeName(type);
     std::string json_key;
@@ -496,7 +496,7 @@ void Server::WorkerLoop() {
           // are per-connection constants; queueing shows up in the
           // commit-stage histograms instead).
           const double start_us = obs::NowMicros();
-          resp = Execute(c, *decoded, &session);
+          resp = ExecuteTraced(c, *decoded, &session);
           obs::Histogram* h = verb_us_[static_cast<size_t>(decoded->type)];
           if (h != nullptr) h->Record(obs::NowMicros() - start_us);
           MutexLock l(mu_);
@@ -518,8 +518,47 @@ void Server::WorkerLoop() {
   }
 }
 
+Response Server::ExecuteTraced(Conn* conn, const Request& req,
+                               std::unique_ptr<service::Session>* session) {
+  // Collect when the client asked (sampled trace context), when the verb
+  // itself is a collection request (EXPLAIN), or when the slow-query
+  // watch is armed and this is a verb it covers. Everything else takes
+  // the zero-overhead path: Execute with a null tracer.
+  const bool slow_watched =
+      (req.type == ReqType::kGetMod || req.type == ReqType::kTraceBack ||
+       req.type == ReqType::kGet) &&
+      engine_->spans().SlowThresholdUs() > 0;
+  const bool explain = req.type == ReqType::kExplain;
+  if (!req.trace.sampled && !explain && !slow_watched) {
+    return Execute(conn, req, session, nullptr);
+  }
+
+  obs::TraceContext ctx = req.trace;
+  if (!ctx.valid()) {
+    // Server-initiated collection (slow-query watch, un-traced EXPLAIN):
+    // mint an id so the tree is still assembled and retrievable.
+    ctx.trace_id = engine_->MintTraceId();
+    ctx.parent_span_id = 0;
+  }
+  obs::SpanCollector tracer(ctx);
+  const uint64_t root = tracer.Open(
+      std::string("server.") + ReqTypeName(req.type), ctx.parent_span_id,
+      explain ? ReqTypeName(req.explain_verb) : "");
+  Response resp = Execute(conn, req, session, &tracer);
+  tracer.Close(root);
+  std::vector<obs::Span> spans = tracer.Take();
+  if (explain && resp.code == RespCode::kOk) {
+    // EXPLAIN's answer IS the span tree; the query's own result is
+    // discarded (run the plain verb for it).
+    resp.body = obs::SpanStore::TreeJson(spans);
+  }
+  engine_->spans().Record(std::move(spans), ctx.sampled || explain);
+  return resp;
+}
+
 Response Server::Execute(Conn* conn, const Request& req,
-                         std::unique_ptr<service::Session>* session) {
+                         std::unique_ptr<service::Session>* session,
+                         obs::SpanCollector* tracer) {
   switch (req.type) {
     case ReqType::kPing:
       return Response::Ok("pong");
@@ -529,6 +568,8 @@ Response Server::Execute(Conn* conn, const Request& req,
       return Response::Ok(engine_->metrics().RenderPrometheus());
     case ReqType::kSlowLog:
       return Response::Ok(engine_->trace().SlowLogJson());
+    case ReqType::kTraces:
+      return Response::Ok(engine_->spans().TracesJson());
     case ReqType::kCheckpoint: {
       Status st = engine_->Checkpoint();
       return st.ok() ? Response::Ok() : Response::Error(st.ToString());
@@ -567,7 +608,12 @@ Response Server::Execute(Conn* conn, const Request& req,
 
   // Everything below runs against the connection's session.
   if (*session == nullptr) {
+    const uint64_t acquire_span =
+        tracer != nullptr
+            ? tracer->Open("session.acquire", tracer->root_span_id())
+            : 0;
     auto acquired = pool_->Acquire();
+    if (tracer != nullptr) tracer->Close(acquire_span);
     if (!acquired.ok()) {
       return Response::Error("session: " + acquired.status().ToString());
     }
@@ -583,7 +629,19 @@ Response Server::Execute(Conn* conn, const Request& req,
     }
     case ReqType::kCommit: {
       conn->in_txn = false;
+      uint64_t commit_span = 0;
+      if (tracer != nullptr) {
+        // The session appends the queue/apply/seal/wake stage spans under
+        // this one (Session::CommitTraced), so a committed transaction's
+        // trace shows its whole path through the group-commit queue.
+        commit_span = tracer->Open("commit.execute", tracer->root_span_id());
+        s->set_trace(tracer, commit_span);
+      }
       Status st = s->Commit();
+      if (tracer != nullptr) {
+        s->set_trace(nullptr, 0);
+        tracer->Close(commit_span);
+      }
       return st.ok() ? Response::Ok() : Response::Error(st.ToString());
     }
     case ReqType::kAbort: {
@@ -592,21 +650,56 @@ Response Server::Execute(Conn* conn, const Request& req,
       Status st = s->Abort();
       return st.ok() ? Response::Ok() : Response::Error(st.ToString());
     }
+    case ReqType::kGetMod:
+    case ReqType::kTraceBack:
+    case ReqType::kGet:
+      return ExecuteQuery(req.type, req.path, s, tracer);
+    case ReqType::kExplain:
+      return ExecuteQuery(req.explain_verb, req.path, s, tracer);
+    default:
+      return Response::Error("unhandled request type");
+  }
+}
+
+Response Server::ExecuteQuery(ReqType verb, const tree::Path& path,
+                              service::Session* s,
+                              obs::SpanCollector* tracer) {
+  const uint64_t parent =
+      tracer != nullptr ? tracer->root_span_id() : 0;
+  const uint64_t latch_span =
+      tracer != nullptr ? tracer->Open("session.latch_wait", parent) : 0;
+  auto guard = s->ReadLock();
+  if (tracer != nullptr) tracer->Close(latch_span);
+
+  uint64_t query_span = 0;
+  relstore::CostSnapshot before;
+  if (tracer != nullptr) {
+    query_span = tracer->Open("query.execute", parent, path.ToString());
+    before = s->cost().Snap();
+    s->query()->set_tracer(tracer, query_span);
+  }
+  Response resp;
+  switch (verb) {
     case ReqType::kGetMod: {
-      auto guard = s->ReadLock();
-      auto mods = s->query()->GetMod(req.path);
-      if (!mods.ok()) return Response::Error(mods.status().ToString());
+      auto mods = s->query()->GetMod(path);
+      if (!mods.ok()) {
+        resp = Response::Error(mods.status().ToString());
+        break;
+      }
       std::vector<int64_t> tids = std::move(*mods);
       std::sort(tids.begin(), tids.end());
       tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
       std::string body;
       EncodeTids(tids, &body);
-      return Response::Ok(std::move(body));
+      resp = Response::Ok(std::move(body));
+      break;
     }
     case ReqType::kTraceBack: {
-      auto guard = s->ReadLock();
-      auto traced = s->query()->TraceBack(req.path);
-      if (!traced.ok()) return Response::Error(traced.status().ToString());
+      auto traced = s->query()->TraceBack(path);
+      if (!traced.ok()) {
+        resp = Response::Error(traced.status().ToString());
+        break;
+      }
       std::string body;
       for (const auto& step : traced->steps) {
         body += "tid=" + std::to_string(step.tid);
@@ -626,17 +719,32 @@ Response Server::Execute(Conn* conn, const Request& req,
                 " external_tid=" + std::to_string(traced->external_tid) +
                 "\n";
       }
-      return Response::Ok(std::move(body));
+      resp = Response::Ok(std::move(body));
+      break;
     }
     case ReqType::kGet: {
-      auto guard = s->ReadLock();
-      const tree::Tree* node = s->editor()->universe().Find(req.path);
-      if (node == nullptr) return Response::Ok("<absent>");
-      return Response::Ok(RenderCanonical(node));
+      const tree::Tree* node = s->editor()->universe().Find(path);
+      resp = node == nullptr ? Response::Ok("<absent>")
+                             : Response::Ok(RenderCanonical(node));
+      break;
     }
     default:
-      return Response::Error("unhandled request type");
+      resp = Response::Error("unhandled query verb");
+      break;
   }
+  if (tracer != nullptr) {
+    s->query()->set_tracer(nullptr, 0);
+    // The session CostModel is the modelled interaction cost (README
+    // "Cost model"): the delta over this query is exactly what it
+    // charged — rows fetched, backend calls (one per round trip), and
+    // simulated micros.
+    relstore::CostSnapshot after = s->cost().Snap();
+    tracer->CloseWithCost(query_span,
+                          static_cast<uint64_t>(after.rows - before.rows),
+                          static_cast<uint64_t>(after.calls - before.calls),
+                          after.micros - before.micros);
+  }
+  return resp;
 }
 
 std::string Server::StatsJson() { return engine_->metrics().RenderJson(); }

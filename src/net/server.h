@@ -114,10 +114,32 @@ class Server {
   void EventLoop();
   void WorkerLoop();
 
+  /// The tracing choke point every request goes through (the OBS-TRACE
+  /// lint rule pins WorkerLoop to it): decides whether this request is
+  /// collected — the client sampled it, it is an EXPLAIN, or the
+  /// slow-query watch is armed for a read verb — and if so wraps
+  /// Execute() in a root span ("server.<VERB>") under the request's
+  /// TraceContext (minting a server-side trace id when the client sent
+  /// none), then records the assembled span tree into the engine's
+  /// SpanStore. EXPLAIN answers with the tree inline. Runs on a worker
+  /// thread, no server mutex held.
+  Response ExecuteTraced(Conn* conn, const Request& req,
+                         std::unique_ptr<service::Session>* session);
+
   /// Executes one request against the connection's session; returns the
-  /// response. Runs on a worker thread, no server mutex held.
+  /// response. `tracer` (nullable) collects per-stage child spans. Runs
+  /// on a worker thread, no server mutex held.
   Response Execute(Conn* conn, const Request& req,
-                   std::unique_ptr<service::Session>* session);
+                   std::unique_ptr<service::Session>* session,
+                   obs::SpanCollector* tracer);
+
+  /// Shared body of the three read verbs and EXPLAIN: runs `verb` (one of
+  /// kGetMod / kTraceBack / kGet) at `path` against `s`, tracing the
+  /// latch wait and the query execution (rows / round trips / modelled
+  /// micros snapshotted from the session's CostModel) when `tracer` is
+  /// set.
+  Response ExecuteQuery(ReqType verb, const tree::Path& path,
+                        service::Session* s, obs::SpanCollector* tracer);
 
   /// Parses newly read bytes of `conn` into pending requests; handles
   /// framing violations. Called from the event loop with mu_ held.
@@ -158,7 +180,7 @@ class Server {
 
   /// Per-verb request latency sinks, indexed by raw ReqType. Filled in
   /// RegisterMetrics() before the workers start; read-only after.
-  std::array<obs::Histogram*, static_cast<size_t>(ReqType::kSlowLog) + 1>
+  std::array<obs::Histogram*, static_cast<size_t>(ReqType::kExplain) + 1>
       verb_us_{};
 
   mutable Mutex mu_;

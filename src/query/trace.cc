@@ -15,6 +15,10 @@ Result<std::optional<ProvRecord>> QueryEngine::NewestApplicable(
   // through the closest-ancestor inference, so at equal tids the deepest
   // location wins). The best candidate is tracked while the cursor
   // streams; nothing is materialized.
+  const uint64_t span =
+      tracer_ != nullptr
+          ? tracer_->Open("query.loc_scan", tracer_parent_, loc.ToString())
+          : 0;
   provenance::ProvCursor cursor =
       store_->IsHierarchical()
           ? store_->backend()->ScanAtLocOrAncestors(loc,
@@ -22,13 +26,18 @@ Result<std::optional<ProvRecord>> QueryEngine::NewestApplicable(
           : store_->backend()->ScanAtLoc(loc);
   std::optional<ProvRecord> best;
   ProvRecord r;
+  uint64_t rows = 0;
   while (cursor.Next(&r)) {
+    ++rows;
     if (r.tid > t_max) continue;
     if (!r.loc.IsPrefixOf(loc)) continue;  // ancestors only (incl. self)
     if (!best.has_value() || r.tid > best->tid ||
         (r.tid == best->tid && best->loc.Depth() < r.loc.Depth())) {
       best = std::move(r);
     }
+  }
+  if (tracer_ != nullptr) {
+    tracer_->CloseWithCost(span, rows, cursor.RoundTrips(), 0);
   }
   CPDB_RETURN_IF_ERROR(cursor.status());
   if (!best.has_value()) return std::optional<ProvRecord>();
@@ -109,9 +118,20 @@ Result<std::vector<int64_t>> QueryEngine::GetMod(
   // paper's "must process all the descendants of a node" cost (Section
   // 4.2), one round trip per descendant; the leaf-chain scan delivers
   // the same rows in ceil(rows / batch) trips.
+  const uint64_t scan_span =
+      tracer_ != nullptr
+          ? tracer_->Open("query.subtree_scan", tracer_parent_, p.ToString())
+          : 0;
   provenance::ProvCursor under = store_->backend()->ScanUnder(p);
   ProvRecord r;
-  while (under.Next(&r)) tids.insert(r.tid);
+  uint64_t scan_rows = 0;
+  while (under.Next(&r)) {
+    ++scan_rows;
+    tids.insert(r.tid);
+  }
+  if (tracer_ != nullptr) {
+    tracer_->CloseWithCost(scan_span, scan_rows, under.RoundTrips(), 0);
+  }
   CPDB_RETURN_IF_ERROR(under.status());
 
   if (store_->IsHierarchical()) {
@@ -119,9 +139,16 @@ Result<std::vector<int64_t>> QueryEngine::GetMod(
     // or delete at a) touch p's subtree without leaving records under p.
     // The whole ancestor chain is one batched statement (shallowest
     // first) instead of one point query per level.
+    const uint64_t anc_span =
+        tracer_ != nullptr
+            ? tracer_->Open("query.ancestor_batch", tracer_parent_,
+                            p.ToString())
+            : 0;
     provenance::ProvCursor above =
         store_->backend()->ScanAtLocOrAncestors(p, /*include_self=*/false);
+    uint64_t anc_rows = 0;
     while (above.Next(&r)) {
+      ++anc_rows;
       if (versions != nullptr) {
         // Exact check: did the operation's subtree reach p? For I/C the
         // affected subtree is the post-state at r.loc; for D the
@@ -131,6 +158,9 @@ Result<std::vector<int64_t>> QueryEngine::GetMod(
         if (v == nullptr || v->Find(p) == nullptr) continue;
       }
       tids.insert(r.tid);
+    }
+    if (tracer_ != nullptr) {
+      tracer_->CloseWithCost(anc_span, anc_rows, above.RoundTrips(), 0);
     }
     CPDB_RETURN_IF_ERROR(above.status());
   }

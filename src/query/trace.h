@@ -3,6 +3,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/trace.h"
 #include "provenance/inference.h"
 #include "provenance/store.h"
 #include "tree/path.h"
@@ -92,6 +93,18 @@ class QueryEngine {
   provenance::ProvStore* store() { return store_; }
   const tree::Path& target_root() const { return target_root_; }
 
+  /// Attaches a per-request span collector for the duration of one traced
+  /// query: each backend statement the engine issues (the subtree scan,
+  /// the batched ancestor statement, TraceBack's per-location scans)
+  /// opens a child span under `parent_span` with its row and round-trip
+  /// counts. Pass nullptr to detach. Not thread-safe — a QueryEngine is
+  /// session-private and a session runs on one thread at a time, so the
+  /// seam follows the same single-threaded contract as the CostModel.
+  void set_tracer(obs::SpanCollector* tracer, uint64_t parent_span) {
+    tracer_ = tracer;
+    tracer_parent_ = parent_span;
+  }
+
  private:
   /// Effective record governing `loc` at the largest tid <= `t_max`:
   /// the newest explicit record at loc, or (hierarchical stores) the
@@ -102,6 +115,8 @@ class QueryEngine {
   provenance::ProvStore* store_;
   tree::Path target_root_;
   const tree::Tree* universe_;
+  obs::SpanCollector* tracer_ = nullptr;
+  uint64_t tracer_parent_ = 0;
 };
 
 }  // namespace cpdb::query

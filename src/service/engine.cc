@@ -119,6 +119,12 @@ void Engine::WireMetrics() {
   cb("cpdb_slow_commits_total", "Commits past the slow-commit threshold",
      true, [this] { return static_cast<double>(trace_.slow_recorded()); },
      "slow_commits");
+  cb("cpdb_traces_recorded_total", "Sampled request trace trees recorded",
+     true, [this] { return static_cast<double>(spans_.recorded()); },
+     "traces_recorded");
+  cb("cpdb_slow_queries_total", "Requests past the slow-query threshold",
+     true, [this] { return static_cast<double>(spans_.slow_recorded()); },
+     "slow_queries");
   const bool durable = backend_->db()->durable();
   cb("cpdb_durable", "1 when a durability engine is attached", false,
      [durable] { return durable ? 1.0 : 0.0; }, "durable");

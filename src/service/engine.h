@@ -184,6 +184,25 @@ class Engine {
   /// and dumped to stderr; <= 0 disables (the default).
   void SetSlowCommitThresholdUs(double us) { trace_.SetSlowThresholdUs(us); }
 
+  /// Store of assembled request trace trees — the read-side counterpart
+  /// of trace(): the network server records every sampled request's span
+  /// tree here, and the TRACES verb renders it back.
+  obs::SpanStore& spans() { return spans_; }
+
+  /// Read requests whose root span exceeds `us` are copied into the
+  /// trace store's slow ring and dumped to stderr as one JSON line
+  /// (--slow-query-ms, symmetric with the slow-commit log); <= 0
+  /// disables (the default).
+  void SetSlowQueryThresholdUs(double us) { spans_.SetSlowThresholdUs(us); }
+
+  /// Mints a trace id for server-initiated collection (slow-query
+  /// watch, EXPLAIN). The high bit marks it server-minted so it can
+  /// never collide with a client's id space. Thread-safe.
+  uint64_t MintTraceId() {
+    return trace_id_seq_.fetch_add(1, std::memory_order_relaxed) |
+           (uint64_t{1} << 63);
+  }
+
  private:
   /// Runs on the commit queue's leader thread after a cohort's applies
   /// and seal, exclusive latch held: advances the committed watermark.
@@ -209,6 +228,8 @@ class Engine {
   /// them: the queue's worker threads must die before their sinks.
   obs::Registry metrics_;
   obs::TraceBuffer trace_;
+  obs::SpanStore spans_;
+  std::atomic<uint64_t> trace_id_seq_{1};
   int64_t base_tid_;  ///< initialized before next_tid_ (declaration order)
   std::atomic<int64_t> next_tid_;
   std::atomic<int64_t> committed_tid_;

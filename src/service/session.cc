@@ -60,6 +60,34 @@ Status Session::CommitTraced(std::function<Status()> apply,
   span.wake_us = tl.wake_us;
   span.total_us = tl.total_us;
   span.claims = std::move(claim_strs);
+
+  if (trace_sink_ != nullptr && trace_sink_->active()) {
+    // Link the commit into the request's trace: one child span per queue
+    // stage, start times synthesized backwards from the stage durations
+    // (the Timeline records durations, not wall-clock stamps). Anchor on
+    // the parent span's start when it is in this collector, else on now
+    // minus the total.
+    double base;
+    if (const obs::Span* parent = trace_sink_->Find(trace_parent_)) {
+      base = parent->start_us;
+    } else {
+      base = obs::NowMicros() - tl.total_us;
+    }
+    const int64_t tid = span.tid;
+    double at = base;
+    const struct {
+      const char* kind;
+      double dur;
+    } stages[] = {{"commit.queue", tl.queue_us},
+                  {"commit.apply", tl.apply_us},
+                  {"commit.seal", tl.seal_us},
+                  {"commit.wake", tl.wake_us}};
+    for (const auto& stage : stages) {
+      trace_sink_->AppendTimed(stage.kind, trace_parent_, at, stage.dur, tid);
+      at += stage.dur;
+    }
+  }
+
   engine_->trace().Record(std::move(span));
   return st;
 }

@@ -104,6 +104,17 @@ class Session {
 
   Engine* engine() { return engine_; }
 
+  /// Attaches a per-request span collector for the duration of one traced
+  /// commit: CommitTraced appends the transaction's queue/apply/seal/wake
+  /// stages as child spans under `parent_span`, so a committed write's
+  /// trace shows its path through the group-commit queue. Pass nullptr to
+  /// detach. Single-threaded, like the CostModel: set by the one thread
+  /// driving the session, before the commit call, cleared after.
+  void set_trace(obs::SpanCollector* sink, uint64_t parent_span) {
+    trace_sink_ = sink;
+    trace_parent_ = parent_span;
+  }
+
  private:
   friend class SessionPool;
   Session() = default;
@@ -133,6 +144,8 @@ class Session {
   /// snapshots) and the session runs on a private materialization.
   SnapshotManager::Pin pin_;
   int64_t snapshot_tid_ = -1;
+  obs::SpanCollector* trace_sink_ = nullptr;
+  uint64_t trace_parent_ = 0;
 };
 
 /// Hands out Sessions against one Engine and takes them back.

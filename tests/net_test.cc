@@ -10,6 +10,7 @@
 // transactions atomically, and the graceful-drain + reopen round trip
 // recovering bit-identical state through the socket.
 
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -28,7 +29,10 @@
 #include "net/metrics_http.h"
 #include "net/protocol.h"
 #include "net/server.h"
+#include "provenance/store.h"
+#include "relstore/cost_model.h"
 #include "service/commit_queue.h"
+#include "service/session.h"
 #include "storage/durable.h"
 #include "test_util.h"
 #include "util/crc32.h"
@@ -184,6 +188,82 @@ TEST(ProtocolTest, DecodersAreStrict) {
   EXPECT_FALSE(net::DecodeResponse("\x09").ok());  // out-of-range code
 }
 
+TEST(ProtocolTest, TraceContextRoundTrip) {
+  // The 0x80 tag bit carries an optional trace context on ANY verb.
+  for (Request req :
+       {Request::GetMod(Path::MustParse("T/data/k1")), Request::Commit(),
+        Request::Apply(Update::Insert(Path::MustParse("T/data"), "k")),
+        Request::Explain(net::ReqType::kGet, Path::MustParse("T/data"))}) {
+    req.trace = obs::TraceContext{0x1234abcdULL, 77, true};
+    std::string wire;
+    net::EncodeRequest(req, &wire);
+    auto back = net::DecodeRequest(wire);
+    ASSERT_TRUE(back.ok()) << net::ReqTypeName(req.type);
+    EXPECT_EQ(back->type, req.type);
+    EXPECT_EQ(back->trace.trace_id, req.trace.trace_id);
+    EXPECT_EQ(back->trace.parent_span_id, req.trace.parent_span_id);
+    EXPECT_EQ(back->trace.sampled, req.trace.sampled);
+    EXPECT_EQ(back->path.ToString(), req.path.ToString());
+  }
+  // An untraced request decodes with an invalid (absent) context and
+  // costs zero extra wire bytes.
+  std::string bare, traced;
+  Request req = Request::GetMod(Path::MustParse("T/x"));
+  net::EncodeRequest(req, &bare);
+  req.trace = obs::TraceContext{9, 0, false};
+  net::EncodeRequest(req, &traced);
+  EXPECT_GT(traced.size(), bare.size());
+  auto back = net::DecodeRequest(bare);
+  ASSERT_TRUE(back.ok());
+  EXPECT_FALSE(back->trace.valid());
+}
+
+TEST(ProtocolTest, TraceContextDecoderIsStrict) {
+  Request req = Request::GetMod(Path::MustParse("T/x"));
+  req.trace = obs::TraceContext{42, 7, true};
+  std::string wire;
+  net::EncodeRequest(req, &wire);
+  auto ok = net::DecodeRequest(wire);
+  ASSERT_TRUE(ok.ok());
+
+  // Trace tag bit set but the context truncated away entirely. (The
+  // flagged tag is a two-byte varint: 0x85 0x01 for GETMOD|0x80.)
+  EXPECT_FALSE(net::DecodeRequest(wire.substr(0, 2)).ok());
+  // Zero trace id means "absent" everywhere else; on the wire it is a
+  // contradiction (the tag bit promised a context) and must fail.
+  std::string zero_id = wire;
+  ASSERT_EQ(zero_id[2], 42);  // single-byte varint trace_id after the tag
+  zero_id[2] = 0;
+  EXPECT_FALSE(net::DecodeRequest(zero_id).ok());
+  // The sampled flag is one byte, 0 or 1 — anything else is malformed.
+  std::string bad_flag = wire;
+  ASSERT_EQ(bad_flag[4], 1);  // sampled byte follows the two id varints
+  bad_flag[4] = 2;
+  EXPECT_FALSE(net::DecodeRequest(bad_flag).ok());
+}
+
+TEST(ProtocolTest, ExplainRoundTripAndVerbValidation) {
+  for (net::ReqType verb : {net::ReqType::kGetMod, net::ReqType::kTraceBack,
+                            net::ReqType::kGet}) {
+    std::string wire;
+    net::EncodeRequest(Request::Explain(verb, Path::MustParse("T/data/k1")),
+                       &wire);
+    auto back = net::DecodeRequest(wire);
+    ASSERT_TRUE(back.ok()) << net::ReqTypeName(verb);
+    EXPECT_EQ(back->type, net::ReqType::kExplain);
+    EXPECT_EQ(back->explain_verb, verb);
+    EXPECT_EQ(back->path.ToString(), "T/data/k1");
+  }
+  // EXPLAIN only explains the query verbs: COMMIT (or worse, EXPLAIN
+  // itself) as the inner verb is rejected at decode time.
+  for (net::ReqType verb : {net::ReqType::kCommit, net::ReqType::kExplain,
+                            net::ReqType::kStats}) {
+    std::string wire;
+    net::EncodeRequest(Request::Explain(verb, Path::MustParse("T/x")), &wire);
+    EXPECT_FALSE(net::DecodeRequest(wire).ok()) << net::ReqTypeName(verb);
+  }
+}
+
 TEST(ProtocolTest, TidsDeltaCoding) {
   for (const std::vector<int64_t>& tids :
        {std::vector<int64_t>{}, std::vector<int64_t>{7},
@@ -202,7 +282,8 @@ TEST(ProtocolTest, TidsDeltaCoding) {
 /// A live server over one (in-memory or durable) store with the same
 /// "data" table cpdb_serve fronts.
 struct NetRig {
-  explicit NetRig(const std::string& dir = "", ServerOptions opts = {}) {
+  explicit NetRig(const std::string& dir = "", ServerOptions opts = {},
+                  service::SessionOptions sopts = {}) {
     if (dir.empty()) {
       db = std::make_unique<relstore::Database>("curated");
     } else {
@@ -221,8 +302,7 @@ struct NetRig {
     target = std::make_unique<wrap::RelationalTargetDb>(
         "T", db.get(), std::vector<std::string>{"data"});
     engine = std::make_unique<Engine>(backend.get(), target.get());
-    pool = std::make_unique<SessionPool>(engine.get(),
-                                         service::SessionOptions{});
+    pool = std::make_unique<SessionPool>(engine.get(), sopts);
     server = std::make_unique<Server>(engine.get(), pool.get(), opts);
     Status st = server->Start();
     EXPECT_TRUE(st.ok()) << st.ToString();
@@ -761,6 +841,337 @@ TEST(NetObservabilityTest, HttpMetricsEndpointAnswersScrapers) {
   http.Stop();
   // Stop() is idempotent and the port is released for reuse.
   http.Stop();
+}
+
+// ----- End-to-end request tracing --------------------------------------------
+
+/// Extracts the integer value of `field` (e.g. "\"rows\":") from the
+/// first span object of `kind` inside a TRACES/EXPLAIN JSON dump.
+/// Returns -1 when the kind or field is missing.
+int64_t SpanField(const std::string& json, const std::string& kind,
+                  const std::string& field) {
+  size_t at = json.find("\"kind\":\"" + kind + "\"");
+  if (at == std::string::npos) return -1;
+  at = json.find(field, at);
+  if (at == std::string::npos) return -1;
+  return std::strtoll(json.c_str() + at + field.size(), nullptr, 10);
+}
+
+TEST(NetTracingTest, SampledGetModProducesFullTraceTree) {
+  NetRig rig;
+  Path table = Path::MustParse("T/data");
+  Client writer;
+  ASSERT_TRUE(writer.Connect("127.0.0.1", rig.port()).ok());
+  ASSERT_TRUE(writer.Apply(Update::Insert(table, "k1")).ok());
+  ASSERT_TRUE(
+      writer.Apply(Update::Insert(table.Child("k1"), "f1", Value("v"))).ok());
+  ASSERT_TRUE(writer.Commit().ok());
+
+  // A FRESH connection so the traced request also pays (and records)
+  // session acquisition: the trace shows server -> session -> query.
+  Client traced;
+  ASSERT_TRUE(traced.Connect("127.0.0.1", rig.port()).ok());
+  traced.set_trace_sampling(1, /*seed=*/42);
+  auto tids = traced.GetMod(table.Child("k1"));
+  ASSERT_TRUE(tids.ok()) << tids.status().ToString();
+  ASSERT_NE(traced.last_trace_id(), 0u);
+  EXPECT_GE(rig.engine->spans().recorded(), 1u);
+
+  auto traces = traced.Traces();
+  ASSERT_TRUE(traces.ok()) << traces.status().ToString();
+  // The whole tree hangs under the client's trace id...
+  EXPECT_NE(traces->find("\"trace_id\":" +
+                         std::to_string(traced.last_trace_id())),
+            std::string::npos)
+      << *traces;
+  // ...with the server root and every stage the request went through.
+  for (const char* kind :
+       {"server.GETMOD", "session.acquire", "session.latch_wait",
+        "query.execute"}) {
+    EXPECT_NE(traces->find(std::string("\"kind\":\"") + kind + "\""),
+              std::string::npos)
+        << kind << " missing in " << *traces;
+  }
+  // The query span is cost-attributed from the session CostModel: the
+  // provenance scan fetched at least one row over at least one call.
+  EXPECT_GE(SpanField(*traces, "query.execute", "\"rows\":"), 1);
+  EXPECT_GE(SpanField(*traces, "query.execute", "\"round_trips\":"), 1);
+  // The trace counter rides the metrics surface.
+  auto metrics = traced.Metrics();
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics->find("cpdb_traces_recorded_total"), std::string::npos);
+}
+
+TEST(NetTracingTest, UnsampledRequestsRecordNothing) {
+  NetRig rig;
+  Path table = Path::MustParse("T/data");
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", rig.port()).ok());
+  ASSERT_TRUE(client.Apply(Update::Insert(table, "k1")).ok());
+  ASSERT_TRUE(client.Commit().ok());
+  ASSERT_TRUE(client.GetMod(table.Child("k1")).ok());
+  ASSERT_TRUE(client.Get(table).ok());
+
+  // No sampling armed, no slow threshold: the span store never sees a
+  // single span (the null-tracer fast path).
+  EXPECT_EQ(client.last_trace_id(), 0u);
+  EXPECT_EQ(rig.engine->spans().recorded(), 0u);
+  EXPECT_EQ(rig.engine->spans().slow_recorded(), 0u);
+  auto traces = client.Traces();
+  ASSERT_TRUE(traces.ok());
+  EXPECT_NE(traces->find("\"recorded\":0"), std::string::npos) << *traces;
+  EXPECT_NE(traces->find("\"traces\":[]"), std::string::npos) << *traces;
+}
+
+TEST(NetTracingTest, ExplainMatchesSessionCostModelAcrossStrategies) {
+  const provenance::Strategy kStrategies[] = {
+      provenance::Strategy::kNaive, provenance::Strategy::kHierarchical,
+      provenance::Strategy::kTransactional,
+      provenance::Strategy::kHierarchicalTransactional};
+  for (provenance::Strategy strategy : kStrategies) {
+    SCOPED_TRACE(provenance::StrategyShortName(strategy));
+    service::SessionOptions sopts;
+    sopts.strategy = strategy;
+    NetRig rig("", {}, sopts);
+    Path table = Path::MustParse("T/data");
+    Client client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", rig.port()).ok());
+    ASSERT_TRUE(client.Apply(Update::Insert(table, "k1")).ok());
+    ASSERT_TRUE(
+        client.Apply(Update::Insert(table.Child("k1"), "f1", Value("v")))
+            .ok());
+    ASSERT_TRUE(client.Commit().ok());
+
+    // Measure the SAME query against the SAME committed state through an
+    // independent session's CostModel — the EXPLAIN counters must agree.
+    uint64_t want_rows = 0, want_calls = 0;
+    {
+      auto acquired = rig.pool->Acquire();
+      ASSERT_TRUE(acquired.ok()) << acquired.status().ToString();
+      std::unique_ptr<service::Session> s = std::move(*acquired);
+      auto guard = s->ReadLock();
+      relstore::CostSnapshot before = s->cost().Snap();
+      auto mods = s->query()->GetMod(table.Child("k1"));
+      ASSERT_TRUE(mods.ok()) << mods.status().ToString();
+      relstore::CostSnapshot after = s->cost().Snap();
+      want_rows = after.rows - before.rows;
+      want_calls = after.calls - before.calls;
+    }
+    ASSERT_GE(want_calls, 1u);  // the comparison must not be vacuous
+
+    auto explained = client.Explain(net::ReqType::kGetMod, table.Child("k1"));
+    ASSERT_TRUE(explained.ok()) << explained.status().ToString();
+    EXPECT_NE(explained->find("\"kind\":\"server.EXPLAIN\""),
+              std::string::npos)
+        << *explained;
+    EXPECT_NE(explained->find("\"detail\":\"GETMOD\""), std::string::npos);
+    EXPECT_EQ(SpanField(*explained, "query.execute", "\"rows\":"),
+              static_cast<int64_t>(want_rows))
+        << *explained;
+    EXPECT_EQ(SpanField(*explained, "query.execute", "\"round_trips\":"),
+              static_cast<int64_t>(want_calls))
+        << *explained;
+  }
+}
+
+TEST(NetTracingTest, SlowQueryLandsInSlowRing) {
+  NetRig rig;
+  // Sub-microsecond threshold: every query is an offender. The capture
+  // must work WITHOUT client-side sampling — that is the whole point of
+  // the server-side slow watch.
+  rig.engine->SetSlowQueryThresholdUs(0.001);
+  Path table = Path::MustParse("T/data");
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", rig.port()).ok());
+  ASSERT_TRUE(client.Apply(Update::Insert(table, "s1")).ok());
+  ASSERT_TRUE(client.Commit().ok());
+  ASSERT_TRUE(client.GetMod(table.Child("s1")).ok());
+
+  EXPECT_GE(rig.engine->spans().slow_recorded(), 1u);
+  // Slow-only capture: nothing was sampled, so the recent rings (and the
+  // sampled-trace counter) stay empty.
+  EXPECT_EQ(rig.engine->spans().recorded(), 0u);
+  auto traces = client.Traces();
+  ASSERT_TRUE(traces.ok());
+  EXPECT_NE(traces->find("\"slow_threshold_us\":"), std::string::npos);
+  size_t slow_at = traces->find("\"slow\":[{");
+  ASSERT_NE(slow_at, std::string::npos) << *traces;
+  EXPECT_NE(traces->find("\"kind\":\"server.GETMOD\"", slow_at),
+            std::string::npos)
+      << *traces;
+  auto metrics = client.Metrics();
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics->find("cpdb_slow_queries_total"), std::string::npos);
+}
+
+TEST(NetTracingTest, SampledCommitLinksQueueStageSpans) {
+  NetRig rig;
+  Path table = Path::MustParse("T/data");
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", rig.port()).ok());
+  client.set_trace_sampling(1, /*seed=*/7);
+  ASSERT_TRUE(client.Apply(Update::Insert(table, "c1")).ok());
+  ASSERT_TRUE(client.Commit().ok());
+  ASSERT_NE(client.last_trace_id(), 0u);
+
+  auto traces = client.Traces();
+  ASSERT_TRUE(traces.ok());
+  // The commit trace carries its path through the group-commit pipeline:
+  // the session re-bases the queue's stage timeline into the trace.
+  for (const char* kind :
+       {"server.COMMIT", "commit.execute", "commit.queue", "commit.apply",
+        "commit.seal", "commit.wake"}) {
+    EXPECT_NE(traces->find(std::string("\"kind\":\"") + kind + "\""),
+              std::string::npos)
+        << kind << " missing in " << *traces;
+  }
+  // Stage spans carry the committed tid for SLOWLOG cross-reference.
+  EXPECT_EQ(SpanField(*traces, "commit.queue", "\"tid\":"), 1);
+}
+
+// ----- Client retry/backoff --------------------------------------------------
+
+TEST(NetRetryTest, BackoffIsCappedJitteredAndDeterministic) {
+  net::RetryPolicy policy;
+  policy.base_backoff_ms = 2;
+  policy.max_backoff_ms = 250;
+  policy.jitter_seed = 99;
+  for (size_t attempt = 1; attempt <= 12; ++attempt) {
+    uint64_t base = policy.base_backoff_ms;
+    for (size_t i = 1; i < attempt && base < policy.max_backoff_ms; ++i) {
+      base *= 2;
+    }
+    if (base > policy.max_backoff_ms) base = policy.max_backoff_ms;
+    const uint64_t ms = net::RetryBackoffMs(policy, attempt, /*salt=*/5);
+    // Within +/-25% of the capped exponential...
+    EXPECT_GE(ms, base - base / 4) << "attempt " << attempt;
+    EXPECT_LE(ms, base + base / 4) << "attempt " << attempt;
+    // ...and reproducible: the jitter is a hash, not a clock.
+    EXPECT_EQ(ms, net::RetryBackoffMs(policy, attempt, 5));
+  }
+  // Different connections (seeds) must not back off in lockstep forever.
+  net::RetryPolicy other = policy;
+  other.jitter_seed = 100;
+  bool differs = false;
+  for (size_t attempt = 5; attempt <= 12 && !differs; ++attempt) {
+    differs = net::RetryBackoffMs(other, attempt, 5) !=
+              net::RetryBackoffMs(policy, attempt, 5);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(NetRetryTest, CallRetryingGivesUpAfterMaxAttemptsOnShed) {
+  ServerOptions opts;
+  opts.max_queue_depth = 0;  // any waiting committer triggers shedding
+  NetRig rig("", opts);
+  Path table = Path::MustParse("T/data");
+
+  Client a, b, c;
+  ASSERT_TRUE(a.Connect("127.0.0.1", rig.port()).ok());
+  ASSERT_TRUE(b.Connect("127.0.0.1", rig.port()).ok());
+  ASSERT_TRUE(c.Connect("127.0.0.1", rig.port()).ok());
+  // Lease A's and B's sessions before stalling the leader (building one
+  // later would park the worker behind the stalled exclusive holder).
+  for (Client* warm : {&a, &b}) {
+    ASSERT_TRUE(warm->Apply(Update::Insert(table, "warm")).ok());
+    ASSERT_TRUE(warm->Abort().ok());
+  }
+
+  Mutex mu;
+  CondVar cv;
+  bool release = false;
+  service::CommitQueue::TestHooks hooks;
+  hooks.before_seal = [&](size_t) {
+    MutexLock l(mu);
+    while (!release) cv.Wait(mu);
+  };
+  rig.engine->commit_queue().set_test_hooks(hooks);
+  struct Releaser {
+    Mutex* mu;
+    CondVar* cv;
+    bool* release;
+    ~Releaser() {
+      MutexLock l(*mu);
+      *release = true;
+      cv->NotifyAll();
+    }
+  } releaser{&mu, &cv, &release};
+
+  // A commits and stalls as the leader; B enqueues behind it, keeping
+  // the queue over its (zero) bound for as long as we hold the stall, so
+  // C's transaction is shed on every attempt — CallRetrying must bound
+  // the loop and return the RETRY.
+  ASSERT_TRUE(a.Send(Request::Apply(Update::Insert(table, "a1"))).ok());
+  ASSERT_TRUE(a.Send(Request::Commit()).ok());
+  ASSERT_TRUE(b.Send(Request::Apply(Update::Insert(table, "b1"))).ok());
+  ASSERT_TRUE(b.Send(Request::Commit()).ok());
+  for (int i = 0; i < 500 && rig.engine->CommitQueueDepth() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_GT(rig.engine->CommitQueueDepth(), 0u);
+
+  net::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_backoff_ms = 1;
+  policy.max_backoff_ms = 4;
+  size_t retries = 0;
+  auto resp = c.CallRetrying(Request::Apply(Update::Insert(table, "c1")),
+                             policy, &retries);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp->code, RespCode::kRetry) << resp->body;
+  EXPECT_EQ(retries, policy.max_attempts - 1);
+
+  {
+    MutexLock l(mu);
+    release = true;
+    cv.NotifyAll();
+  }
+  for (Client* stalled : {&a, &b}) {
+    for (int i = 0; i < 2; ++i) {
+      auto done = stalled->Recv();
+      ASSERT_TRUE(done.ok());
+      EXPECT_EQ(done->code, RespCode::kOk) << done->body;
+    }
+  }
+  rig.engine->commit_queue().set_test_hooks({});
+
+  // The shed transaction is gone transaction-atomically: after COMMIT
+  // clears the shed state, C retries the WHOLE pipeline and lands it —
+  // the retry unit the load driver uses.
+  auto commit = c.Call(Request::Commit());
+  ASSERT_TRUE(commit.ok());
+  EXPECT_EQ(commit->code, RespCode::kRetry);  // the shed txn's COMMIT
+  ASSERT_TRUE(c.Apply(Update::Insert(table, "c1")).ok());
+  ASSERT_TRUE(c.Commit().ok());
+  auto got = c.Get(table.Child("c1"));
+  ASSERT_TRUE(got.ok());
+}
+
+TEST(NetRetryTest, CallRetryingReconnectsAcrossServerRestart) {
+  Client client;
+  int port;
+  {
+    auto rig = std::make_unique<NetRig>();
+    port = rig->port();
+    ASSERT_TRUE(client.Connect("127.0.0.1", port).ok());
+    ASSERT_TRUE(client.Ping().ok());
+  }  // server (and the client's transport) torn down here
+
+  ServerOptions opts;
+  opts.port = port;  // SO_REUSEADDR: the revived server takes the port
+  NetRig revived("", opts);
+  net::RetryPolicy policy;
+  policy.base_backoff_ms = 1;
+  policy.max_backoff_ms = 8;
+  size_t retries = 0;
+  auto resp = client.CallRetrying(Request::Ping(), policy, &retries);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp->code, RespCode::kOk);
+  EXPECT_GE(retries, 1u);
+  // The re-dialed transport is fully usable, not just for the ping.
+  ASSERT_TRUE(
+      client.Apply(Update::Insert(Path::MustParse("T/data"), "r1")).ok());
+  ASSERT_TRUE(client.Commit().ok());
 }
 
 TEST(NetServerTest, DrainingServerRejectsNewWork) {

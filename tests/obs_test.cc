@@ -275,5 +275,140 @@ TEST(TraceBufferTest, SlowThresholdCapturesAndRenders) {
   EXPECT_EQ(buf.slow_recorded(), 1u);
 }
 
+// ----- SpanCollector / SpanStore (request tracing) ---------------------------
+
+TEST(SpanCollectorTest, InactiveCollectorIsANoOp) {
+  SpanCollector none;  // default: trace_id 0
+  EXPECT_FALSE(none.active());
+  EXPECT_EQ(none.Open("server.PING", 0), 0u);
+  none.Close(0);  // must not crash
+  EXPECT_EQ(none.AppendTimed("commit.queue", 0, 1, 2), 0u);
+  EXPECT_EQ(none.root_span_id(), 0u);
+  EXPECT_TRUE(none.Take().empty());
+}
+
+TEST(SpanCollectorTest, NestsSpansAndSeedsIdsPastTheWireParent) {
+  TraceContext ctx{/*trace_id=*/40, /*parent_span_id=*/10, /*sampled=*/true};
+  SpanCollector col(ctx);
+  ASSERT_TRUE(col.active());
+
+  const uint64_t root = col.Open("server.GETMOD", ctx.parent_span_id);
+  // Local ids start past the caller's parent id: the wire parent can
+  // never collide with (and mis-nest under) a server-minted id.
+  EXPECT_EQ(root, 11u);
+  EXPECT_EQ(col.root_span_id(), root);
+  const uint64_t child = col.Open("query.execute", root, "T/data");
+  EXPECT_EQ(child, 12u);
+  col.CloseWithCost(child, /*rows=*/3, /*round_trips=*/2, /*cost_us=*/7.5);
+  col.Close(root);
+
+  std::vector<Span> spans = col.Take();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].kind, "server.GETMOD");
+  EXPECT_EQ(spans[0].parent_span_id, 10u);
+  EXPECT_EQ(spans[0].trace_id, 40u);
+  EXPECT_GE(spans[0].dur_us, 0.0);
+  EXPECT_EQ(spans[1].parent_span_id, root);
+  EXPECT_EQ(spans[1].detail, "T/data");
+  EXPECT_EQ(spans[1].rows, 3u);
+  EXPECT_EQ(spans[1].round_trips, 2u);
+  EXPECT_EQ(spans[1].cost_us, 7.5);
+  // Children open after (and close within) their parent.
+  EXPECT_GE(spans[1].start_us, spans[0].start_us);
+  EXPECT_LE(spans[1].dur_us, spans[0].dur_us);
+}
+
+TEST(SpanCollectorTest, CapsSpansPerRequestAndCountsDrops) {
+  SpanCollector col(TraceContext{1, 0, true});
+  const uint64_t root = col.Open("server.TRACEBACK", 0);
+  for (size_t i = 1; i < SpanCollector::kMaxSpans; ++i) {
+    EXPECT_NE(col.Open("query.loc_scan", root), 0u) << i;
+  }
+  // Full: a runaway provenance walk cannot turn one trace into an
+  // allocation storm. Overflow is counted, not stored.
+  EXPECT_EQ(col.Open("query.loc_scan", root), 0u);
+  EXPECT_EQ(col.AppendTimed("commit.queue", root, 0, 1), 0u);
+  EXPECT_EQ(col.dropped(), 2u);
+  EXPECT_EQ(col.spans().size(), SpanCollector::kMaxSpans);
+}
+
+/// A ready-made three-span trace: root <- query, plus one orphan whose
+/// parent id is not in the set (as if its parent got overflow-dropped).
+std::vector<Span> MakeTrace(uint64_t trace_id, double root_dur) {
+  SpanCollector col(TraceContext{trace_id, 0, true});
+  uint64_t root = col.Open("server.GETMOD", 0);
+  uint64_t q = col.Open("query.execute", root, "T/data/k1");
+  col.CloseWithCost(q, 2, 1, 5.0);
+  col.Close(root);
+  std::vector<Span> spans = col.Take();
+  spans[0].dur_us = root_dur;
+  Span orphan;
+  orphan.trace_id = trace_id;
+  orphan.span_id = 999;
+  orphan.parent_span_id = 777;  // unknown parent
+  orphan.kind = "query.loc_scan";
+  spans.push_back(orphan);
+  return spans;
+}
+
+TEST(SpanStoreTest, TreeJsonNestsChildrenAndAdoptsOrphans) {
+  std::string json = SpanStore::TreeJson(MakeTrace(42, 100));
+  EXPECT_NE(json.find("\"trace_id\":42"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"spans\":3"), std::string::npos);
+  // The query span nests INSIDE the root's children array...
+  size_t root_at = json.find("\"kind\":\"server.GETMOD\"");
+  size_t child_at = json.find("\"kind\":\"query.execute\"");
+  ASSERT_NE(root_at, std::string::npos);
+  ASSERT_NE(child_at, std::string::npos);
+  EXPECT_LT(root_at, child_at);
+  EXPECT_NE(json.find("\"detail\":\"T/data/k1\""), std::string::npos);
+  EXPECT_NE(json.find("\"rows\":2"), std::string::npos);
+  // ...and the orphan is adopted by the root instead of vanishing.
+  EXPECT_NE(json.find("\"kind\":\"query.loc_scan\""), std::string::npos);
+  EXPECT_EQ(SpanStore::TreeJson({}), "{}");
+}
+
+TEST(SpanStoreTest, RecordsSampledTracesPerRootKind) {
+  SpanStore store(/*capacity=*/2, /*slow_capacity=*/2);
+  // Unsampled + fast records nothing at all.
+  store.Record(MakeTrace(1, 10), /*sampled=*/false);
+  EXPECT_EQ(store.recorded(), 0u);
+  EXPECT_EQ(store.slow_recorded(), 0u);
+
+  for (uint64_t id = 2; id <= 5; ++id) {
+    store.Record(MakeTrace(id, 10), /*sampled=*/true);
+  }
+  EXPECT_EQ(store.recorded(), 4u);
+  std::string json = store.TracesJson();
+  // The ring holds 2 per root kind; the two newest survive.
+  EXPECT_EQ(json.find("\"trace_id\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"trace_id\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"recorded\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"slow\":[]"), std::string::npos);
+}
+
+TEST(SpanStoreTest, SlowThresholdCapturesEvenUnsampledTraces) {
+  SpanStore store(4, 4);
+  store.SetSlowThresholdUs(1000);
+  EXPECT_EQ(store.SlowThresholdUs(), 1000);
+  store.Record(MakeTrace(1, 10), /*sampled=*/false);    // fast: dropped
+  store.Record(MakeTrace(2, 5000), /*sampled=*/false);  // slow: captured
+  EXPECT_EQ(store.recorded(), 0u);  // slow-only capture is not "sampled"
+  EXPECT_EQ(store.slow_recorded(), 1u);
+  std::string json = store.TracesJson();
+  EXPECT_NE(json.find("\"slow_threshold_us\":1000"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"slow_recorded\":1"), std::string::npos);
+  size_t slow_at = json.find("\"slow\":[");
+  ASSERT_NE(slow_at, std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\":2", slow_at), std::string::npos);
+
+  // A sampled AND slow trace lands in both surfaces.
+  store.Record(MakeTrace(3, 9000), /*sampled=*/true);
+  EXPECT_EQ(store.recorded(), 1u);
+  EXPECT_EQ(store.slow_recorded(), 2u);
+}
+
 }  // namespace
 }  // namespace cpdb::obs

@@ -17,20 +17,29 @@
 //                  before SIGTERM and after restart, diff for equality
 //   --mode=ping    retries PING until the server answers or
 //                  --timeout-sec expires (CI readiness gate)
-//   --mode=stats / --mode=metrics / --mode=slowlog
+//   --mode=stats / --mode=metrics / --mode=slowlog / --mode=traces
 //                  one admin verb round-trip, body to stdout (flat JSON,
-//                  Prometheus text exposition, recent slow-commit spans)
+//                  Prometheus text exposition, recent slow-commit spans,
+//                  assembled trace trees)
+//   --mode=explain run one query with EXPLAIN (--explain=getmod|
+//                  traceback|get --path=T/...) and print its span tree +
+//                  cost counters as JSON
 //
 // Load flags: --host --port --connections --qd=1,2,4,8,16,32 --txns
 // --txn-len --keys --dist=zipf|uniform --theta --rate (open-loop target
 // txns/sec across all connections; 0 = closed loop) --read-frac --seed
-// --json. Digest flags: --connections --keys --digest. See
-// OPERATOR_GUIDE.md for recipes.
+// --json --trace-sample=N (stamp a TraceContext on every Nth traceable
+// request per connection; 0 = off) --retry-max=N. Digest flags:
+// --connections --keys --digest. See OPERATOR_GUIDE.md for recipes.
 //
 // Overload is part of the contract, not an error: shed transactions
 // (typed RETRY from admission control) are counted and reported as
-// `shed_txns`; the rig never retries them in-line, so an overloaded
-// server degrades throughput instead of inflating latency without bound.
+// `shed_txns`. The rig never retries in-line — that would corrupt the
+// pipeline's response accounting — but with --retry-max=N (default 4)
+// each shed transaction is retried after the measured window drains,
+// with the client library's capped exponential backoff + jitter; retry
+// attempts and eventual commits are reported as `retry_txns` /
+// `retried_committed`. --retry-max=0 restores fail-fast.
 
 #include <algorithm>
 #include <chrono>
@@ -89,6 +98,13 @@ struct Options {
   std::string json;
   std::string digest;
   double timeout_sec = 10;
+  /// 1-in-N deterministic trace sampling per connection (0 = off).
+  uint64_t trace_sample = 0;
+  /// Post-drain retry attempts per shed transaction (0 = fail-fast).
+  size_t retry_max = 4;
+  /// --mode=explain: which verb to explain, at which path.
+  std::string explain = "getmod";
+  std::string path = "T";
 };
 
 std::string KeyName(size_t conn, size_t key) {
@@ -129,7 +145,10 @@ struct ConnStats {
   size_t reads = 0;
   size_t read_errors = 0;
   size_t transport_errors = 0;
+  size_t retry_txns = 0;          ///< retry attempts sent (post-drain pass)
+  size_t retried_committed = 0;   ///< shed txns that committed on retry
   std::vector<double> latencies_us;  ///< committed txns only
+  std::vector<size_t> shed_keys;     ///< keys of shed txns, for the retry pass
 };
 
 double NowMicros() {
@@ -210,6 +229,7 @@ bool CompleteOldest(net::Client* client, std::deque<InflightTxn>* window,
   }
   if (any_retry) {
     stats->shed++;
+    stats->shed_keys.push_back(txn.key);
     (*keys)[txn.key].dirty = true;
   } else if (any_error && !txn.expect_errors) {
     stats->errored++;
@@ -221,6 +241,67 @@ bool CompleteOldest(net::Client* client, std::deque<InflightTxn>* window,
   return true;
 }
 
+/// Post-drain retry pass: each transaction shed during the measured
+/// window is regenerated (the shed key is dirty, so MakeTxn rebuilds the
+/// row) and re-sent synchronously, backing off with the client library's
+/// capped exponential + jitter between attempts. Runs AFTER the measured
+/// window so retries never skew the latency sample, and the admission
+/// decision is transaction-atomic on the server, so re-sending the whole
+/// APPLY...COMMIT pipeline is the correct retry unit.
+void RetryShedTxns(const Options& opt, size_t conn, net::Client* client,
+                   std::vector<KeyState>* keys, size_t* op_seq,
+                   ConnStats* stats) {
+  if (opt.retry_max == 0 || stats->shed_keys.empty()) return;
+  net::RetryPolicy policy;
+  policy.max_attempts = opt.retry_max;
+  policy.jitter_seed = opt.seed * 0x9e3779b9u + conn;
+  for (size_t key : stats->shed_keys) {
+    for (size_t attempt = 1; attempt <= opt.retry_max; ++attempt) {
+      bool expect_errors = false;
+      std::vector<Update> ops =
+          MakeTxn(conn, key, &(*keys)[key], opt.txn_len, op_seq,
+                  &expect_errors);
+      bool send_ok = true;
+      for (const Update& u : ops) {
+        if (!client->Send(net::Request::Apply(u)).ok()) send_ok = false;
+      }
+      if (!client->Send(net::Request::Commit()).ok()) send_ok = false;
+      if (!send_ok) {
+        stats->transport_errors++;
+        return;
+      }
+      stats->retry_txns++;
+      bool any_retry = false;
+      bool any_error = false;
+      for (size_t i = 0; i < ops.size() + 1; ++i) {
+        auto resp = client->Recv();
+        if (!resp.ok()) {
+          stats->transport_errors++;
+          return;
+        }
+        if (resp->code == net::RespCode::kRetry ||
+            resp->code == net::RespCode::kDraining) {
+          any_retry = true;
+        } else if (resp->code == net::RespCode::kError) {
+          any_error = true;
+        }
+      }
+      if (!any_retry) {
+        if (any_error && !expect_errors) {
+          stats->errored++;
+          (*keys)[key].dirty = true;
+        } else {
+          stats->retried_committed++;
+        }
+        break;
+      }
+      (*keys)[key].dirty = true;  // shed again; back off and go around
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          static_cast<int64_t>(net::RetryBackoffMs(policy, attempt, key))));
+    }
+  }
+}
+
 /// One connection's closed- or open-loop run at queue depth `qd`.
 ConnStats RunConnection(const Options& opt, size_t conn, size_t qd) {
   ConnStats stats;
@@ -230,6 +311,10 @@ ConnStats RunConnection(const Options& opt, size_t conn, size_t qd) {
     std::fprintf(stderr, "conn %zu: %s\n", conn, st.ToString().c_str());
     stats.transport_errors++;
     return stats;
+  }
+  if (opt.trace_sample > 0) {
+    client.set_trace_sampling(opt.trace_sample,
+                              opt.seed * 0x85ebca6bu + conn);
   }
 
   std::vector<KeyState> keys(opt.keys);
@@ -297,6 +382,7 @@ ConnStats RunConnection(const Options& opt, size_t conn, size_t qd) {
   while (!window.empty()) {
     if (!CompleteOldest(&client, &window, &keys, &stats)) return stats;
   }
+  RetryShedTxns(opt, conn, &client, &keys, &op_seq, &stats);
   return stats;
 }
 
@@ -313,7 +399,9 @@ int RunLoad(const Options& opt) {
       .Set("theta", opt.theta)
       .Set("rate", opt.rate)
       .Set("read_frac", opt.read_frac)
-      .Set("seed", static_cast<size_t>(opt.seed));
+      .Set("seed", static_cast<size_t>(opt.seed))
+      .Set("trace_sample", static_cast<size_t>(opt.trace_sample))
+      .Set("retry_max", opt.retry_max);
 
   bench::PrintHeader("Network service",
                      "latency under load over TCP (queue-depth sweep)");
@@ -350,6 +438,8 @@ int RunLoad(const Options& opt) {
       total.reads += s.reads;
       total.read_errors += s.read_errors;
       total.transport_errors += s.transport_errors;
+      total.retry_txns += s.retry_txns;
+      total.retried_committed += s.retried_committed;
       lat.insert(lat.end(), s.latencies_us.begin(), s.latencies_us.end());
     }
     bench::Percentiles pcts = bench::ComputePercentiles(&lat);
@@ -368,6 +458,8 @@ int RunLoad(const Options& opt) {
         .Set("shed_txns", total.shed)
         .Set("error_txns", total.errored)
         .Set("resync_txns", total.resyncs)
+        .Set("retry_txns", total.retry_txns)
+        .Set("retried_committed", total.retried_committed)
         .Set("reads", total.reads)
         .Set("transport_errors", total.transport_errors)
         .Set("wall_ms", wall_ms)
@@ -437,9 +529,9 @@ int RunDigest(const Options& opt) {
 }
 
 /// One admin verb round-trip, body printed to stdout. Covers STATS
-/// (flat JSON), METRICS (Prometheus text exposition), and SLOWLOG
-/// (recent slow-commit spans) so an operator with only this binary can
-/// read every telemetry surface.
+/// (flat JSON), METRICS (Prometheus text exposition), SLOWLOG (recent
+/// slow-commit spans), and TRACES (assembled trace trees) so an operator
+/// with only this binary can read every telemetry surface.
 int RunAdminVerb(const Options& opt) {
   net::Client client;
   Status st = client.Connect(opt.host, opt.port);
@@ -449,10 +541,39 @@ int RunAdminVerb(const Options& opt) {
   }
   Result<std::string> body = opt.mode == "stats"     ? client.Stats()
                              : opt.mode == "metrics" ? client.Metrics()
+                             : opt.mode == "traces"  ? client.Traces()
                                                      : client.SlowLog();
   if (!body.ok()) {
     std::fprintf(stderr, "%s: %s\n", opt.mode.c_str(),
                  body.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(body->c_str(), stdout);
+  if (!body->empty() && body->back() != '\n') std::fputc('\n', stdout);
+  return 0;
+}
+
+/// Runs one query server-side with EXPLAIN and prints the span tree +
+/// cost counters JSON ("why is this query slow" without a sampled load).
+int RunExplain(const Options& opt) {
+  net::ReqType verb = opt.explain == "traceback" ? net::ReqType::kTraceBack
+                      : opt.explain == "get"     ? net::ReqType::kGet
+                                                 : net::ReqType::kGetMod;
+  auto parsed = Path::Parse(opt.path);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "explain: bad --path: %s\n",
+                 parsed.status().ToString().c_str());
+    return 1;
+  }
+  net::Client client;
+  Status st = client.Connect(opt.host, opt.port);
+  if (!st.ok()) {
+    std::fprintf(stderr, "explain: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto body = client.Explain(verb, *parsed);
+  if (!body.ok()) {
+    std::fprintf(stderr, "explain: %s\n", body.status().ToString().c_str());
     return 1;
   }
   std::fputs(body->c_str(), stdout);
@@ -502,11 +623,19 @@ int main(int argc, char** argv) {
   opt.json = flags.GetString("json", "");
   opt.digest = flags.GetString("digest", "digest.txt");
   opt.timeout_sec = flags.GetDouble("timeout-sec", opt.timeout_sec);
+  opt.trace_sample =
+      static_cast<uint64_t>(flags.GetInt("trace-sample", 0));
+  opt.retry_max = static_cast<size_t>(
+      flags.GetInt("retry-max", static_cast<int64_t>(opt.retry_max)));
+  opt.explain = flags.GetString("explain", opt.explain);
+  opt.path = flags.GetString("path", opt.path);
   if (opt.txn_len < 2) opt.txn_len = 2;  // room for a row op + a field op
 
   if (opt.mode == "digest") return RunDigest(opt);
   if (opt.mode == "ping") return RunPing(opt);
-  if (opt.mode == "stats" || opt.mode == "metrics" || opt.mode == "slowlog") {
+  if (opt.mode == "explain") return RunExplain(opt);
+  if (opt.mode == "stats" || opt.mode == "metrics" || opt.mode == "slowlog" ||
+      opt.mode == "traces") {
     return RunAdminVerb(opt);
   }
   return RunLoad(opt);

@@ -28,6 +28,10 @@
 //   --slow-commit-ms=X     commits slower than X ms are captured in the
 //                          slow-commit ring (SLOWLOG verb) and logged to
 //                          stderr (default 0 = off)
+//   --slow-query-ms=X      read requests slower than X ms have their span
+//                          tree captured in the trace store's slow ring
+//                          (TRACES verb) and logged to stderr as one JSON
+//                          line (default 0 = off)
 //   --metrics-json=PATH    sample the registry every --metrics-interval-ms
 //                          (default 1000) and, at drain, write the window
 //                          deltas to PATH in the bench harness --json
@@ -130,6 +134,10 @@ int main(int argc, char** argv) {
   service::Engine engine(&backend, &target);
   const double slow_ms = flags.GetDouble("slow-commit-ms", 0);
   if (slow_ms > 0) engine.SetSlowCommitThresholdUs(slow_ms * 1000.0);
+  const double slow_query_ms = flags.GetDouble("slow-query-ms", 0);
+  if (slow_query_ms > 0) {
+    engine.SetSlowQueryThresholdUs(slow_query_ms * 1000.0);
+  }
   service::SessionOptions sopts;
   sopts.strategy = ParseStrategy(flags.GetString("strategy", "HT"));
   service::SessionPool pool(&engine, sopts);

@@ -65,6 +65,18 @@ OBS-METRICS
     probes, the latch's epoch, the snapshot chain's watermark, and the
     server's lifecycle flags — each of which is load-bearing
     synchronization state with its own reader, not telemetry.
+
+OBS-TRACE
+    Every protocol verb the server executes must pass through the ONE
+    tracing choke point, Server::ExecuteTraced (src/net/server.cc):
+    that is where the sampled/EXPLAIN/slow-query decision is made, the
+    root span ("server.<VERB>") is opened, and the assembled tree is
+    recorded into the engine's SpanStore. Concretely: WorkerLoop must
+    dispatch via ExecuteTraced (never Execute directly), Execute may be
+    called only from ExecuteTraced (plus its own definition), and
+    ExecuteTraced must open the "server."-prefixed root span. A verb
+    handler that bypasses the choke point is invisible to TRACES,
+    EXPLAIN, and the slow-query log all at once.
 """
 
 import argparse
@@ -213,6 +225,7 @@ ATOMIC_DECL_RE = re.compile(r"std::atomic(?:<|_)")
 # std::atomic whose readers are correctness logic rather than a scrape.
 OBS_METRICS_ALLOWED = {
     ("src/service/engine.h", "next_tid_"),       # tid allocator
+    ("src/service/engine.h", "trace_id_seq_"),   # trace-id allocator
     ("src/service/engine.h", "committed_tid_"),  # MVCC watermark
     ("src/service/engine.h", "sync_calls_"),     # ONE-seal probe
     ("src/service/latch.h", "epoch_"),           # exclusive-section count
@@ -244,6 +257,60 @@ def check_obs_metrics(root):
                         "allowlist only for synchronization state)")
 
 
+def check_obs_trace(root):
+    """Pins the server's verb dispatch to the tracing choke point.
+
+    Line-oriented, like the other rules: finds the function each line
+    belongs to by tracking `Server::<name>(` definition headers, then
+    enforces (a) WorkerLoop dispatches via ExecuteTraced, (b) Execute is
+    invoked only from ExecuteTraced, (c) ExecuteTraced opens the
+    "server." root span and records into the span store.
+    """
+    path = root / "src" / "net" / "server.cc"
+    if not path.is_file():
+        return
+    rel = path.relative_to(root)
+    defn_re = re.compile(r"\bServer::(\w+)\s*\(")
+    execute_call_re = re.compile(r"(?<![\w:])Execute\s*\(")
+    current_fn = None
+    workerloop_dispatches = False
+    execute_calls = []  # (lineno, enclosing function)
+    traced_opens_root = False
+    traced_records = False
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        code = strip_comments(line)
+        m = defn_re.search(code)
+        if m:
+            current_fn = m.group(1)
+            continue  # the definition header itself is not a call
+        if current_fn == "WorkerLoop" and "ExecuteTraced(" in code:
+            workerloop_dispatches = True
+        if execute_call_re.search(code) and "ExecuteTraced" not in code:
+            execute_calls.append((lineno, current_fn))
+        if current_fn == "ExecuteTraced":
+            if '"server."' in code:
+                traced_opens_root = True
+            if "spans().Record(" in code:
+                traced_records = True
+    if not workerloop_dispatches:
+        finding("OBS-TRACE", rel, 1,
+                "WorkerLoop does not dispatch through ExecuteTraced; "
+                "every verb must pass the tracing choke point")
+    for lineno, fn in execute_calls:
+        if fn != "ExecuteTraced":
+            finding("OBS-TRACE", rel, lineno,
+                    f"direct Execute() call in {fn or '<toplevel>'}; only "
+                    "ExecuteTraced may invoke Execute (the tracing choke "
+                    "point decides collection for every verb)")
+    if not traced_opens_root:
+        finding("OBS-TRACE", rel, 1,
+                'ExecuteTraced does not open the "server." root span')
+    if not traced_records:
+        finding("OBS-TRACE", rel, 1,
+                "ExecuteTraced does not record into the engine SpanStore "
+                "(spans().Record)")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--root", default=".",
@@ -260,6 +327,7 @@ def main():
     check_bench_json(root)
     check_net_framing(root)
     check_obs_metrics(root)
+    check_obs_trace(root)
 
     for f in FINDINGS:
         print(f)
